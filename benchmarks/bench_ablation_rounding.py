@@ -1,0 +1,78 @@
+"""Ablation: Algorithm 1's rounding pipeline, piece by piece.
+
+DESIGN.md calls out the LP's degenerate optima: raw pipage output lacks
+cross-node coordination, the 1-swap local-search polish recovers it, and
+plain lazy greedy is the cheap alternative.  This bench quantifies each
+stage on the default uncapacitated chunk-level scenario.
+"""
+
+from repro.core import route_to_nearest_replica, routing_cost
+from repro.core.algorithm1 import algorithm1
+from repro.core.solution import Solution
+from repro.core.submodular import greedy_rnr_placement, local_search_swap
+from repro.experiments import (
+    MonteCarloConfig,
+    ScenarioConfig,
+    aggregate,
+    format_sweep,
+    run_monte_carlo,
+)
+
+MC = MonteCarloConfig(n_runs=3)
+
+
+def _lp_pipage_only(scenario):
+    return algorithm1(scenario.planning_problem(), polish=False).solution
+
+
+def _lp_pipage_polish(scenario):
+    return algorithm1(scenario.planning_problem(), polish=True).solution
+
+
+def _greedy(scenario):
+    problem = scenario.planning_problem()
+    placement = greedy_rnr_placement(problem)
+    return Solution(placement, route_to_nearest_replica(problem, placement))
+
+
+def _greedy_polish(scenario):
+    problem = scenario.planning_problem()
+    placement = local_search_swap(
+        problem, greedy_rnr_placement(problem), max_sweeps=8
+    )
+    return Solution(placement, route_to_nearest_replica(problem, placement))
+
+
+def test_ablation_alg1_rounding(benchmark, report):
+    config = ScenarioConfig(level="chunk", link_capacity_fraction=None)
+
+    def run():
+        records = run_monte_carlo(
+            config,
+            {
+                "LP+pipage (raw)": _lp_pipage_only,
+                "LP+pipage+polish (Alg1)": _lp_pipage_polish,
+                "greedy": _greedy,
+                "greedy+polish": _greedy_polish,
+            },
+            MC,
+        )
+        return [
+            {"variant": a.algorithm, "cost": a.mean_cost, "seconds": a.mean_seconds}
+            for a in aggregate(records)
+        ]
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "ablation_rounding",
+        format_sweep(
+            rows,
+            ["variant", "cost", "seconds"],
+            title="Ablation: Algorithm 1 rounding variants (uncapacitated, chunk level)",
+        ),
+    )
+    by_name = {r["variant"]: r["cost"] for r in rows}
+    # The polish is what makes pipage competitive.
+    assert by_name["LP+pipage+polish (Alg1)"] < by_name["LP+pipage (raw)"]
+    # Polished greedy is at least as good as plain greedy.
+    assert by_name["greedy+polish"] <= by_name["greedy"] + 1e-6

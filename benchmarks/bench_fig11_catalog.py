@@ -1,0 +1,57 @@
+"""Fig. 11 (Appendix D): varying the number of videos (catalog size).
+
+General case, chunk level; more videos mean more demand contending for the
+same caches and links, so cost and congestion both rise while the relative
+ordering of Table 2 persists.
+"""
+
+from repro.experiments import (
+    MonteCarloConfig,
+    ScenarioConfig,
+    aggregate,
+    algorithms as alg,
+    format_sweep,
+    run_monte_carlo,
+)
+
+MC = MonteCarloConfig(n_runs=2)
+
+ALGOS = {
+    "alternating": alg.alternating(mmufp_method="best"),
+    "SP [38]": alg.sp,
+    "k-SP + RNR [3]": alg.ksp(10),
+}
+
+
+def test_fig11_vary_num_videos(benchmark, report):
+    def run():
+        rows = []
+        for num_videos in (4, 7, 10, 12):
+            config = ScenarioConfig(level="chunk", num_videos=num_videos)
+            records = run_monte_carlo(config, ALGOS, MC)
+            for a in aggregate(records):
+                rows.append(
+                    {
+                        "num_videos": num_videos,
+                        "algorithm": a.algorithm,
+                        "cost": a.mean_cost,
+                        "congestion": a.mean_congestion,
+                    }
+                )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "fig11_catalog",
+        format_sweep(
+            rows,
+            ["num_videos", "algorithm", "cost", "congestion"],
+            title="Fig 11: varying #videos (chunk level, general case)",
+        ),
+    )
+    for n in (4, 7, 10, 12):
+        sub = {r["algorithm"]: r for r in rows if r["num_videos"] == n}
+        assert sub["alternating"]["congestion"] < sub["SP [38]"]["congestion"]
+    # Cost grows with the catalog for the capacity-aware algorithm.
+    ours = [r["cost"] for r in rows if r["algorithm"] == "alternating"]
+    assert ours[0] < ours[-1]

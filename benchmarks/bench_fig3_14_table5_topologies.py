@@ -1,0 +1,56 @@
+"""Figs. 3 & 14 / Table 5: the evaluation topologies themselves.
+
+Regenerates the structural facts those figures and Table 5 convey: node and
+link counts, the degree-1 origin gateway, and the number/identity of
+low-degree edge nodes, for the Abovenet map and the three Table-5 networks.
+"""
+
+import networkx as nx
+
+from repro.experiments import format_sweep
+from repro.graph import abovenet, abvt, deltacom, edge_caching_roles, tinet
+
+
+def test_fig3_14_table5_topology_inventory(benchmark, report):
+    def run():
+        rows = []
+        for name, factory, expected in (
+            ("abovenet", abovenet, None),
+            ("abvt", abvt, (23, 31)),
+            ("tinet", tinet, (53, 89)),
+            ("deltacom", deltacom, (113, 161)),
+        ):
+            net = factory()
+            origin, edge_nodes = edge_caching_roles(
+                net, num_edge_nodes=None if name == "abovenet" else 5
+            )
+            rows.append(
+                {
+                    "topology": name,
+                    "nodes": net.num_nodes,
+                    "links": net.num_edges // 2,
+                    "origin_degree": net.undirected_degree(origin),
+                    "edge_nodes": len(edge_nodes),
+                    "connected": nx.is_strongly_connected(net.graph),
+                    "table5": str(expected) if expected else "-",
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "fig3_14_table5_topologies",
+        format_sweep(
+            rows,
+            ["topology", "nodes", "links", "origin_degree", "edge_nodes",
+             "connected", "table5"],
+            title="Figs 3/14 + Table 5: topology inventory",
+        ),
+    )
+    by_name = {r["topology"]: r for r in rows}
+    assert (by_name["abvt"]["nodes"], by_name["abvt"]["links"]) == (23, 31)
+    assert (by_name["tinet"]["nodes"], by_name["tinet"]["links"]) == (53, 89)
+    assert (by_name["deltacom"]["nodes"], by_name["deltacom"]["links"]) == (113, 161)
+    # The Abovenet origin is (the gateway to) a degree-1 node (Fig 3).
+    assert by_name["abovenet"]["origin_degree"] == 1
+    assert all(r["connected"] for r in rows)

@@ -1,0 +1,199 @@
+"""Fig. 5: the uncapacitated case — Algorithm 1 / greedy vs [3] and [38].
+
+Three panels, as in the paper:
+
+- chunk level (homogeneous 100-MB chunks), routing cost vs cache capacity:
+  Algorithm 1 vs [38] ('shortest path') vs [3] ('k shortest paths', k=10);
+- file level (heterogeneous sizes), cost AND max cache occupancy vs cache
+  capacity: the benchmarks' equal-swap rounding overfills caches (>1);
+- file level, cost vs the number of candidate paths k for [3].
+
+Also reruns the default point on GPR-predicted demand (the paper's dark
+bars) to confirm the ordering survives realistic prediction error.
+"""
+
+from dataclasses import replace
+
+from repro.core import max_cache_occupancy, routing_cost
+from repro.experiments import (
+    MonteCarloConfig,
+    PredictionConfig,
+    ScenarioConfig,
+    aggregate,
+    algorithms as alg,
+    build_scenario,
+    format_sweep,
+    predicted_rates_for_hour,
+    run_monte_carlo,
+)
+from repro.workload import TraceConfig, synthesize_trace, top_videos
+
+MC = MonteCarloConfig(n_runs=3)
+
+
+def _chunk_config(cache: float) -> ScenarioConfig:
+    return ScenarioConfig(
+        level="chunk", cache_capacity=cache, link_capacity_fraction=None
+    )
+
+
+def _file_config(cache: float) -> ScenarioConfig:
+    return ScenarioConfig(
+        level="file", cache_capacity=cache, link_capacity_fraction=None
+    )
+
+
+def test_fig5_chunk_level_cost_vs_cache(benchmark, report):
+    algorithms = {
+        "Alg1": alg.alg1,
+        "SP [38]": alg.sp,
+        "k-SP [3]": alg.ksp(10),
+    }
+
+    def run():
+        rows = []
+        for cache in (6, 12, 18):
+            records = run_monte_carlo(_chunk_config(cache), algorithms, MC)
+            for agg in aggregate(records):
+                rows.append(
+                    {
+                        "cache (chunks)": cache,
+                        "algorithm": agg.algorithm,
+                        "cost": agg.mean_cost,
+                    }
+                )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "fig5_chunk_cost",
+        format_sweep(
+            rows,
+            ["cache (chunks)", "algorithm", "cost"],
+            title="Fig 5 (row 1): chunk level, unlimited links — cost vs cache size",
+        ),
+    )
+    for cache in (6, 12, 18):
+        costs = {r["algorithm"]: r["cost"] for r in rows if r["cache (chunks)"] == cache}
+        assert costs["Alg1"] < costs["SP [38]"]
+        assert costs["Alg1"] < costs["k-SP [3]"]
+
+
+def test_fig5_file_level_cost_and_occupancy(benchmark, report):
+    algorithms = {
+        "greedy": alg.greedy,
+        "SP [38]": alg.sp,
+        "k-SP [3]": alg.ksp(10),
+    }
+
+    def run():
+        rows = []
+        for cache in (1, 2, 3):
+            records = run_monte_carlo(_file_config(cache), algorithms, MC)
+            for agg in aggregate(records):
+                rows.append(
+                    {
+                        "cache (files)": cache,
+                        "algorithm": agg.algorithm,
+                        "cost": agg.mean_cost,
+                        "occupancy": agg.mean_occupancy,
+                    }
+                )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "fig5_file_cost_occupancy",
+        format_sweep(
+            rows,
+            ["cache (files)", "algorithm", "cost", "occupancy"],
+            title="Fig 5 (row 2): file level — cost and max cache occupancy",
+        ),
+    )
+    # Our greedy stays feasible; the benchmarks' equal-swap rounding overfills.
+    for row in rows:
+        if row["algorithm"] == "greedy":
+            assert row["occupancy"] <= 1 + 1e-6
+    assert any(
+        row["occupancy"] > 1.0 for row in rows if row["algorithm"] != "greedy"
+    )
+
+
+def test_fig5_file_level_vs_candidate_paths(benchmark, report):
+    def run():
+        rows = []
+        algorithms = {"greedy": alg.greedy}
+        for k in (2, 10, 20):
+            algorithms[f"k-SP k={k}"] = alg.ksp(k)
+        records = run_monte_carlo(_file_config(2), algorithms, MC)
+        for agg in aggregate(records):
+            rows.append(
+                {
+                    "algorithm": agg.algorithm,
+                    "cost": agg.mean_cost,
+                    "occupancy": agg.mean_occupancy,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "fig5_file_vs_k",
+        format_sweep(
+            rows,
+            ["algorithm", "cost", "occupancy"],
+            title="Fig 5 (row 3): file level — varying #candidate paths for [3]",
+        ),
+    )
+
+
+def test_fig5_predicted_demand(benchmark, report):
+    """Dark bars of Fig 5: same comparison on GPR-predicted demand."""
+
+    def run():
+        trace_config = TraceConfig(seed=0)
+        trace = synthesize_trace(videos=top_videos(10), config=trace_config)
+        predicted = predicted_rates_for_hour(
+            trace, hour=0, prediction=PredictionConfig()
+        )
+        rows = []
+        for seed in range(2):
+            config = replace(_chunk_config(12), seed=seed)
+            scenario = build_scenario(
+                config,
+                trace=trace,
+                trace_config=trace_config,
+                predicted_rates=predicted,
+            )
+            for name, solver in (
+                ("Alg1", alg.alg1),
+                ("SP [38]", alg.sp),
+                ("k-SP [3]", alg.ksp(10)),
+            ):
+                solution = solver(scenario)
+                rows.append(
+                    {
+                        "seed": seed,
+                        "algorithm": name,
+                        "cost_true_demand": routing_cost(
+                            scenario.problem, solution.routing
+                        ),
+                        "occupancy": max_cache_occupancy(
+                            scenario.problem, solution.placement
+                        ),
+                    }
+                )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "fig5_predicted",
+        format_sweep(
+            rows,
+            ["seed", "algorithm", "cost_true_demand", "occupancy"],
+            title="Fig 5 (dark bars): planning on GPR-predicted demand",
+        ),
+    )
+    for seed in (0, 1):
+        costs = {r["algorithm"]: r["cost_true_demand"] for r in rows if r["seed"] == seed}
+        assert costs["Alg1"] < costs["SP [38]"]

@@ -1,0 +1,102 @@
+"""Fig. 7: the general case (limited caches AND links) vs cache capacity.
+
+Compares the paper's alternating optimization with [38] ('SP'), [3] with one
+candidate path ('SP + RNR'), and [3] with k=10 ('k-SP + RNR'), at chunk and
+file level, sweeping the cache size.  Expected shape: the benchmarks congest
+severely (they ignore link capacities); alternating stays near-feasible at
+competitive cost; at file level the benchmarks' placements additionally
+overfill caches (occupancy > 1).
+"""
+
+from repro.experiments import (
+    MonteCarloConfig,
+    ScenarioConfig,
+    aggregate,
+    algorithms as alg,
+    format_sweep,
+    run_monte_carlo,
+)
+
+MC = MonteCarloConfig(n_runs=2)
+
+ALGOS = {
+    "alternating": alg.alternating(mmufp_method="best"),
+    "SP [38]": alg.sp,
+    "SP + RNR [3]": alg.ksp(1),
+    "k-SP + RNR [3]": alg.ksp(10),
+}
+
+
+def test_fig7_chunk_level(benchmark, report):
+    def run():
+        rows = []
+        for cache in (6, 12, 18):
+            config = ScenarioConfig(level="chunk", cache_capacity=cache)
+            records = run_monte_carlo(config, ALGOS, MC)
+            for a in aggregate(records):
+                rows.append(
+                    {
+                        "cache (chunks)": cache,
+                        "algorithm": a.algorithm,
+                        "cost": a.mean_cost,
+                        "congestion": a.mean_congestion,
+                        "occupancy": a.mean_occupancy,
+                    }
+                )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "fig7_chunk",
+        format_sweep(
+            rows,
+            ["cache (chunks)", "algorithm", "cost", "congestion", "occupancy"],
+            title="Fig 7 (chunk level): general case, varying cache capacity",
+        ),
+    )
+    for cache in (6, 12, 18):
+        sub = {r["algorithm"]: r for r in rows if r["cache (chunks)"] == cache}
+        # Benchmarks ignore link capacities -> severe congestion.
+        assert sub["alternating"]["congestion"] < sub["SP [38]"]["congestion"]
+        assert sub["alternating"]["congestion"] < sub["k-SP + RNR [3]"]["congestion"]
+        assert sub["alternating"]["congestion"] < 2.0
+
+
+def test_fig7_file_level(benchmark, report):
+    algos = dict(ALGOS)
+    algos["alternating"] = alg.alternating(mmufp_method="best")
+
+    def run():
+        rows = []
+        for cache in (1, 2, 3):
+            config = ScenarioConfig(level="file", cache_capacity=cache)
+            records = run_monte_carlo(config, algos, MC)
+            for a in aggregate(records):
+                rows.append(
+                    {
+                        "cache (files)": cache,
+                        "algorithm": a.algorithm,
+                        "cost": a.mean_cost,
+                        "congestion": a.mean_congestion,
+                        "occupancy": a.mean_occupancy,
+                    }
+                )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "fig7_file",
+        format_sweep(
+            rows,
+            ["cache (files)", "algorithm", "cost", "congestion", "occupancy"],
+            title="Fig 7 (file level): benchmarks' placements are cache-infeasible",
+        ),
+    )
+    for cache in (1, 2, 3):
+        sub = {r["algorithm"]: r for r in rows if r["cache (files)"] == cache}
+        # Alternating (greedy placement) respects cache capacities...
+        assert sub["alternating"]["occupancy"] <= 1 + 1e-6
+    # ... while at least one benchmark configuration overfills a cache.
+    assert any(
+        r["occupancy"] > 1.0 for r in rows if r["algorithm"] != "alternating"
+    )

@@ -1,0 +1,94 @@
+"""Fig. 8: the general case vs link capacity (kappa sweep).
+
+Same algorithms as Fig. 7; the link capacity kappa runs over multiples of
+the paper's 0.7%-of-total-rate default.  Tighter links widen the congestion
+gap between the alternating optimization (capacity-aware) and the
+benchmarks (capacity-oblivious).
+"""
+
+from repro.experiments import (
+    MonteCarloConfig,
+    ScenarioConfig,
+    aggregate,
+    algorithms as alg,
+    format_sweep,
+    run_monte_carlo,
+)
+
+MC = MonteCarloConfig(n_runs=2)
+
+ALGOS = {
+    "alternating": alg.alternating(mmufp_method="best"),
+    "SP [38]": alg.sp,
+    "SP + RNR [3]": alg.ksp(1),
+    "k-SP + RNR [3]": alg.ksp(10),
+}
+
+
+def test_fig8_chunk_level_vary_link_capacity(benchmark, report):
+    def run():
+        rows = []
+        for fraction in (0.0035, 0.007, 0.014, 0.028):
+            config = ScenarioConfig(level="chunk", link_capacity_fraction=fraction)
+            records = run_monte_carlo(config, ALGOS, MC)
+            for a in aggregate(records):
+                rows.append(
+                    {
+                        "capacity_fraction": fraction,
+                        "algorithm": a.algorithm,
+                        "cost": a.mean_cost,
+                        "congestion": a.mean_congestion,
+                    }
+                )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "fig8_chunk",
+        format_sweep(
+            rows,
+            ["capacity_fraction", "algorithm", "cost", "congestion"],
+            title="Fig 8 (chunk level): general case, varying link capacity",
+        ),
+    )
+    for fraction in (0.0035, 0.007, 0.014, 0.028):
+        sub = {r["algorithm"]: r for r in rows if r["capacity_fraction"] == fraction}
+        assert sub["alternating"]["congestion"] < sub["SP [38]"]["congestion"]
+        assert sub["alternating"]["congestion"] < sub["k-SP + RNR [3]"]["congestion"]
+    # Benchmarks' congestion shrinks as links widen (ratio to capacity).
+    bench = [r for r in rows if r["algorithm"] == "SP [38]"]
+    assert bench[0]["congestion"] > bench[-1]["congestion"]
+
+
+def test_fig8_file_level_vary_link_capacity(benchmark, report):
+    def run():
+        rows = []
+        for fraction in (0.007, 0.028):
+            config = ScenarioConfig(
+                level="file", cache_capacity=2, link_capacity_fraction=fraction
+            )
+            records = run_monte_carlo(config, ALGOS, MC)
+            for a in aggregate(records):
+                rows.append(
+                    {
+                        "capacity_fraction": fraction,
+                        "algorithm": a.algorithm,
+                        "cost": a.mean_cost,
+                        "congestion": a.mean_congestion,
+                        "occupancy": a.mean_occupancy,
+                    }
+                )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "fig8_file",
+        format_sweep(
+            rows,
+            ["capacity_fraction", "algorithm", "cost", "congestion", "occupancy"],
+            title="Fig 8 (file level): varying link capacity",
+        ),
+    )
+    for r in rows:
+        if r["algorithm"] == "alternating":
+            assert r["occupancy"] <= 1 + 1e-6

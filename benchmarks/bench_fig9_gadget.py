@@ -1,0 +1,78 @@
+"""Fig. 9 / Proposition 4.8: the bad Nash equilibrium of alternating optimization.
+
+Reconstructs the paper's 4-node gadget — client s requesting item 1 (rate
+lambda) and item 2 (rate eps), caches v1/v2 of size 1 — and measures the
+ratio between the bad equilibrium's cost (lambda*w + eps^2) and the optimal
+cost (eps*(lambda + w)) as eps shrinks: the approximation ratio of the bad
+NE grows without bound, exactly as Proposition 4.8 states.
+"""
+
+import networkx as nx
+import numpy as np
+
+from repro.core import (
+    Placement,
+    ProblemInstance,
+    mmufp_routing,
+    optimize_placement,
+    pin_full_catalog,
+    routing_cost,
+)
+from repro.experiments import format_sweep
+from repro.graph import CacheNetwork
+
+
+def gadget(lam: float, eps: float, w: float) -> ProblemInstance:
+    g = nx.DiGraph()
+    g.add_edge("vs", "v1", cost=w, capacity=lam)
+    g.add_edge("vs", "v2", cost=w, capacity=lam)
+    g.add_edge("v1", "s", cost=eps, capacity=lam)
+    g.add_edge("v2", "s", cost=w, capacity=lam)
+    net = CacheNetwork(g, {"v1": 1, "v2": 1, "vs": 2})
+    catalog = ("item1", "item2")
+    demand = {("item1", "s"): lam, ("item2", "s"): eps}
+    return ProblemInstance(net, catalog, demand, pinned=pin_full_catalog(catalog, ["vs"]))
+
+
+def test_fig9_unbounded_ratio(benchmark, report):
+    lam, w = 10.0, 5.0
+
+    def run():
+        rows = []
+        rng = np.random.default_rng(0)
+        for eps in (0.1, 0.01, 0.001):
+            prob = gadget(lam, eps, w)
+            bad = Placement({("v2", "item1"): 1.0, ("v1", "item2"): 1.0})
+            bad_routing = mmufp_routing(prob, bad, rng=rng, n_samples=4)
+            bad_cost = routing_cost(prob, bad_routing)
+            good = Placement({("v1", "item1"): 1.0, ("v2", "item2"): 1.0})
+            good_routing = mmufp_routing(prob, good, rng=rng, n_samples=4)
+            good_cost = routing_cost(prob, good_routing)
+            # One alternation round from the bad NE cannot improve it.
+            replacement = optimize_placement(prob, bad_routing)
+            rerouted = mmufp_routing(prob, replacement, rng=rng, n_samples=4)
+            escaped = routing_cost(prob, rerouted) < bad_cost - 1e-9
+            rows.append(
+                {
+                    "eps": eps,
+                    "bad_NE_cost": bad_cost,
+                    "optimal_cost": good_cost,
+                    "ratio": bad_cost / good_cost,
+                    "escaped": escaped,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "fig9_gadget",
+        format_sweep(
+            rows,
+            ["eps", "bad_NE_cost", "optimal_cost", "ratio", "escaped"],
+            title="Prop 4.8 gadget: the bad NE's approximation ratio diverges",
+        ),
+    )
+    ratios = [r["ratio"] for r in rows]
+    assert ratios == sorted(ratios)  # grows as eps -> 0
+    assert ratios[-1] > 100
+    assert not any(r["escaped"] for r in rows)

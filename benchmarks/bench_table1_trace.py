@@ -1,0 +1,40 @@
+"""Table 1: statistics of the (synthetic) YouTube trace.
+
+Regenerates the exact columns of the paper's Table 1 — video id, size (MB),
+#100-MB chunks, total #views over the 100 evaluation hours — from the
+synthetic trace, verifying the generator reproduces the published marginals.
+"""
+
+from repro.experiments import format_sweep
+from repro.workload import TABLE1_VIDEOS, TraceConfig, split_train_eval, synthesize_trace
+
+
+def test_table1_trace_statistics(benchmark, report):
+    def run():
+        config = TraceConfig(seed=0)
+        trace = synthesize_trace(config=config)
+        _train, evaluation = split_train_eval(trace, config)
+        rows = []
+        for video in TABLE1_VIDEOS:
+            rows.append(
+                {
+                    "video_id": video.video_id,
+                    "size_mb": video.size_mb,
+                    "chunks_100mb": video.num_chunks(100.0),
+                    "total_views": evaluation.total_views(video.video_id),
+                    "paper_views": float(video.total_views),
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "table1_trace",
+        format_sweep(
+            rows,
+            ["video_id", "size_mb", "chunks_100mb", "total_views", "paper_views"],
+            title="Table 1: trace statistics (synthetic trace vs paper)",
+        ),
+    )
+    for row in rows:
+        assert abs(row["total_views"] - row["paper_views"]) < 1.0

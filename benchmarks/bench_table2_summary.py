@@ -1,0 +1,115 @@
+"""Table 2: qualitative summary of the chunk-level IC-IR comparison.
+
+Runs all three scenarios of the paper's evaluation at the default setting
+and re-derives the qualitative verdicts of Table 2:
+
+- unlimited links: Alg 1 lowest cost, [3] k-SP highest, [38] in between;
+- binary caches: Alg 2 (large K) <= optimal cost at low congestion, [33]
+  (K=2) moderate, RNR severely congested;
+- general case: alternating ~ IC-FR with low congestion; SP / SP+RNR /
+  k-SP+RNR severely congested.
+"""
+
+from repro.experiments import (
+    MonteCarloConfig,
+    ScenarioConfig,
+    aggregate,
+    algorithms as alg,
+    binary_cache_servers,
+    build_scenario,
+    format_sweep,
+    run_monte_carlo,
+)
+
+MC = MonteCarloConfig(n_runs=3)
+
+
+def test_table2_summary(benchmark, report):
+    def run():
+        rows = []
+
+        unlimited = ScenarioConfig(level="chunk", link_capacity_fraction=None)
+        records = run_monte_carlo(
+            unlimited,
+            {"Alg1": alg.alg1, "k-SP [3]": alg.ksp(10), "SP [38]": alg.sp},
+            MC,
+        )
+        for a in aggregate(records):
+            rows.append(
+                {
+                    "scenario": "unlimited links",
+                    "algorithm": a.algorithm,
+                    "cost": a.mean_cost,
+                    "congestion": float("nan"),
+                }
+            )
+
+        binary = ScenarioConfig(level="chunk", link_capacity_fraction=0.035)
+        servers = binary_cache_servers(build_scenario(binary))
+        records = run_monte_carlo(
+            binary,
+            {
+                "Alg2 K=1000": alg.alg2_binary(servers, 1000),
+                "[33] K=2": alg.alg2_binary(servers, 2),
+                "RNR [3]": alg.rnr_binary(servers),
+                "splittable": alg.splittable_binary(servers),
+            },
+            MC,
+        )
+        for a in aggregate(records):
+            rows.append(
+                {
+                    "scenario": "binary caches",
+                    "algorithm": a.algorithm,
+                    "cost": a.mean_cost,
+                    "congestion": a.mean_congestion,
+                }
+            )
+
+        general = ScenarioConfig(level="chunk")
+        records = run_monte_carlo(
+            general,
+            {
+                "alternating": alg.alternating(mmufp_method="best"),
+                "IC-FR (alt-frac)": alg.alternating(integral_routing=False),
+                "SP [38]": alg.sp,
+                "SP + RNR [3]": alg.ksp(1),
+                "k-SP + RNR [3]": alg.ksp(10),
+            },
+            MC,
+        )
+        for a in aggregate(records):
+            rows.append(
+                {
+                    "scenario": "general",
+                    "algorithm": a.algorithm,
+                    "cost": a.mean_cost,
+                    "congestion": a.mean_congestion,
+                }
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "table2_summary",
+        format_sweep(
+            rows,
+            ["scenario", "algorithm", "cost", "congestion"],
+            title="Table 2: qualitative summary (chunk level, IC-IR)",
+        ),
+    )
+
+    unlimited = {r["algorithm"]: r for r in rows if r["scenario"] == "unlimited links"}
+    assert unlimited["Alg1"]["cost"] < unlimited["SP [38]"]["cost"]
+    assert unlimited["Alg1"]["cost"] < unlimited["k-SP [3]"]["cost"]
+
+    binary = {r["algorithm"]: r for r in rows if r["scenario"] == "binary caches"}
+    assert binary["Alg2 K=1000"]["cost"] <= binary["splittable"]["cost"] * 1.001
+    assert binary["Alg2 K=1000"]["congestion"] <= binary["[33] K=2"]["congestion"] + 1e-9
+    assert binary["RNR [3]"]["congestion"] > 10 * binary["Alg2 K=1000"]["congestion"]
+
+    general = {r["algorithm"]: r for r in rows if r["scenario"] == "general"}
+    ic_fr = general["IC-FR (alt-frac)"]["cost"]
+    assert general["alternating"]["cost"] < 1.5 * ic_fr  # ~ IC-FR
+    for bench in ("SP [38]", "SP + RNR [3]", "k-SP + RNR [3]"):
+        assert general[bench]["congestion"] > 3 * general["alternating"]["congestion"]

@@ -1,0 +1,33 @@
+"""Shared fixtures for the reproduction benchmarks.
+
+Every bench regenerates one table or figure of the paper at laptop scale
+(fewer Monte Carlo runs, same protocol), prints the resulting rows, and
+writes them under ``benchmarks/results/`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    return RESULTS_DIR
+
+
+@pytest.fixture
+def report(results_dir):
+    """Write a text report next to the benches and echo it to stdout."""
+
+    def _report(name: str, text: str) -> None:
+        path = results_dir / f"{name}.txt"
+        path.write_text(text + "\n")
+        print()
+        print(text)
+
+    return _report

@@ -1,0 +1,73 @@
+"""Edge caching with the YouTube-style trace (the paper's Section 6 scenario).
+
+Reconstructs the default evaluation setting — Abovenet topology, top-10
+videos chunked into 100-MB pieces (|C| = 54), edge caches of 12 chunks,
+links at 0.7% of the total request rate — and compares the paper's
+alternating optimization against the benchmarks of [3] and [38], both with
+perfect demand knowledge and with GPR-predicted demand.
+
+Run:  python examples/edge_caching_trace.py          (fast: true demand only)
+      python examples/edge_caching_trace.py --predict (adds GPR prediction)
+"""
+
+import sys
+
+from repro.core import congestion, routing_cost
+from repro.experiments import (
+    PredictionConfig,
+    ScenarioConfig,
+    algorithms as alg,
+    build_scenario,
+    predicted_rates_for_hour,
+)
+from repro.workload import TraceConfig, synthesize_trace, top_videos
+
+
+def main(predict: bool) -> None:
+    trace_config = TraceConfig(seed=0)
+    trace = synthesize_trace(videos=top_videos(10), config=trace_config)
+    predicted = None
+    if predict:
+        print("fitting GPR demand predictors (one per video) ...")
+        predicted = predicted_rates_for_hour(
+            trace, hour=0, prediction=PredictionConfig()
+        )
+
+    scenario = build_scenario(
+        ScenarioConfig(seed=0),
+        trace=trace,
+        trace_config=trace_config,
+        predicted_rates=predicted,
+    )
+    problem = scenario.problem
+    print(
+        f"scenario: {problem} on Abovenet; total demand "
+        f"{sum(problem.demand.values()):,.0f} chunks/hour"
+    )
+    if predicted is not None:
+        for vid, rate in list(predicted.items())[:3]:
+            true_rate = scenario.video_rates[vid]
+            print(f"  {vid}: true {true_rate:,.0f}/h, predicted {rate:,.0f}/h")
+
+    algorithms = {
+        "alternating (ours)": alg.alternating(mmufp_method="best"),
+        "SP [38]": alg.sp,
+        "SP + RNR [3]": alg.ksp(1),
+        "k-SP + RNR [3]": alg.ksp(10),
+    }
+    print(f"\n{'algorithm':<22}{'cost':>16}{'congestion':>14}")
+    print("-" * 52)
+    for name, solver in algorithms.items():
+        solution = solver(scenario)
+        cost = routing_cost(problem, solution.routing)
+        cong = congestion(problem, solution.routing)
+        print(f"{name:<22}{cost:>16,.0f}{cong:>14.2f}")
+    print(
+        "\nExpected shape (paper's Fig 7): the benchmarks overload links by"
+        " an order of magnitude; the alternating optimization stays feasible"
+        " at competitive cost."
+    )
+
+
+if __name__ == "__main__":
+    main(predict="--predict" in sys.argv)

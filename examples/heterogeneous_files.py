@@ -1,0 +1,62 @@
+"""Caching whole video files of heterogeneous sizes (Section 5).
+
+File-level caching keeps the application simple (no chunk reassembly) but
+breaks the equal-swap pipage rounding the state of the art relies on: the
+benchmarks of [3] and [38] produce placements that exceed cache capacities,
+while the paper's greedy algorithm (1/(1+p)-approximation under the
+p-independence constraint, Theorem 5.2) stays feasible.
+
+Run:  python examples/heterogeneous_files.py
+"""
+
+from repro.baselines import candidate_path_baseline, shortest_path_baseline
+from repro.core import (
+    Solution,
+    greedy_rnr_placement,
+    max_cache_occupancy,
+    route_to_nearest_replica,
+    routing_cost,
+)
+from repro.experiments import ScenarioConfig, build_scenario
+
+
+def main() -> None:
+    config = ScenarioConfig(
+        level="file", cache_capacity=2, link_capacity_fraction=None, seed=0
+    )
+    scenario = build_scenario(config)
+    problem = scenario.problem
+    sizes = problem.item_sizes or {}
+    print("catalog (video, size MB):")
+    for item in problem.catalog:
+        print(f"  {item}: {sizes[item]:8.1f}")
+    cache_node = scenario.edge_nodes[0]
+    print(
+        f"\nedge caches hold {problem.network.cache_capacity(cache_node):,.0f} MB"
+        " each (2 average-size files)\n"
+    )
+
+    placement = greedy_rnr_placement(problem)
+    ours = Solution(placement, route_to_nearest_replica(problem, placement))
+    contenders = {
+        "greedy (ours, Thm 5.2)": ours,
+        "SP [38]": shortest_path_baseline(problem),
+        "k-SP + RNR [3]": candidate_path_baseline(problem, k=10),
+    }
+
+    print(f"{'algorithm':<24}{'cost':>18}{'max occupancy':>16}")
+    print("-" * 58)
+    for name, solution in contenders.items():
+        cost = routing_cost(problem, solution.routing)
+        occupancy = max_cache_occupancy(problem, solution.placement)
+        flag = "  <-- infeasible!" if occupancy > 1 + 1e-9 else ""
+        print(f"{name:<24}{cost:>18,.0f}{occupancy:>16.2f}{flag}")
+
+    print(
+        "\nThe benchmarks look cheaper only because their placements overfill"
+        " caches (occupancy > 1), exactly as the paper's Fig. 5 reports."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,84 @@
+"""Quickstart: joint caching and routing on a small ISP network.
+
+Builds the Abilene-like backbone, places an origin server and three edge
+caches, and runs
+
+1. Algorithm 1 (unlimited link capacities, (1 - 1/e)-approximation), and
+2. the alternating optimization for the capacitated general case,
+
+printing the routing cost, congestion, and cache contents of each solution.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro.core import (
+    ProblemInstance,
+    algorithm1,
+    alternating_optimization,
+    check_feasibility,
+    congestion,
+    pin_full_catalog,
+    routing_cost,
+)
+from repro.graph import abilene_like, edge_caching_roles
+
+
+def main() -> None:
+    rng = np.random.default_rng(7)
+    network = abilene_like()
+    origin, edge_nodes = edge_caching_roles(network, num_edge_nodes=3)
+    print(f"network: {network}, origin={origin}, edge caches={edge_nodes}")
+
+    # Paper-style costs: the origin is far away, internal links are cheap.
+    for (u, v) in network.edges:
+        lo, hi = (100, 200) if origin in (u, v) else (1, 20)
+        network.graph.edges[u, v]["cost"] = float(rng.uniform(lo, hi))
+
+    catalog = tuple(f"video-{k}" for k in range(8))
+    demand = {}
+    for rank, item in enumerate(catalog):
+        for s in edge_nodes:
+            demand[(item, s)] = float(rng.uniform(5, 20) / (rank + 1))
+    for v in edge_nodes:
+        network.set_cache_capacity(v, 2)
+
+    problem = ProblemInstance(
+        network=network,
+        catalog=catalog,
+        demand=demand,
+        pinned=pin_full_catalog(catalog, [origin]),
+    )
+
+    # ------------------------------------------------------------------
+    # 1. Unlimited link capacities: Algorithm 1 + route-to-nearest-replica.
+    # ------------------------------------------------------------------
+    result = algorithm1(problem)
+    solution = result.solution
+    print("\n=== Algorithm 1 (unlimited link capacities) ===")
+    print(f"routing cost: {routing_cost(problem, solution.routing):.1f}")
+    for v in edge_nodes:
+        print(f"  cache @ {v}: {sorted(solution.placement.items_at(v))}")
+    print(f"feasible: {check_feasibility(problem, solution).feasible}")
+
+    # ------------------------------------------------------------------
+    # 2. General case: tight links, alternating caching/routing optimization.
+    # ------------------------------------------------------------------
+    network.set_uniform_link_capacity(0.25 * problem.total_demand)
+    alt = alternating_optimization(
+        problem, mmufp_method="best", rng=np.random.default_rng(0)
+    )
+    print("\n=== Alternating optimization (capacitated) ===")
+    print(f"routing cost: {routing_cost(problem, alt.solution.routing):.1f}")
+    print(f"congestion:   {congestion(problem, alt.solution.routing):.3f}")
+    print(f"iterations:   {alt.iterations} (converged: {alt.converged})")
+    for entry in alt.history:
+        print(
+            f"  iter {entry['iteration']}: cost={entry['cost']:.1f} "
+            f"congestion={entry['congestion']:.3f} accepted={entry['accepted']}"
+        )
+
+
+if __name__ == "__main__":
+    main()

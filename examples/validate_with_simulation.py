@@ -1,0 +1,51 @@
+"""Validate optimized solutions with the event-driven simulator.
+
+The paper scores solutions analytically (routing cost + worst
+load-to-capacity ratio).  This example replays two solutions — the
+capacity-aware alternating optimization and the capacity-oblivious
+'SP + RNR' benchmark — at the request level: Poisson arrivals, one serving
+path per request, FIFO links.  The congested benchmark's latency explodes
+and work spills past the horizon, making the paper's "severe congestion"
+verdict operational.
+
+Run:  python examples/validate_with_simulation.py
+"""
+
+from repro.core import congestion
+from repro.experiments import ScenarioConfig, algorithms as alg, build_scenario
+from repro.simulation import SimulationConfig, scale_problem, simulate
+
+
+def main() -> None:
+    scenario = build_scenario(ScenarioConfig(seed=0))
+    problem = scenario.problem
+    # Scale demand and capacities jointly: utilizations are invariant, but
+    # ~2M requests/hour become a simulable ~600 requests over 3 hours.
+    scaled = scale_problem(problem, 1e-3)
+
+    for name, solver in (
+        ("alternating (ours)", alg.alternating(mmufp_method="best")),
+        ("SP + RNR [3]", alg.ksp(1)),
+    ):
+        solution = solver(scenario)
+        analytic = congestion(problem, solution.routing)
+        report = simulate(
+            scaled, solution.routing, SimulationConfig(horizon=3.0, seed=42)
+        )
+        print(f"=== {name} ===")
+        print(f"analytic congestion:       {analytic:10.2f}")
+        print(f"simulated max utilization: {report.max_utilization:10.2f}")
+        print(f"requests delivered:        {report.delivered:10d}")
+        print(f"mean / p95 latency:        {report.mean_latency:10.4f} /"
+              f" {report.p95_latency:.4f} h")
+        print(f"deliveries past horizon:   {report.late_deliveries:10d}")
+        print()
+    print(
+        "The benchmark's overloaded links queue up: latencies grow by orders"
+        " of magnitude and a backlog remains at the horizon, while the"
+        " capacity-aware solution delivers promptly."
+    )
+
+
+if __name__ == "__main__":
+    main()

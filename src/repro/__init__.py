@@ -1,0 +1,76 @@
+"""repro — Joint Caching and Routing in Cache Networks with Arbitrary Topology.
+
+A from-scratch reproduction of Xie, Thakkar, He, McDaniel & Burke
+(ICDCS 2022 / journal version): algorithms with approximation guarantees for
+jointly optimizing content placement and (un)splittable routing in directed
+cache networks, plus the full evaluation substrate (topologies, traces,
+Gaussian-process demand prediction, and the benchmarks of [3], [33], [38]).
+
+Typical entry points:
+
+>>> from repro import ProblemInstance, algorithm1, alternating_optimization
+>>> from repro.experiments import ScenarioConfig, build_scenario
+
+See README.md for a guided tour and DESIGN.md for the paper-to-module map.
+"""
+
+from repro.core import (
+    Placement,
+    ProblemInstance,
+    SolveResult,
+    solve,
+    Routing,
+    Solution,
+    algorithm1,
+    alternating_optimization,
+    check_feasibility,
+    congestion,
+    greedy_rnr_placement,
+    max_cache_occupancy,
+    pin_full_catalog,
+    route_to_nearest_replica,
+    routing_cost,
+    solve_fcfr,
+    solve_msufp,
+)
+from repro.exceptions import (
+    DecompositionError,
+    InfeasibleError,
+    InvalidNetworkError,
+    InvalidProblemError,
+    PredictionError,
+    ReproError,
+    SolverError,
+)
+from repro.graph import CacheNetwork
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "__version__",
+    "CacheNetwork",
+    "ProblemInstance",
+    "Placement",
+    "Routing",
+    "Solution",
+    "pin_full_catalog",
+    "solve",
+    "SolveResult",
+    "algorithm1",
+    "alternating_optimization",
+    "greedy_rnr_placement",
+    "route_to_nearest_replica",
+    "solve_msufp",
+    "solve_fcfr",
+    "routing_cost",
+    "congestion",
+    "max_cache_occupancy",
+    "check_feasibility",
+    "ReproError",
+    "InvalidNetworkError",
+    "InvalidProblemError",
+    "InfeasibleError",
+    "SolverError",
+    "DecompositionError",
+    "PredictionError",
+]

@@ -1,0 +1,25 @@
+"""Benchmark algorithms the paper compares against ([3], [38], [33])."""
+
+from repro.baselines.candidate_paths import (
+    CandidatePathModel,
+    candidate_path_baseline,
+    naive_equal_swap_round,
+    origin_server,
+    shortest_path_baseline,
+)
+from repro.baselines.reactive import (
+    EvictingCache,
+    ReactiveResult,
+    simulate_reactive_caching,
+)
+
+__all__ = [
+    "CandidatePathModel",
+    "candidate_path_baseline",
+    "shortest_path_baseline",
+    "naive_equal_swap_round",
+    "origin_server",
+    "EvictingCache",
+    "ReactiveResult",
+    "simulate_reactive_caching",
+]

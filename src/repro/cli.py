@@ -1,0 +1,306 @@
+"""Command-line interface: run scenarios, traces, online loops, simulations.
+
+Examples
+--------
+python -m repro trace
+python -m repro scenario --level chunk --algorithms alternating,sp,ksp10
+python -m repro scenario --topology tinet --edge-nodes 5 --runs 2
+python -m repro online --hours 6 --algorithm alternating
+python -m repro simulate --scale 1e-4 --horizon 2.0
+python -m repro predict --video dNCWe_6HAM8 --hours 8
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+import numpy as np
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Joint caching and routing in cache networks (ICDCS'22 reproduction)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    trace = sub.add_parser("trace", help="print the Table-1 trace statistics")
+    trace.add_argument("--seed", type=int, default=0)
+
+    scenario = sub.add_parser("scenario", help="compare algorithms on one scenario")
+    _add_scenario_args(scenario)
+    scenario.add_argument(
+        "--algorithms",
+        default="alternating,sp,ksp1,ksp10",
+        help="comma list: alternating, sp, ksp<k>, alg1, greedy, fcfr",
+    )
+    scenario.add_argument("--runs", type=int, default=2)
+
+    online = sub.add_parser("online", help="hourly re-optimization loop")
+    _add_scenario_args(online)
+    online.add_argument("--hours", type=int, default=6)
+    online.add_argument("--algorithm", default="alternating")
+    online.add_argument(
+        "--predict", action="store_true", help="plan on GPR-predicted demand"
+    )
+
+    simulate = sub.add_parser(
+        "simulate", help="event-driven validation of a solved scenario"
+    )
+    _add_scenario_args(simulate)
+    simulate.add_argument("--algorithm", default="alternating")
+    simulate.add_argument("--scale", type=float, default=1e-4,
+                          help="joint demand/capacity scale factor")
+    simulate.add_argument("--horizon", type=float, default=1.0)
+
+    sweep = sub.add_parser("sweep", help="sweep one scenario knob (figure-style)")
+    _add_scenario_args(sweep)
+    sweep.add_argument("--parameter", required=True,
+                       help="one of: cache_capacity, link_capacity_fraction, "
+                            "num_videos, chunk_mb, num_edge_nodes")
+    sweep.add_argument("--values", required=True,
+                       help="comma list of values, e.g. 6,12,18")
+    sweep.add_argument(
+        "--algorithms",
+        default="alternating,sp",
+        help="comma list: alternating, sp, ksp<k>, alg1, greedy, fcfr",
+    )
+    sweep.add_argument("--runs", type=int, default=2)
+
+    predict = sub.add_parser("predict", help="GPR demand prediction demo")
+    predict.add_argument("--video", default="dNCWe_6HAM8")
+    predict.add_argument("--hours", type=int, default=8)
+    predict.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def _add_scenario_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--topology", default="abovenet",
+                        choices=("abovenet", "abvt", "tinet", "deltacom"))
+    parser.add_argument("--level", default="chunk", choices=("chunk", "file"))
+    parser.add_argument("--videos", type=int, default=10)
+    parser.add_argument("--cache", type=float, default=None,
+                        help="cache size (chunks / avg-size files); default 12 / 2")
+    parser.add_argument("--link-fraction", type=float, default=0.007,
+                        help="link capacity as a fraction of total rate; 0 = unlimited")
+    parser.add_argument("--edge-nodes", type=int, default=None)
+    parser.add_argument("--seed", type=int, default=0)
+
+
+def _scenario_config(args: argparse.Namespace):
+    from repro.experiments import ScenarioConfig
+
+    cache = args.cache
+    if cache is None:
+        cache = 12.0 if args.level == "chunk" else 2.0
+    fraction = None if not args.link_fraction else args.link_fraction
+    return ScenarioConfig(
+        topology=args.topology,
+        level=args.level,
+        num_videos=args.videos,
+        cache_capacity=cache,
+        link_capacity_fraction=fraction,
+        num_edge_nodes=args.edge_nodes,
+        seed=args.seed,
+    )
+
+
+def _resolve_algorithm(name: str):
+    from repro.experiments import algorithms as alg
+
+    name = name.strip().lower()
+    if name == "alternating":
+        return alg.alternating(mmufp_method="best")
+    if name == "sp":
+        return alg.sp
+    if name == "alg1":
+        return alg.alg1
+    if name == "greedy":
+        return alg.greedy
+    if name == "fcfr":
+        return alg.fcfr
+    if name.startswith("ksp"):
+        return alg.ksp(int(name[3:] or 10))
+    raise SystemExit(f"unknown algorithm {name!r}")
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro.experiments import format_sweep
+    from repro.workload import TABLE1_VIDEOS, TraceConfig, split_train_eval, synthesize_trace
+
+    config = TraceConfig(seed=args.seed)
+    trace = synthesize_trace(config=config)
+    _train, evaluation = split_train_eval(trace, config)
+    rows = [
+        {
+            "video_id": v.video_id,
+            "size_mb": v.size_mb,
+            "chunks": v.num_chunks(),
+            "total_views": evaluation.total_views(v.video_id),
+        }
+        for v in TABLE1_VIDEOS
+    ]
+    print(format_sweep(rows, ["video_id", "size_mb", "chunks", "total_views"],
+                       title="Table 1 (synthetic trace)"))
+    return 0
+
+
+def _cmd_scenario(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        MonteCarloConfig,
+        aggregate,
+        format_aggregates,
+        run_monte_carlo,
+    )
+
+    config = _scenario_config(args)
+    algorithms = {
+        name.strip(): _resolve_algorithm(name)
+        for name in args.algorithms.split(",")
+        if name.strip()
+    }
+    records = run_monte_carlo(config, algorithms, MonteCarloConfig(n_runs=args.runs))
+    print(
+        format_aggregates(
+            aggregate(records),
+            title=f"{config.topology} / {config.level} level / {args.runs} runs",
+        )
+    )
+    return 0
+
+
+def _cmd_online(args: argparse.Namespace) -> int:
+    from repro.experiments import PredictionConfig, format_sweep
+    from repro.experiments.online import run_online
+
+    config = _scenario_config(args)
+    prediction = PredictionConfig() if args.predict else None
+    result = run_online(
+        config,
+        _resolve_algorithm(args.algorithm),
+        name=args.algorithm,
+        hours=args.hours,
+        prediction=prediction,
+    )
+    rows = [
+        {
+            "hour": h.hour,
+            "cost": h.cost,
+            "congestion": h.congestion,
+            "planned_rate": h.predicted_total_rate,
+            "true_rate": h.true_total_rate,
+        }
+        for h in result.hours
+    ]
+    print(
+        format_sweep(
+            rows,
+            ["hour", "cost", "congestion", "planned_rate", "true_rate"],
+            title=f"online {args.algorithm} over {args.hours}h "
+            f"({'GPR-predicted' if args.predict else 'oracle'} demand)",
+        )
+    )
+    print(f"\ntotal cost {result.total_cost:,.0f}, "
+          f"worst congestion {result.worst_congestion:.3f}, "
+          f"failures {result.failures}")
+    return 0
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    from repro.experiments import build_scenario
+    from repro.simulation import SimulationConfig, scale_problem, simulate
+
+    config = _scenario_config(args)
+    scenario = build_scenario(config)
+    solution = _resolve_algorithm(args.algorithm)(scenario)
+    problem = scale_problem(scenario.problem, args.scale)
+    report = simulate(
+        problem, solution.routing, SimulationConfig(horizon=args.horizon, seed=args.seed)
+    )
+    print(f"requests generated/delivered: {report.generated}/{report.delivered}")
+    print(f"mean latency: {report.mean_latency:.4f}  p95: {report.p95_latency:.4f}")
+    print(f"max link utilization: {report.max_utilization:.3f}")
+    print(f"late deliveries (backlog): {report.late_deliveries}")
+    worst = sorted(
+        report.utilization.items(), key=lambda kv: -kv[1]
+    )[:5]
+    for edge, util in worst:
+        print(f"  {edge}: utilization {util:.3f}")
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from repro.experiments import (
+        MonteCarloConfig,
+        format_sweep,
+        sweep_parameter,
+    )
+
+    config = _scenario_config(args)
+    algorithms = {
+        name.strip(): _resolve_algorithm(name)
+        for name in args.algorithms.split(",")
+        if name.strip()
+    }
+    values = []
+    for token in args.values.split(","):
+        token = token.strip()
+        values.append(int(token) if token.isdigit() else float(token))
+    rows = sweep_parameter(
+        config,
+        args.parameter,
+        values,
+        algorithms,
+        MonteCarloConfig(n_runs=args.runs),
+    )
+    print(
+        format_sweep(
+            rows,
+            [args.parameter, "algorithm", "cost", "congestion", "occupancy"],
+            title=f"sweep {args.parameter} on {config.topology} ({args.runs} runs)",
+        )
+    )
+    return 0
+
+
+def _cmd_predict(args: argparse.Namespace) -> int:
+    from repro.prediction import DemandPredictor
+    from repro.workload import TraceConfig, synthesize_trace
+
+    config = TraceConfig(seed=args.seed)
+    trace = synthesize_trace(config=config)
+    series = trace.series(args.video)
+    predictor = DemandPredictor(
+        train_hours=config.train_hours, history_window=150, n_restarts=0
+    )
+    predicted = predictor.predict_series(series, eval_hours=args.hours)
+    truth = series[config.train_hours : config.train_hours + args.hours]
+    print(f"{'hour':>6}{'truth':>14}{'predicted':>14}{'rel err':>10}")
+    for h in range(args.hours):
+        rel = abs(predicted[h] - truth[h]) / truth[h]
+        print(f"{h:>6}{truth[h]:>14,.0f}{predicted[h]:>14,.0f}{rel:>10.1%}")
+    mape = float(np.mean(np.abs(predicted - truth) / truth))
+    print(f"\nMAPE over {args.hours}h: {mape:.1%}")
+    return 0
+
+
+_COMMANDS = {
+    "trace": _cmd_trace,
+    "scenario": _cmd_scenario,
+    "online": _cmd_online,
+    "simulate": _cmd_simulate,
+    "sweep": _cmd_sweep,
+    "predict": _cmd_predict,
+}
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    return _COMMANDS[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,183 @@
+"""Algorithm 1: integral caching and source selection under RNR (Section 4.1).
+
+For networks with unlimited link capacities, the optimal routing given a
+placement is route-to-nearest-replica, so the problem reduces to placing
+content.  Algorithm 1 achieves a (1 - 1/e)-approximation in truly polynomial
+time:
+
+1. compute all-pairs least costs ``w_{v->s}`` and the bound ``w_max``;
+2. solve the auxiliary LP (7), whose objective is the concave surrogate
+   ``L_RNR`` of the cost saving ``F_RNR`` (Lemma 4.2);
+3. pipage-round the fractional placement (equations (8)-(9), Lemma 4.3);
+4. serve every request from its nearest replica.
+
+Implementation notes: request sources are restricted to *eligible* nodes —
+cache-capable nodes and pinned holders that can reach the requester — because
+every other node is provably unused by an optimal LP solution; this shrinks
+the LP without changing its optimum (only by an additive constant in the
+objective, which is reported as ``constant`` for bound checking).
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass
+
+from repro.core.pipage import pipage_round
+from repro.core.problem import Item, Node, ProblemInstance
+from repro.core.rnr import ShortestPathCache, route_to_nearest_replica
+from repro.core.solution import Placement, Solution
+from repro.core.submodular import local_search_swap
+from repro.exceptions import InfeasibleError
+from repro.flow.lp import LPBuilder
+
+logger = logging.getLogger(__name__)
+
+
+@dataclass
+class Algorithm1Result:
+    """Output of Algorithm 1 plus the quantities needed for its guarantee."""
+
+    solution: Solution
+    #: Optimal value of the auxiliary LP (7) over eligible sources.
+    lp_objective: float
+    #: Constant ``sum_r lambda_r * n_eligible(r) * w_max``; the LP objective
+    #: equals ``constant - C_RNR`` at integral points, so
+    #: ``constant - lp_objective`` lower-bounds no cost, and the chain of
+    #: Theorem 4.4 gives ``constant - cost >= (1-1/e)(constant - cost_opt)``.
+    constant: float
+    w_max: float
+    fractional_placement: dict[tuple[Node, Item], float]
+
+
+def algorithm1(problem: ProblemInstance, *, polish: bool = True) -> Algorithm1Result:
+    """Run Algorithm 1 on an instance with (assumed) unlimited link capacities.
+
+    Link capacities are ignored by design — the paper's premise is the
+    lightly-loaded regime.  Raises :class:`InfeasibleError` when some request
+    has no eligible source at all (no pinned holder or cache node reaches it).
+
+    ``polish=True`` follows pipage rounding with a 1-swap local search on the
+    true objective (:func:`~repro.core.submodular.local_search_swap`).  The
+    LP (7) has many degenerate optima whose rounded solutions lack cross-node
+    coordination; the polish recovers it while only ever increasing F_RNR,
+    so Theorem 4.4's (1 - 1/e) guarantee is preserved.
+    """
+    sp = ShortestPathCache(problem)
+    cache_nodes = [
+        v for v in problem.network.cache_nodes() if problem.network.cache_capacity(v) > 0
+    ]
+    requested_items = sorted({i for (i, _s) in problem.demand}, key=repr)
+
+    # w_max: upper bound over pairwise least costs (computed from candidate
+    # sources, which are the only nodes whose costs enter the objective).
+    w_max = 1.0
+    candidate_sources = set(cache_nodes)
+    for item in requested_items:
+        candidate_sources |= problem.pinned_holders(item)
+    for v in candidate_sources:
+        dist, _ = sp.from_node(v)
+        if dist:
+            w_max = max(w_max, max(dist.values()))
+
+    lp = LPBuilder(sense="max")
+    for v in cache_nodes:
+        for i in requested_items:
+            if (v, i) not in problem.pinned:
+                lp.add_variable(("x", v, i), lb=0.0, ub=1.0)
+
+    eligible: dict[tuple[Item, Node], list[Node]] = {}
+    constant = 0.0
+    for (item, s), rate in problem.demand.items():
+        sources = []
+        for v in set(cache_nodes) | problem.pinned_holders(item):
+            if sp.distance(v, s) < float("inf"):
+                sources.append(v)
+        if not sources:
+            raise InfeasibleError(f"request {(item, s)!r} has no eligible source")
+        sources.sort(key=repr)
+        eligible[(item, s)] = sources
+        constant += rate * len(sources) * w_max
+        for v in sources:
+            r_key = ("r", v, item, s)
+            z_key = ("z", v, item, s)
+            lp.add_variable(r_key, lb=0.0, ub=1.0)
+            lp.add_variable(z_key, lb=0.0, ub=1.0)
+            lp.add_objective_terms({z_key: rate * w_max})
+            coef = (w_max - sp.distance(v, s)) / w_max
+            if (v, item) in problem.pinned:
+                # x_vi == 1 permanently: z <= 1 - r + coef.
+                lp.add_le({z_key: 1.0, r_key: 1.0}, 1.0 + coef)
+            elif lp.has_variable(("x", v, item)):
+                lp.add_le(
+                    {z_key: 1.0, r_key: 1.0, ("x", v, item): -coef}, 1.0
+                )
+            else:
+                lp.add_le({z_key: 1.0, r_key: 1.0}, 1.0)
+        lp.add_eq({("r", v, item, s): 1.0 for v in sources}, 1.0)
+
+    for v in cache_nodes:
+        coeffs = {
+            ("x", v, i): 1.0
+            for i in requested_items
+            if lp.has_variable(("x", v, i))
+        }
+        if coeffs:
+            lp.add_le(coeffs, problem.network.cache_capacity(v))
+
+    logger.debug(
+        "Algorithm 1 LP: %d variables, %d constraints", lp.num_variables,
+        lp.num_constraints,
+    )
+    lp_solution = lp.solve()
+
+    fractional = {
+        (v, i): lp_solution[("x", v, i)]
+        for v in cache_nodes
+        for i in requested_items
+        if lp.has_variable(("x", v, i)) and lp_solution[("x", v, i)] > 1e-9
+    }
+
+    # Re-optimize the source selection for the fractional placement before
+    # deriving pipage weights: the LP has many degenerate optima that spread
+    # r thinly across near-equivalent sources, which would wash out the
+    # popularity signal the rounding needs.  For fixed x, F_RNR is maximized
+    # by concentrating each request on the source minimizing its expected
+    # cost x*w + (1-x)*w_max, so this substitution can only increase
+    # F_RNR(x~, r) and keeps the Theorem 4.4 chain intact.
+    r_hat: dict[tuple[Item, Node], Node] = {}
+    for (item, s) in problem.demand:
+        best_v, best_cost = None, float("inf")
+        for v in eligible[(item, s)]:
+            if (v, item) in problem.pinned:
+                x_value = 1.0
+            else:
+                x_value = fractional.get((v, item), 0.0)
+            w = sp.distance(v, s)
+            expected = x_value * w + (1.0 - x_value) * w_max
+            if expected < best_cost:
+                best_v, best_cost = v, expected
+        r_hat[(item, s)] = best_v
+
+    # Pipage weights (equation (23)): A_vi = sum_s lambda r (w_max - w_{v->s}).
+    weights: dict[tuple[Node, Item], float] = {}
+    for (item, s), rate in problem.demand.items():
+        v = r_hat[(item, s)]
+        key = (v, item)
+        weights[key] = weights.get(key, 0.0) + rate * (w_max - sp.distance(v, s))
+
+    capacities = {v: problem.network.cache_capacity(v) for v in cache_nodes}
+    rounded = pipage_round(
+        fractional, capacities, lambda v, i, _x: weights.get((v, i), 0.0)
+    )
+    placement = Placement(rounded)
+    if polish:
+        placement = local_search_swap(problem, placement, sp_cache=sp, max_sweeps=12)
+    routing = route_to_nearest_replica(problem, placement, sp_cache=sp)
+    return Algorithm1Result(
+        solution=Solution(placement, routing),
+        lp_objective=lp_solution.objective,
+        constant=constant,
+        w_max=w_max,
+        fractional_placement=fractional,
+    )

@@ -1,0 +1,90 @@
+"""The complexity taxonomy of Section 3 (Fig. 1), as queryable metadata.
+
+Machine-readable record of which regime of optimization (1) is
+polynomial-time solvable and why the others are NP-hard, so tooling (and
+tests) can assert the dispatch in :mod:`repro.core.api` matches the paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.exceptions import InvalidProblemError
+
+
+@dataclass(frozen=True)
+class RegimeComplexity:
+    """Complexity verdict for one caching/routing regime."""
+
+    regime: str
+    caching: str
+    routing: str
+    complexity: str  # "P" or "NP-hard"
+    reduction: str
+    polynomial_solver: str | None
+
+
+_TAXONOMY = {
+    ("fractional", "fractional"): RegimeComplexity(
+        regime="FC-FR",
+        caching="fractional",
+        routing="fractional",
+        complexity="P",
+        reduction="optimization (1) becomes a linear program",
+        polynomial_solver="repro.core.fcfr.solve_fcfr",
+    ),
+    ("integral", "fractional"): RegimeComplexity(
+        regime="IC-FR",
+        caching="integral",
+        routing="fractional",
+        complexity="NP-hard",
+        reduction=(
+            "with uncapacitated links (1) reduces to MinCost-SR [3], itself "
+            "reduced from the 2-Disjoint Set Cover problem"
+        ),
+        polynomial_solver=None,
+    ),
+    ("integral", "integral"): RegimeComplexity(
+        regime="IC-IR",
+        caching="integral",
+        routing="integral",
+        complexity="NP-hard",
+        reduction=(
+            "even with the optimal placement fixed, the residual routing is "
+            "the minimum-cost unsplittable flow problem (Kleinberg [25])"
+        ),
+        polynomial_solver=None,
+    ),
+    ("fractional", "integral"): RegimeComplexity(
+        regime="FC-IR",
+        caching="fractional",
+        routing="integral",
+        complexity="NP-hard",
+        reduction=(
+            "integral routing forces integral source selection, so an "
+            "optimal FC-IR solution is feasible for IC-IR (Section 2.4); "
+            "the regimes coincide"
+        ),
+        polynomial_solver=None,
+    ),
+}
+
+
+def regime_complexity(caching: str, routing: str) -> RegimeComplexity:
+    """Complexity of the regime selected by the two variable modes."""
+    key = (caching, routing)
+    if key not in _TAXONOMY:
+        raise InvalidProblemError(
+            "caching and routing must each be 'integral' or 'fractional'"
+        )
+    return _TAXONOMY[key]
+
+
+def all_regimes() -> list[RegimeComplexity]:
+    """All four regimes, in the paper's order (Fig. 1)."""
+    return [
+        _TAXONOMY[("fractional", "fractional")],
+        _TAXONOMY[("integral", "fractional")],
+        _TAXONOMY[("integral", "integral")],
+        _TAXONOMY[("fractional", "integral")],
+    ]

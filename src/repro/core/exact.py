@@ -1,0 +1,169 @@
+"""Exact IC-IR reference solver (exhaustive, tiny instances only).
+
+Optimization (1) under IC-IR is NP-hard (Section 3), but on toy instances it
+can be solved exactly by enumerating every integral placement within cache
+capacities and, per placement, assigning each request a single serving path
+by branch-and-bound under the link-capacity constraints.  The approximation
+algorithms are validated against this optimum in the property tests
+(``tests/core/test_exact.py`` and the integration suite).
+
+Never call this on realistic instances — the search space is exponential
+and deliberately guarded by hard limits.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from collections.abc import Hashable
+from dataclasses import dataclass
+
+import networkx as nx
+
+from repro.core.evaluation import path_cost
+from repro.core.problem import ProblemInstance
+from repro.core.solution import Placement, Routing, Solution
+from repro.exceptions import InfeasibleError, InvalidProblemError
+from repro.flow.decomposition import PathFlow
+
+Node = Hashable
+
+
+@dataclass
+class ExactResult:
+    """The optimum and how much work finding it took."""
+
+    solution: Solution
+    cost: float
+    placements_tried: int
+
+
+def _placement_options(problem: ProblemInstance) -> list[tuple[Node, list[tuple]]]:
+    options = []
+    for v in problem.network.cache_nodes():
+        capacity = problem.network.cache_capacity(v)
+        items = [i for i in problem.catalog if (v, i) not in problem.pinned]
+        combos = [()]
+        for r in range(1, len(items) + 1):
+            for combo in itertools.combinations(items, r):
+                if sum(problem.size_of(i) for i in combo) <= capacity + 1e-9:
+                    combos.append(combo)
+        options.append((v, combos))
+    return options
+
+
+def _request_options(
+    problem: ProblemInstance,
+    placement: Placement,
+    max_paths_per_request: int,
+) -> dict[tuple, list[tuple[float, tuple[Node, ...]]]]:
+    graph = problem.network.graph
+    out: dict[tuple, list[tuple[float, tuple[Node, ...]]]] = {}
+    for (item, s), _rate in problem.demand.items():
+        holders = set(placement.holders(item)) | problem.pinned_holders(item)
+        options: list[tuple[float, tuple[Node, ...]]] = []
+        for holder in sorted(holders, key=repr):
+            if holder == s:
+                options.append((0.0, (s,)))
+                continue
+            for path in nx.all_simple_paths(graph, holder, s):
+                options.append((path_cost(problem.network, tuple(path)), tuple(path)))
+        options.sort(key=lambda pair: (pair[0], pair[1]))
+        if not options:
+            raise InfeasibleError(f"request {(item, s)!r} has no serving path")
+        out[(item, s)] = options[:max_paths_per_request]
+    return out
+
+
+def exact_icir(
+    problem: ProblemInstance,
+    *,
+    max_placements: int = 100_000,
+    max_paths_per_request: int = 64,
+) -> ExactResult:
+    """Exhaustively solve IC-IR.  Raises when the instance is too large."""
+    options = _placement_options(problem)
+    total_placements = 1
+    for _, combos in options:
+        total_placements *= len(combos)
+    if total_placements > max_placements:
+        raise InvalidProblemError(
+            f"{total_placements} placements exceed max_placements={max_placements}"
+        )
+
+    best_cost = math.inf
+    best: Solution | None = None
+    tried = 0
+    for assignment in itertools.product(*(combos for _, combos in options)):
+        tried += 1
+        placement = Placement()
+        for (v, _), combo in zip(options, assignment):
+            for item in combo:
+                placement[(v, item)] = 1.0
+        try:
+            request_options = _request_options(
+                problem, placement, max_paths_per_request
+            )
+        except InfeasibleError:
+            continue
+        routing_cost_value, routing = _assign_paths(
+            problem, request_options, best_cost
+        )
+        if routing is not None and routing_cost_value < best_cost:
+            best_cost = routing_cost_value
+            best = Solution(placement.copy(), routing)
+    if best is None:
+        raise InfeasibleError("no feasible IC-IR solution exists")
+    return ExactResult(solution=best, cost=best_cost, placements_tried=tried)
+
+
+def _assign_paths(
+    problem: ProblemInstance,
+    request_options: dict[tuple, list[tuple[float, tuple[Node, ...]]]],
+    incumbent: float,
+) -> tuple[float, Routing | None]:
+    """Branch-and-bound single-path assignment under link capacities."""
+    requests = sorted(
+        request_options, key=lambda r: (len(request_options[r]), repr(r))
+    )
+    rates = {r: problem.demand[r] for r in requests}
+    # Lower bound on remaining cost: each request's cheapest option.
+    cheapest = {
+        r: rates[r] * request_options[r][0][0] for r in requests
+    }
+    suffix_bound = [0.0] * (len(requests) + 1)
+    for k in range(len(requests) - 1, -1, -1):
+        suffix_bound[k] = suffix_bound[k + 1] + cheapest[requests[k]]
+
+    residual = dict(problem.network.capacities())
+    chosen: dict[tuple, tuple[Node, ...]] = {}
+    best = {"cost": incumbent, "paths": None}
+
+    def recurse(index: int, cost_so_far: float) -> None:
+        if cost_so_far + suffix_bound[index] >= best["cost"] - 1e-12:
+            return
+        if index == len(requests):
+            best["cost"] = cost_so_far
+            best["paths"] = dict(chosen)
+            return
+        request = requests[index]
+        rate = rates[request]
+        for option_cost, path in request_options[request]:
+            edges = list(zip(path[:-1], path[1:]))
+            if any(residual[e] < rate - 1e-9 for e in edges):
+                continue
+            for e in edges:
+                residual[e] -= rate
+            chosen[request] = path
+            recurse(index + 1, cost_so_far + rate * option_cost)
+            for e in edges:
+                residual[e] += rate
+            del chosen[request]
+
+    recurse(0, 0.0)
+    if best["paths"] is None:
+        return math.inf, None
+    routing = Routing(
+        {r: [PathFlow(path=p, amount=1.0)] for r, p in best["paths"].items()}
+    )
+    return best["cost"], routing

@@ -1,0 +1,138 @@
+"""Exact LP solution of the FC-FR case (fractional caching + fractional routing).
+
+With both constraint families (1g)-(1h) relaxed to ``[0, 1]``, optimization
+(1) is a plain linear program (Section 3) and its optimum lower-bounds every
+other regime (IC-FR and IC-IR).  The solver below builds (1a)-(1f) directly:
+
+- ``x_{vi}`` for cache-capable nodes (pinned copies are constants 1),
+- ``r_v^{(i,s)}`` for eligible sources (cache nodes and pinned holders),
+- ``f_{uv}^{(i,s)}`` per request and link,
+
+and decomposes the optimal per-request flows into serving paths so the
+result is a regular (fractional) :class:`~repro.core.solution.Solution`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+from dataclasses import dataclass
+
+from repro.core.problem import ProblemInstance
+from repro.core.solution import Placement, Routing, Solution
+from repro.exceptions import InfeasibleError
+from repro.flow.decomposition import PathFlow, decompose_single_source_flow
+from repro.flow.lp import LPBuilder
+
+Node = Hashable
+
+_EPS = 1e-9
+
+#: Virtual node used when decomposing a request's multi-source flow.
+_VIRTUAL = ("__fcfr_source__",)
+
+
+@dataclass
+class FCFRResult:
+    """Optimal fractional solution and its (lower-bound) routing cost."""
+
+    solution: Solution
+    cost: float
+
+
+def solve_fcfr(problem: ProblemInstance) -> FCFRResult:
+    """Solve FC-FR exactly.  Raises :class:`InfeasibleError` when (1) is."""
+    network = problem.network
+    graph = network.graph
+    edges = list(graph.edges)
+    cache_nodes = [v for v in network.cache_nodes() if network.cache_capacity(v) > 0]
+    requests = problem.requests
+
+    lp = LPBuilder(sense="min")
+    for v in cache_nodes:
+        for i in problem.catalog:
+            if (v, i) not in problem.pinned:
+                lp.add_variable(("x", v, i), lb=0.0, ub=1.0)
+    eligible: dict = {}
+    for (item, s) in requests:
+        sources = sorted(set(cache_nodes) | problem.pinned_holders(item), key=repr)
+        if not sources:
+            raise InfeasibleError(f"request {(item, s)!r} has no possible source")
+        eligible[(item, s)] = sources
+        for v in sources:
+            lp.add_variable(("r", v, item, s), lb=0.0, ub=1.0)
+        for (u, v) in edges:
+            lp.add_variable(("f", item, s, u, v), lb=0.0, ub=1.0)
+
+    # (1b) link capacities.
+    for (u, v) in edges:
+        cap = network.capacity(u, v)
+        lp.add_le(
+            {
+                ("f", item, s, u, v): problem.demand[(item, s)]
+                for (item, s) in requests
+            },
+            cap,
+        )
+    # (1c) flow conservation; (1d) full service; (1e) r <= x.
+    for (item, s) in requests:
+        sources = set(eligible[(item, s)])
+        for node in graph.nodes:
+            coeffs: dict = {}
+            for _, w in graph.out_edges(node):
+                key = ("f", item, s, node, w)
+                coeffs[key] = coeffs.get(key, 0.0) + 1.0
+            for w, _ in graph.in_edges(node):
+                key = ("f", item, s, w, node)
+                coeffs[key] = coeffs.get(key, 0.0) - 1.0
+            rhs = -1.0 if node == s else 0.0
+            if node in sources:
+                coeffs[("r", node, item, s)] = -1.0
+            lp.add_eq(coeffs, rhs)
+        lp.add_eq({("r", v, item, s): 1.0 for v in eligible[(item, s)]}, 1.0)
+        for v in eligible[(item, s)]:
+            if (v, item) in problem.pinned:
+                continue  # r <= 1 already enforced by the bound.
+            lp.add_le({("r", v, item, s): 1.0, ("x", v, item): -1.0}, 0.0)
+    # (1f) cache capacities (with sizes in the heterogeneous model).
+    for v in cache_nodes:
+        coeffs = {
+            ("x", v, i): problem.size_of(i)
+            for i in problem.catalog
+            if lp.has_variable(("x", v, i))
+        }
+        if coeffs:
+            lp.add_le(coeffs, network.cache_capacity(v))
+    # (1a) objective.
+    for (item, s) in requests:
+        rate = problem.demand[(item, s)]
+        for (u, v) in edges:
+            lp.add_objective_terms(
+                {("f", item, s, u, v): rate * network.cost(u, v)}
+            )
+
+    lp_solution = lp.solve()
+
+    placement = Placement()
+    for v in cache_nodes:
+        for i in problem.catalog:
+            if lp.has_variable(("x", v, i)):
+                value = lp_solution[("x", v, i)]
+                if value > _EPS:
+                    placement[(v, i)] = min(1.0, value)
+
+    routing = Routing()
+    for (item, s) in requests:
+        flow: dict = {}
+        for (u, v) in edges:
+            value = lp_solution[("f", item, s, u, v)]
+            if value > _EPS:
+                flow[(u, v)] = value
+        for v in eligible[(item, s)]:
+            r_value = lp_solution[("r", v, item, s)]
+            if r_value > _EPS:
+                flow[(_VIRTUAL, v)] = flow.get((_VIRTUAL, v), 0.0) + r_value
+        per_sink = decompose_single_source_flow(flow, _VIRTUAL, {s: 1.0})
+        routing.paths[(item, s)] = [
+            PathFlow(path=pf.path[1:], amount=pf.amount) for pf in per_sink[s]
+        ]
+    return FCFRResult(solution=Solution(placement, routing), cost=lp_solution.objective)

@@ -1,0 +1,112 @@
+"""Pipage rounding for content placement (equations (8)-(9), Lemma 4.3).
+
+Given a fractional placement that satisfies per-node cache capacities, the
+rounding repeatedly takes two fractional items ``i, j`` cached at the same
+node ``v`` and shifts mass between ``x_vi`` and ``x_vj`` (keeping the sum
+fixed) toward the item with the larger linear objective coefficient, until
+at most one fractional variable remains per node; a leftover singleton is
+rounded up (always capacity-safe for integer capacities, see Lemma 4.3's
+proof).  Because the relevant objectives are linear in any pair of same-node
+variables, the objective never decreases.
+
+The linear coefficient is supplied by a callback so the same routine serves
+Algorithm 1 (weights fixed by the fractional source selection) and the
+general-case placement step of Section 4.3.1 (weights depending on the
+current, partially rounded placement).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Hashable, Mapping
+
+from repro.exceptions import InvalidProblemError
+
+Node = Hashable
+Item = Hashable
+Key = tuple[Node, Item]
+
+_TOL = 1e-7
+
+WeightFn = Callable[[Node, Item, Mapping[Key, float]], float]
+
+
+def pipage_round(
+    fractional: Mapping[Key, float],
+    capacities: Mapping[Node, float],
+    weight_fn: WeightFn,
+) -> dict[Key, float]:
+    """Round a fractional placement to an integral one, node by node.
+
+    Parameters
+    ----------
+    fractional:
+        Map ``(node, item) -> x`` with ``0 <= x <= 1`` and, per node,
+        ``sum_i x <= capacities[node]``.
+    capacities:
+        Optimizable cache capacity per node (integers in the homogeneous
+        model; rounding requires them to be integral).
+    weight_fn:
+        ``weight_fn(v, i, x)`` returns the coefficient of ``x_vi`` in the
+        objective, holding every other entry of ``x`` fixed.
+
+    Returns
+    -------
+    dict with every value in {0.0, 1.0} (zero entries dropped).
+    """
+    x: dict[Key, float] = {}
+    by_node: dict[Node, list[Item]] = {}
+    for (v, i), value in fractional.items():
+        if value < -_TOL or value > 1 + _TOL:
+            raise InvalidProblemError(f"x[{(v, i)!r}] = {value} out of [0, 1]")
+        value = min(1.0, max(0.0, value))
+        if value <= _TOL:
+            continue
+        x[(v, i)] = value
+        by_node.setdefault(v, []).append(i)
+
+    for v in sorted(by_node, key=repr):
+        cap = capacities.get(v, 0.0)
+        if abs(cap - round(cap)) > _TOL:
+            raise InvalidProblemError(
+                f"pipage rounding needs integer capacity at {v!r}, got {cap}"
+            )
+        items = sorted(by_node[v], key=repr)
+        while True:
+            fractional_items = [
+                i for i in items if _TOL < x.get((v, i), 0.0) < 1 - _TOL
+            ]
+            if len(fractional_items) >= 2:
+                i, j = fractional_items[0], fractional_items[1]
+                xi, xj = x[(v, i)], x[(v, j)]
+                total = xi + xj
+                if weight_fn(v, i, x) >= weight_fn(v, j, x):
+                    new_i = min(1.0, total)
+                    new_j = total - new_i
+                else:
+                    new_j = min(1.0, total)
+                    new_i = total - new_j
+                _assign(x, (v, i), new_i)
+                _assign(x, (v, j), new_j)
+                continue
+            if len(fractional_items) == 1:
+                # Rounding the lone fractional variable up keeps the integer
+                # part of the node's total within the (integer) capacity and
+                # can only increase a monotone objective.
+                _assign(x, (v, fractional_items[0]), 1.0)
+                continue
+            break
+        used = sum(x.get((v, i), 0.0) for i in items)
+        if used > cap + _TOL:
+            raise InvalidProblemError(
+                f"rounded placement at {v!r} exceeds capacity: {used} > {cap}"
+            )
+    return {k: 1.0 for k, value in x.items() if value >= 1 - _TOL}
+
+
+def _assign(x: dict[Key, float], key: Key, value: float) -> None:
+    if value <= _TOL:
+        x.pop(key, None)
+    elif value >= 1 - _TOL:
+        x[key] = 1.0
+    else:
+        x[key] = value

@@ -1,0 +1,95 @@
+"""Route-to-nearest-replica (RNR) routing, Section 4.1.
+
+Given a content placement, serve every request from the least-cost node
+storing the requested item over a least-cost path.  Under fractional
+placement the generalization of the paper applies: retrieve from the
+nearest holder up to its stored fraction, then the second nearest, and so
+on, until the request is fully covered (the origin's pinned copy guarantees
+termination).
+
+RNR is optimal under unlimited link capacities, and is also the routing
+policy of the benchmark in [3] once restricted to candidate paths.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+
+from repro.core.problem import ProblemInstance
+from repro.core.solution import Placement, Routing
+from repro.exceptions import InfeasibleError
+from repro.flow.decomposition import PathFlow
+from repro.graph.shortest_paths import reconstruct_path, single_source_dijkstra
+
+Node = Hashable
+
+_EPS = 1e-9
+
+
+class ShortestPathCache:
+    """Memoized single-source Dijkstra runs over one network graph."""
+
+    def __init__(self, problem: ProblemInstance) -> None:
+        self._graph = problem.network.graph
+        self._runs: dict[Node, tuple[dict, dict]] = {}
+
+    def from_node(self, source: Node) -> tuple[dict, dict]:
+        if source not in self._runs:
+            self._runs[source] = single_source_dijkstra(self._graph, source)
+        return self._runs[source]
+
+    def distance(self, source: Node, target: Node) -> float:
+        dist, _ = self.from_node(source)
+        return dist.get(target, float("inf"))
+
+    def path(self, source: Node, target: Node) -> tuple[Node, ...]:
+        dist, pred = self.from_node(source)
+        if target not in dist:
+            raise InfeasibleError(f"{target!r} unreachable from {source!r}")
+        return tuple(reconstruct_path(pred, source, target))
+
+
+def route_to_nearest_replica(
+    problem: ProblemInstance,
+    placement: Placement,
+    *,
+    sp_cache: ShortestPathCache | None = None,
+) -> Routing:
+    """RNR routing for every request under the given placement.
+
+    Raises :class:`InfeasibleError` if some request cannot be fully covered
+    by reachable holders (including pinned contents).
+    """
+    sp = sp_cache or ShortestPathCache(problem)
+    routing = Routing()
+    for (item, requester), _rate in problem.demand.items():
+        fractions: dict[Node, float] = {}
+        for holder in placement.holders(item):
+            fractions[holder] = max(fractions.get(holder, 0.0), placement[(holder, item)])
+        for holder in problem.pinned_holders(item):
+            fractions[holder] = 1.0
+        candidates = sorted(
+            (
+                (sp.distance(holder, requester), repr(holder), holder)
+                for holder in fractions
+            ),
+        )
+        paths: list[PathFlow] = []
+        remaining = 1.0
+        for distance, _, holder in candidates:
+            if remaining <= _EPS:
+                break
+            if distance == float("inf"):
+                continue
+            take = min(fractions[holder], remaining)
+            if take <= _EPS:
+                continue
+            paths.append(PathFlow(path=sp.path(holder, requester), amount=take))
+            remaining -= take
+        if remaining > 1e-6:
+            raise InfeasibleError(
+                f"request {(item, requester)!r} cannot be fully served by RNR "
+                f"(uncovered fraction {remaining:.4g})"
+            )
+        routing.paths[(item, requester)] = paths
+    return routing

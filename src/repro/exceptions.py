@@ -1,0 +1,35 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised by this package derive from :class:`ReproError`, so callers
+can catch a single exception type at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class InvalidNetworkError(ReproError):
+    """The cache network definition is malformed (bad capacities, costs, ...)."""
+
+
+class InvalidProblemError(ReproError):
+    """The joint caching/routing problem instance is malformed."""
+
+
+class InfeasibleError(ReproError):
+    """No feasible solution exists for the given instance (or solver said so)."""
+
+
+class SolverError(ReproError):
+    """An underlying numerical solver failed unexpectedly."""
+
+
+class DecompositionError(ReproError):
+    """A flow could not be decomposed into paths (conservation violated)."""
+
+
+class PredictionError(ReproError):
+    """Demand prediction failed (e.g. degenerate training data)."""

@@ -1,0 +1,66 @@
+"""Evaluation harness: scenario builders, algorithm registry, Monte Carlo runner."""
+
+from repro.experiments import algorithms
+from repro.experiments.config import (
+    MonteCarloConfig,
+    PredictionConfig,
+    ScenarioConfig,
+)
+from repro.experiments.reporting import (
+    format_aggregates,
+    format_sweep,
+    write_records_csv,
+    write_sweep_csv,
+)
+from repro.experiments.online import (
+    HourRecord,
+    OnlineResult,
+    predict_rate_matrix,
+    run_online,
+)
+from repro.experiments.runner import (
+    Aggregate,
+    RunRecord,
+    aggregate,
+    evaluate_algorithm,
+    run_monte_carlo,
+)
+from repro.experiments.sweeps import SWEEPABLE, sweep_parameter
+from repro.experiments.scenarios import (
+    EdgeCachingScenario,
+    assign_paper_costs,
+    binary_cache_servers,
+    build_scenario,
+    build_zipf_scenario,
+    pin_servers,
+    predicted_rates_for_hour,
+)
+
+__all__ = [
+    "ScenarioConfig",
+    "MonteCarloConfig",
+    "PredictionConfig",
+    "EdgeCachingScenario",
+    "build_scenario",
+    "build_zipf_scenario",
+    "assign_paper_costs",
+    "binary_cache_servers",
+    "pin_servers",
+    "predicted_rates_for_hour",
+    "RunRecord",
+    "Aggregate",
+    "evaluate_algorithm",
+    "run_monte_carlo",
+    "aggregate",
+    "format_aggregates",
+    "format_sweep",
+    "write_records_csv",
+    "write_sweep_csv",
+    "algorithms",
+    "run_online",
+    "OnlineResult",
+    "HourRecord",
+    "predict_rate_matrix",
+    "sweep_parameter",
+    "SWEEPABLE",
+]

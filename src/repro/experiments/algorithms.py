@@ -1,0 +1,128 @@
+"""Named algorithm wrappers used across the benchmark harness.
+
+Every wrapper is ``scenario -> Solution`` and plans on the scenario's
+planning problem (the GPR-predicted demand when present, else the truth);
+the runner then scores the resulting decisions against the true demand.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.baselines import candidate_path_baseline, shortest_path_baseline
+from repro.core.algorithm1 import algorithm1
+from repro.core.alternating import alternating_optimization
+from repro.core.fcfr import solve_fcfr
+from repro.core.msufp import solve_binary_cache_case, splittable_binary_cache
+from repro.core.rnr import route_to_nearest_replica
+from repro.core.solution import Placement, Solution
+from repro.core.submodular import greedy_rnr_placement
+from repro.experiments.scenarios import EdgeCachingScenario, pin_servers
+
+Algorithm = Callable[[EdgeCachingScenario], Solution]
+
+
+def alg1(scenario: EdgeCachingScenario) -> Solution:
+    """Algorithm 1 (chunk level, unlimited link capacities)."""
+    return algorithm1(scenario.planning_problem()).solution
+
+
+def greedy(scenario: EdgeCachingScenario) -> Solution:
+    """Greedy submodular placement + RNR (the paper's file-level proposal)."""
+    problem = scenario.planning_problem()
+    placement = greedy_rnr_placement(problem)
+    return Solution(placement, route_to_nearest_replica(problem, placement))
+
+
+def sp(scenario: EdgeCachingScenario) -> Solution:
+    """[38]'s 'shortest path' benchmark."""
+    return shortest_path_baseline(scenario.planning_problem())
+
+
+def ksp(k: int = 10) -> Algorithm:
+    """[3]'s benchmark with k candidate paths ('SP + RNR' at k = 1)."""
+
+    def run(scenario: EdgeCachingScenario) -> Solution:
+        return candidate_path_baseline(scenario.planning_problem(), k=k)
+
+    run.__name__ = f"ksp_{k}"
+    return run
+
+
+def alternating(
+    *,
+    integral_routing: bool = True,
+    mmufp_method: str = "randomized",
+    n_samples: int = 16,
+    max_iterations: int = 12,
+) -> Algorithm:
+    """The general-case alternating optimization (Section 4.3.3)."""
+
+    def run(scenario: EdgeCachingScenario) -> Solution:
+        rng = np.random.default_rng(scenario.config.seed + 104729)
+        return alternating_optimization(
+            scenario.planning_problem(),
+            integral_routing=integral_routing,
+            mmufp_method=mmufp_method,
+            n_samples=n_samples,
+            max_iterations=max_iterations,
+            rng=rng,
+        ).solution
+
+    run.__name__ = "alternating" if integral_routing else "alternating_fr"
+    return run
+
+
+def fcfr(scenario: EdgeCachingScenario) -> Solution:
+    """Exact FC-FR LP — the universal lower-bound reference."""
+    return solve_fcfr(scenario.planning_problem()).solution
+
+
+# ----------------------------------------------------------------------
+# Binary-cache-capacity case (Fig. 6): the catalog is replicated on fixed
+# servers; only source selection + routing are optimized.
+# ----------------------------------------------------------------------
+
+
+def alg2_binary(servers: list, K: int) -> Algorithm:
+    """Algorithm 2 on the virtual-source reduction (K = 2 is [33])."""
+
+    def run(scenario: EdgeCachingScenario) -> Solution:
+        problem = pin_servers(scenario, servers)
+        if scenario.predicted_problem is not None:
+            problem = problem.with_demand(scenario.predicted_problem.demand)
+        solution, _result = solve_binary_cache_case(problem, servers, K=K)
+        return solution
+
+    run.__name__ = f"alg2_K{K}"
+    return run
+
+
+def splittable_binary(servers: list) -> Algorithm:
+    """The splittable-flow LP lower bound of Fig. 6."""
+
+    def run(scenario: EdgeCachingScenario) -> Solution:
+        problem = pin_servers(scenario, servers)
+        if scenario.predicted_problem is not None:
+            problem = problem.with_demand(scenario.predicted_problem.demand)
+        solution, _cost = splittable_binary_cache(problem, servers)
+        return solution
+
+    run.__name__ = "splittable"
+    return run
+
+
+def rnr_binary(servers: list) -> Algorithm:
+    """[3]'s capacity-oblivious RNR in the binary-cache case."""
+
+    def run(scenario: EdgeCachingScenario) -> Solution:
+        problem = pin_servers(scenario, servers)
+        if scenario.predicted_problem is not None:
+            problem = problem.with_demand(scenario.predicted_problem.demand)
+        routing = route_to_nearest_replica(problem, Placement())
+        return Solution(Placement(), routing)
+
+    run.__name__ = "rnr"
+    return run

@@ -1,0 +1,102 @@
+"""Plain-text reporting of experiment results (the tables the benches print)."""
+
+from __future__ import annotations
+
+import csv
+import math
+from collections.abc import Iterable, Sequence
+from pathlib import Path
+
+from repro.experiments.runner import Aggregate, RunRecord
+
+
+def _fmt(value: float, width: int = 12) -> str:
+    if value is None or (isinstance(value, float) and math.isinf(value)):
+        return "inf".rjust(width)
+    if abs(value) >= 1000:
+        return f"{value:,.0f}".rjust(width)
+    return f"{value:.4g}".rjust(width)
+
+
+def format_aggregates(
+    aggregates: Sequence[Aggregate],
+    *,
+    title: str = "",
+    sort_by_cost: bool = False,
+) -> str:
+    """Render aggregates as an aligned text table."""
+    rows = sorted(aggregates, key=lambda a: a.mean_cost) if sort_by_cost else list(
+        aggregates
+    )
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    header = (
+        f"{'algorithm':<22}{'cost':>12}{'congestion':>12}"
+        f"{'occupancy':>12}{'time (s)':>12}{'fails':>7}"
+    )
+    lines.append(header)
+    lines.append("-" * len(header))
+    for agg in rows:
+        lines.append(
+            f"{agg.algorithm:<22}"
+            f"{_fmt(agg.mean_cost)}"
+            f"{_fmt(agg.mean_congestion)}"
+            f"{_fmt(agg.mean_occupancy)}"
+            f"{_fmt(agg.mean_seconds)}"
+            f"{agg.failures:>7d}"
+        )
+    return "\n".join(lines)
+
+
+def format_sweep(
+    rows: Sequence[dict],
+    columns: Sequence[str],
+    *,
+    title: str = "",
+) -> str:
+    """Render a parameter sweep (one dict per point) as an aligned table."""
+    lines = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(title))
+    widths = {c: max(16, len(c) + 2) for c in columns}
+    header = "".join(c.rjust(widths[c]) for c in columns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for row in rows:
+        cells = []
+        for c in columns:
+            value = row.get(c, "")
+            if isinstance(value, float):
+                cells.append(_fmt(value, widths[c]))
+            else:
+                cells.append(str(value).rjust(widths[c]))
+        lines.append("".join(cells))
+    return "\n".join(lines)
+
+
+def write_records_csv(records: Iterable[RunRecord], path: str | Path) -> None:
+    """Persist raw Monte Carlo records for later analysis."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            ["algorithm", "seed", "cost", "congestion", "occupancy", "seconds", "failed"]
+        )
+        for r in records:
+            writer.writerow(
+                [r.algorithm, r.seed, r.cost, r.congestion, r.occupancy, r.seconds, r.failed]
+            )
+
+
+def write_sweep_csv(rows: Iterable[dict], columns: Sequence[str], path: str | Path) -> None:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=list(columns), extrasaction="ignore")
+        writer.writeheader()
+        for row in rows:
+            writer.writerow(row)

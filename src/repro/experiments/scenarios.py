@@ -1,0 +1,308 @@
+"""Scenario builders for the paper's edge-caching evaluation (Section 6).
+
+A scenario bundles the network (with the paper's cost/capacity
+distributions), the catalog (chunk or file level), the true demand snapshot
+from the synthetic trace, and optionally a GPR-predicted demand for the same
+hour.  Every random choice is driven by explicit seeds so Monte Carlo runs
+are reproducible.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.problem import ProblemInstance, Request, pin_full_catalog
+from repro.core.rnr import ShortestPathCache
+from repro.exceptions import InvalidProblemError
+from repro.experiments.config import PredictionConfig, ScenarioConfig
+from repro.graph import (
+    abovenet,
+    abvt,
+    deltacom,
+    edge_caching_roles,
+    tinet,
+)
+from repro.graph.network import CacheNetwork
+from repro.prediction.gpr import DemandPredictor
+from repro.workload.catalog import CatalogSpec, chunk_level_catalog, file_level_catalog, top_videos
+from repro.workload.requests import build_demand, edge_node_shares
+from repro.workload.trace import TraceConfig, ViewTrace, synthesize_trace
+
+Node = Hashable
+
+_TOPOLOGIES = {
+    "abovenet": abovenet,
+    "abvt": abvt,
+    "tinet": tinet,
+    "deltacom": deltacom,
+}
+
+
+@dataclass
+class EdgeCachingScenario:
+    """A fully materialized evaluation instance."""
+
+    config: ScenarioConfig
+    problem: ProblemInstance
+    origin: Node
+    edge_nodes: list[Node]
+    catalog_spec: CatalogSpec
+    #: Per-video true request rates (views/hour) at the snapshot hour.
+    video_rates: dict[str, float]
+    #: Same-hour GPR-predicted rates (None unless prediction was requested).
+    predicted_video_rates: dict[str, float] | None = None
+    predicted_problem: ProblemInstance | None = None
+
+    @property
+    def demand(self) -> dict[Request, float]:
+        return self.problem.demand
+
+    def planning_problem(self) -> ProblemInstance:
+        """The instance algorithms should optimize: predicted if available."""
+        return self.predicted_problem or self.problem
+
+
+def assign_paper_costs(
+    network: CacheNetwork,
+    origin: Node,
+    rng: np.random.Generator,
+    *,
+    origin_cost_range: tuple[float, float] = (100.0, 200.0),
+    link_cost_range: tuple[float, float] = (1.0, 20.0),
+) -> None:
+    """Link costs as in Section 6: expensive origin links, cheap internal ones."""
+    for (u, v) in network.edges:
+        if origin in (u, v):
+            lo, hi = origin_cost_range
+        else:
+            lo, hi = link_cost_range
+        network.graph.edges[u, v]["cost"] = float(rng.uniform(lo, hi))
+
+
+def predicted_rates_for_hour(
+    trace: ViewTrace,
+    hour: int,
+    prediction: PredictionConfig,
+) -> dict[str, float]:
+    """GPR prediction of each video's rate at evaluation hour ``hour``.
+
+    Follows the paper's protocol: the model is (re)fit on history before the
+    5-hour batch containing ``hour`` and predicts the batch; we return the
+    prediction for the requested hour.
+    """
+    predictor = DemandPredictor(
+        train_hours=prediction.train_hours,
+        batch_hours=prediction.batch_hours,
+        history_window=prediction.history_window,
+        n_restarts=prediction.n_restarts,
+        seed=prediction.seed,
+    )
+    out: dict[str, float] = {}
+    for k, video in enumerate(trace.videos):
+        series = trace.views[:, k]
+        batch_start = (hour // prediction.batch_hours) * prediction.batch_hours
+        pred = predictor.predict_series(
+            series[: prediction.train_hours + batch_start + prediction.batch_hours],
+            eval_hours=batch_start + prediction.batch_hours,
+        )
+        out[video.video_id] = float(pred[hour])
+    return out
+
+
+def build_scenario(
+    config: ScenarioConfig,
+    *,
+    trace: ViewTrace | None = None,
+    trace_config: TraceConfig | None = None,
+    predicted_rates: dict[str, float] | None = None,
+) -> EdgeCachingScenario:
+    """Materialize one evaluation instance from a configuration.
+
+    ``trace`` defaults to the synthetic Table-1 trace; pass ``predicted_rates``
+    (e.g. from :func:`predicted_rates_for_hour`) to also build the predicted
+    instance the algorithms plan against.
+    """
+    if config.topology not in _TOPOLOGIES:
+        raise InvalidProblemError(f"unknown topology {config.topology!r}")
+    rng = np.random.default_rng(config.seed)
+    network = _TOPOLOGIES[config.topology]()
+    origin, edge_nodes = edge_caching_roles(
+        network, num_edge_nodes=config.num_edge_nodes
+    )
+    assign_paper_costs(
+        network,
+        origin,
+        rng,
+        origin_cost_range=config.origin_cost_range,
+        link_cost_range=config.link_cost_range,
+    )
+
+    videos = top_videos(config.num_videos)
+    if config.level == "chunk":
+        catalog_spec = chunk_level_catalog(videos, chunk_mb=config.chunk_mb)
+        item_sizes = None
+        cache_capacity = float(config.cache_capacity)
+    else:
+        catalog_spec = file_level_catalog(videos)
+        item_sizes = dict(catalog_spec.sizes or {})
+        mean_size = float(np.mean(list(item_sizes.values())))
+        cache_capacity = config.cache_capacity * mean_size
+
+    trace_config = trace_config or TraceConfig()
+    if trace is None:
+        trace = synthesize_trace(videos=videos, config=trace_config)
+    eval_start = trace_config.train_hours
+    video_rates = {
+        video.video_id: float(trace.views[eval_start + config.hour, k])
+        for k, video in enumerate(trace.videos)
+    }
+
+    shares = edge_node_shares(edge_nodes, [v.video_id for v in videos], rng)
+
+    def demand_from(rates: dict[str, float]) -> dict[Request, float]:
+        if config.level == "file":
+            # Heterogeneous model: rates are in MB/hour (Section 5.1).
+            rates = {
+                vid: rate * (item_sizes or {}).get(vid, 1.0)
+                for vid, rate in rates.items()
+            }
+        return build_demand(rates, catalog_spec, edge_nodes, shares)
+
+    demand = demand_from(video_rates)
+
+    for v in edge_nodes:
+        network.set_cache_capacity(v, cache_capacity)
+    if config.link_capacity_fraction is not None:
+        total = sum(demand.values())
+        network.set_uniform_link_capacity(
+            max(config.link_capacity_fraction * total, 1e-9)
+        )
+
+    pinned = pin_full_catalog(catalog_spec.items, [origin])
+    problem = ProblemInstance(
+        network=network,
+        catalog=catalog_spec.items,
+        demand=demand,
+        item_sizes=item_sizes,
+        pinned=pinned,
+    )
+
+    if config.link_capacity_fraction is not None and config.augment_origin_paths:
+        # The paper augments "a cycle-free path" per edge node so the origin
+        # can serve everything as a last resort.  We use hop-count shortest
+        # paths: they generally differ from the cost-shortest paths the
+        # algorithms prefer, so augmentation does not hand the shortest-path
+        # baselines free capacity.
+        import networkx as nx
+
+        for s in edge_nodes:
+            inflow = sum(
+                rate for (_i, node), rate in demand.items() if node == s
+            )
+            path = nx.shortest_path(network.graph, origin, s)
+            network.augment_capacity_along_path(path, inflow * config.augment_margin)
+
+    predicted_problem = None
+    if predicted_rates is not None:
+        predicted_problem = problem.with_demand(demand_from(predicted_rates))
+
+    return EdgeCachingScenario(
+        config=config,
+        problem=problem,
+        origin=origin,
+        edge_nodes=list(edge_nodes),
+        catalog_spec=catalog_spec,
+        video_rates=video_rates,
+        predicted_video_rates=predicted_rates,
+        predicted_problem=predicted_problem,
+    )
+
+
+def build_zipf_scenario(
+    *,
+    topology: str = "abovenet",
+    num_items: int = 50,
+    alpha: float = 0.8,
+    total_rate: float = 1000.0,
+    cache_capacity: float = 10.0,
+    link_capacity_fraction: float | None = 0.05,
+    num_edge_nodes: int | None = None,
+    seed: int = 0,
+) -> EdgeCachingScenario:
+    """Synthetic Zipf workload (the conference version's evaluation).
+
+    Same network protocol as :func:`build_scenario` (paper costs, edge
+    roles, augmentation) but demand drawn from a Zipf(alpha) popularity law
+    instead of the trace — handy for sweeps over catalog skew.
+    """
+    from repro.workload.zipf import zipf_demand
+
+    config = ScenarioConfig(
+        topology=topology,
+        level="chunk",
+        cache_capacity=cache_capacity,
+        link_capacity_fraction=link_capacity_fraction,
+        num_edge_nodes=num_edge_nodes,
+        seed=seed,
+    )
+    rng = np.random.default_rng(seed)
+    network = _TOPOLOGIES[topology]()
+    origin, edge_nodes = edge_caching_roles(network, num_edge_nodes=num_edge_nodes)
+    assign_paper_costs(network, origin, rng)
+    items = tuple(f"item{k:03d}" for k in range(num_items))
+    demand = zipf_demand(
+        items, edge_nodes, total_rate=total_rate, alpha=alpha, rng=rng
+    )
+    for v in edge_nodes:
+        network.set_cache_capacity(v, cache_capacity)
+    if link_capacity_fraction is not None:
+        network.set_uniform_link_capacity(
+            max(link_capacity_fraction * total_rate, 1e-9)
+        )
+    problem = ProblemInstance(
+        network=network,
+        catalog=items,
+        demand=demand,
+        pinned=pin_full_catalog(items, [origin]),
+    )
+    if link_capacity_fraction is not None:
+        import networkx as nx
+
+        for s in edge_nodes:
+            inflow = sum(rate for (_i, node), rate in demand.items() if node == s)
+            path = nx.shortest_path(network.graph, origin, s)
+            network.augment_capacity_along_path(path, inflow * config.augment_margin)
+    catalog_spec = CatalogSpec(items=items, sizes=None, item_of_video={})
+    return EdgeCachingScenario(
+        config=config,
+        problem=problem,
+        origin=origin,
+        edge_nodes=list(edge_nodes),
+        catalog_spec=catalog_spec,
+        video_rates={},
+    )
+
+
+def binary_cache_servers(scenario: EdgeCachingScenario) -> list[Node]:
+    """The binary-cache-capacity case (Section 4.2): the origin plus the
+    first edge node store the whole catalog; everything else stores nothing."""
+    extra = scenario.edge_nodes[0]
+    return [scenario.origin, extra]
+
+
+def pin_servers(scenario: EdgeCachingScenario, servers: list[Node]) -> ProblemInstance:
+    """Instance variant where ``servers`` pin the full catalog and caches are off."""
+    problem = scenario.problem
+    network = problem.network.copy()
+    for v in network.cache_nodes():
+        network.set_cache_capacity(v, 0.0)
+    return ProblemInstance(
+        network=network,
+        catalog=problem.catalog,
+        demand=dict(problem.demand),
+        item_sizes=None if problem.item_sizes is None else dict(problem.item_sizes),
+        pinned=pin_full_catalog(problem.catalog, servers),
+    )

@@ -1,0 +1,65 @@
+"""Parameter sweeps: one call per figure-style x-axis.
+
+The paper's figures are sweeps over a scenario knob (cache size, link
+capacity, catalog size, chunk size).  :func:`sweep_parameter` runs a set of
+algorithms over Monte Carlo instances at each value of one knob and returns
+flat rows ready for :func:`repro.experiments.reporting.format_sweep` — the
+benches and the ``repro sweep`` CLI subcommand are thin wrappers over it.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping, Sequence
+from dataclasses import fields, replace
+
+from repro.exceptions import InvalidProblemError
+from repro.experiments.config import MonteCarloConfig, ScenarioConfig
+from repro.experiments.runner import Algorithm, aggregate, run_monte_carlo
+
+#: Scenario knobs that make sense as sweep axes.
+SWEEPABLE = (
+    "cache_capacity",
+    "link_capacity_fraction",
+    "num_videos",
+    "chunk_mb",
+    "num_edge_nodes",
+)
+
+
+def sweep_parameter(
+    config: ScenarioConfig,
+    parameter: str,
+    values: Sequence,
+    algorithms: Mapping[str, Algorithm],
+    monte_carlo: MonteCarloConfig | None = None,
+) -> list[dict]:
+    """Run ``algorithms`` at every value of one scenario knob.
+
+    Returns one row per (value, algorithm) with the aggregated metrics.
+    """
+    if parameter not in {f.name for f in fields(ScenarioConfig)}:
+        raise InvalidProblemError(f"unknown scenario parameter {parameter!r}")
+    if parameter not in SWEEPABLE:
+        raise InvalidProblemError(
+            f"{parameter!r} is not a supported sweep axis; pick one of {SWEEPABLE}"
+        )
+    if not values:
+        raise InvalidProblemError("values must be nonempty")
+    monte_carlo = monte_carlo or MonteCarloConfig(n_runs=2)
+    rows: list[dict] = []
+    for value in values:
+        point = replace(config, **{parameter: value})
+        records = run_monte_carlo(point, algorithms, monte_carlo)
+        for agg in aggregate(records):
+            rows.append(
+                {
+                    parameter: value,
+                    "algorithm": agg.algorithm,
+                    "cost": agg.mean_cost,
+                    "congestion": agg.mean_congestion,
+                    "occupancy": agg.mean_occupancy,
+                    "seconds": agg.mean_seconds,
+                    "failures": agg.failures,
+                }
+            )
+    return rows

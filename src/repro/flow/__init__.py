@@ -1,0 +1,27 @@
+"""Flow substrate: LP solving, min-cost flows, decomposition, unsplittable rounding."""
+
+from repro.flow.lp import LPBuilder, LPSolution
+from repro.flow.mincost import (
+    Commodity,
+    min_cost_multicommodity_flow,
+    min_cost_single_source_flow,
+)
+from repro.flow.decomposition import PathFlow, decompose_single_source_flow
+from repro.flow.ssp import min_cost_flow_ssp
+from repro.flow.unsplittable import round_to_unsplittable
+
+#: Absolute tolerance used when comparing flow values.
+EPS = 1e-9
+
+__all__ = [
+    "EPS",
+    "LPBuilder",
+    "LPSolution",
+    "Commodity",
+    "min_cost_single_source_flow",
+    "min_cost_multicommodity_flow",
+    "min_cost_flow_ssp",
+    "PathFlow",
+    "decompose_single_source_flow",
+    "round_to_unsplittable",
+]

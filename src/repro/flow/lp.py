@@ -1,0 +1,179 @@
+"""Sparse linear-program builder on top of ``scipy.optimize.linprog`` (HiGHS).
+
+Every LP in the paper — the auxiliary LP (7) of Algorithm 1, the splittable
+min-cost flows inside Algorithm 2, the placement LP (15), and the MMSFP
+routing LPs — is assembled through :class:`LPBuilder`.  Variables are
+registered under hashable keys (e.g. ``("x", v, i)``) so the calling code
+reads like the paper's math instead of juggling raw column indices.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Hashable, Iterable, Mapping
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import sparse
+from scipy.optimize import linprog
+
+from repro.exceptions import InfeasibleError, SolverError
+
+Key = Hashable
+
+
+@dataclass(frozen=True)
+class LPSolution:
+    """Optimal solution of an LP: objective value and per-key variable values."""
+
+    objective: float
+    values: dict[Key, float]
+
+    def __getitem__(self, key: Key) -> float:
+        return self.values[key]
+
+    def get(self, key: Key, default: float = 0.0) -> float:
+        return self.values.get(key, default)
+
+
+class LPBuilder:
+    """Incrementally build and solve a (sparse) linear program.
+
+    Parameters
+    ----------
+    sense:
+        ``"min"`` or ``"max"``.  Internally everything is minimized; for a
+        maximization the objective is negated on the way in and out.
+    """
+
+    def __init__(self, sense: str = "min") -> None:
+        if sense not in ("min", "max"):
+            raise ValueError("sense must be 'min' or 'max'")
+        self._sense = sense
+        self._index: dict[Key, int] = {}
+        self._lb: list[float] = []
+        self._ub: list[float] = []
+        self._objective: dict[int, float] = {}
+        # Constraint storage as COO triplets.
+        self._ub_rows: list[tuple[dict[int, float], float]] = []
+        self._eq_rows: list[tuple[dict[int, float], float]] = []
+
+    # ------------------------------------------------------------------
+    # Variables and objective
+    # ------------------------------------------------------------------
+
+    @property
+    def num_variables(self) -> int:
+        return len(self._index)
+
+    @property
+    def num_constraints(self) -> int:
+        return len(self._ub_rows) + len(self._eq_rows)
+
+    def add_variable(
+        self, key: Key, *, lb: float = 0.0, ub: float = math.inf, cost: float = 0.0
+    ) -> Key:
+        """Register variable ``key`` with bounds and objective coefficient."""
+        if key in self._index:
+            raise ValueError(f"variable {key!r} already defined")
+        idx = len(self._lb)
+        self._index[key] = idx
+        self._lb.append(lb)
+        self._ub.append(ub)
+        if cost:
+            self._objective[idx] = cost
+        return key
+
+    def add_variables(
+        self, keys: Iterable[Key], *, lb: float = 0.0, ub: float = math.inf
+    ) -> list[Key]:
+        return [self.add_variable(k, lb=lb, ub=ub) for k in keys]
+
+    def has_variable(self, key: Key) -> bool:
+        return key in self._index
+
+    def set_objective_coefficient(self, key: Key, coefficient: float) -> None:
+        self._objective[self._index[key]] = float(coefficient)
+
+    def add_objective_terms(self, terms: Mapping[Key, float]) -> None:
+        for key, coef in terms.items():
+            idx = self._index[key]
+            self._objective[idx] = self._objective.get(idx, 0.0) + float(coef)
+
+    # ------------------------------------------------------------------
+    # Constraints
+    # ------------------------------------------------------------------
+
+    def _row(self, coefficients: Mapping[Key, float]) -> dict[int, float]:
+        row: dict[int, float] = {}
+        for key, coef in coefficients.items():
+            if not coef:
+                continue
+            idx = self._index[key]
+            row[idx] = row.get(idx, 0.0) + float(coef)
+        return row
+
+    def add_le(self, coefficients: Mapping[Key, float], rhs: float) -> None:
+        """Add ``sum(coef * var) <= rhs``.  Rows with no finite rhs are skipped."""
+        if math.isinf(rhs) and rhs > 0:
+            return
+        self._ub_rows.append((self._row(coefficients), float(rhs)))
+
+    def add_ge(self, coefficients: Mapping[Key, float], rhs: float) -> None:
+        """Add ``sum(coef * var) >= rhs`` (stored as the negated <= row)."""
+        if math.isinf(rhs) and rhs < 0:
+            return
+        row = {i: -c for i, c in self._row(coefficients).items()}
+        self._ub_rows.append((row, -float(rhs)))
+
+    def add_eq(self, coefficients: Mapping[Key, float], rhs: float) -> None:
+        """Add ``sum(coef * var) == rhs``."""
+        self._eq_rows.append((self._row(coefficients), float(rhs)))
+
+    # ------------------------------------------------------------------
+    # Solving
+    # ------------------------------------------------------------------
+
+    def solve(self) -> LPSolution:
+        """Solve the LP with HiGHS; raise on infeasibility or solver failure."""
+        n = self.num_variables
+        if n == 0:
+            raise SolverError("LP has no variables")
+        sign = 1.0 if self._sense == "min" else -1.0
+        c = np.zeros(n)
+        for idx, coef in self._objective.items():
+            c[idx] = sign * coef
+
+        def to_matrix(rows: list[tuple[dict[int, float], float]]):
+            if not rows:
+                return None, None
+            data, row_idx, col_idx, rhs = [], [], [], []
+            for r, (row, b) in enumerate(rows):
+                rhs.append(b)
+                for idx, coef in row.items():
+                    row_idx.append(r)
+                    col_idx.append(idx)
+                    data.append(coef)
+            mat = sparse.csr_matrix(
+                (data, (row_idx, col_idx)), shape=(len(rows), n)
+            )
+            return mat, np.array(rhs)
+
+        a_ub, b_ub = to_matrix(self._ub_rows)
+        a_eq, b_eq = to_matrix(self._eq_rows)
+        bounds = list(zip(self._lb, self._ub))
+        result = linprog(
+            c,
+            A_ub=a_ub,
+            b_ub=b_ub,
+            A_eq=a_eq,
+            b_eq=b_eq,
+            bounds=bounds,
+            method="highs",
+        )
+        if result.status == 2:
+            raise InfeasibleError("LP is infeasible")
+        if result.status != 0:
+            raise SolverError(f"LP solver failed: {result.message}")
+        values = {key: float(result.x[idx]) for key, idx in self._index.items()}
+        return LPSolution(objective=sign * float(result.fun), values=values)

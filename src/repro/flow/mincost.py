@@ -1,0 +1,161 @@
+"""Minimum-cost splittable flows (single-source and multicommodity) via LP.
+
+Two building blocks used throughout the paper's algorithms:
+
+- :func:`min_cost_single_source_flow` — the splittable relaxation at the
+  heart of Algorithm 2 (line 1).  Because all commodities share the single
+  (virtual) source and costs are per-unit, the per-commodity LP aggregates
+  exactly into a standard arc-based min-cost flow with one balance constraint
+  per node, which is dramatically cheaper to solve.
+- :func:`min_cost_multicommodity_flow` — MMSFP (Section 4.3.2): one
+  single-source flow per *commodity group* (in our use, per content item
+  rooted at its virtual source), coupled only through shared link capacities.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Hashable, Mapping
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.exceptions import InfeasibleError, InvalidProblemError
+from repro.flow.lp import LPBuilder
+from repro.graph.network import CAPACITY, COST
+
+Node = Hashable
+Edge = tuple[Node, Node]
+
+_EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class Commodity:
+    """A single-source commodity group: ship ``demands[t]`` from ``source`` to each ``t``."""
+
+    name: Hashable
+    source: Node
+    demands: Mapping[Node, float] = field(default_factory=dict)
+
+    @property
+    def total_demand(self) -> float:
+        return sum(self.demands.values())
+
+
+def _validate(graph: nx.DiGraph, source: Node, demands: Mapping[Node, float]) -> None:
+    if source not in graph:
+        raise InvalidProblemError(f"source {source!r} not in graph")
+    for t, d in demands.items():
+        if t not in graph:
+            raise InvalidProblemError(f"sink {t!r} not in graph")
+        if d < 0:
+            raise InvalidProblemError(f"negative demand at {t!r}")
+
+
+def min_cost_single_source_flow(
+    graph: nx.DiGraph,
+    source: Node,
+    demands: Mapping[Node, float],
+    *,
+    cost_attr: str = COST,
+    capacity_attr: str = CAPACITY,
+) -> tuple[dict[Edge, float], float]:
+    """Cheapest splittable flow shipping ``demands`` from ``source``.
+
+    Returns ``(flow, cost)`` where ``flow[(u, v)]`` is the aggregate amount on
+    each link (zero entries omitted).  Raises :class:`InfeasibleError` when
+    the demands cannot be routed within link capacities.
+    """
+    _validate(graph, source, demands)
+    demands = {t: d for t, d in demands.items() if d > _EPS}
+    if not demands:
+        return {}, 0.0
+
+    lp = LPBuilder(sense="min")
+    for u, v, data in graph.edges(data=True):
+        lp.add_variable(
+            ("f", u, v),
+            lb=0.0,
+            ub=data.get(capacity_attr, math.inf),
+            cost=data.get(cost_attr, 1.0),
+        )
+    total = sum(demands.values())
+    for node in graph.nodes:
+        balance = {}
+        for _, v in graph.out_edges(node):
+            balance[("f", node, v)] = balance.get(("f", node, v), 0.0) + 1.0
+        for u, _ in graph.in_edges(node):
+            balance[("f", u, node)] = balance.get(("f", u, node), 0.0) - 1.0
+        if node == source:
+            rhs = total - demands.get(node, 0.0)
+        else:
+            rhs = -demands.get(node, 0.0)
+        lp.add_eq(balance, rhs)
+    solution = lp.solve()
+    flow = {
+        (u, v): value
+        for (_, u, v), value in solution.values.items()
+        if value > _EPS
+    }
+    return flow, solution.objective
+
+
+def min_cost_multicommodity_flow(
+    graph: nx.DiGraph,
+    commodities: list[Commodity],
+    *,
+    cost_attr: str = COST,
+    capacity_attr: str = CAPACITY,
+) -> tuple[dict[Hashable, dict[Edge, float]], float]:
+    """Cheapest splittable multicommodity flow under shared link capacities.
+
+    Each :class:`Commodity` is itself a single-source/multi-sink group (so a
+    content item with many requesters is *one* commodity here — its
+    per-requester split is recovered later by path decomposition).  Returns
+    ``(flows, cost)`` with ``flows[name][(u, v)]`` the per-commodity loads.
+    """
+    if not commodities:
+        return {}, 0.0
+    names = [c.name for c in commodities]
+    if len(set(names)) != len(names):
+        raise InvalidProblemError("commodity names must be unique")
+
+    lp = LPBuilder(sense="min")
+    for commodity in commodities:
+        _validate(graph, commodity.source, commodity.demands)
+        for u, v, data in graph.edges(data=True):
+            lp.add_variable(
+                ("f", commodity.name, u, v),
+                lb=0.0,
+                cost=data.get(cost_attr, 1.0),
+            )
+    # Shared capacity constraints.
+    for u, v, data in graph.edges(data=True):
+        cap = data.get(capacity_attr, math.inf)
+        if math.isinf(cap):
+            continue
+        lp.add_le({("f", c.name, u, v): 1.0 for c in commodities}, cap)
+    # Per-commodity balance.
+    for commodity in commodities:
+        demands = {t: d for t, d in commodity.demands.items() if d > _EPS}
+        total = sum(demands.values())
+        for node in graph.nodes:
+            balance = {}
+            for _, v in graph.out_edges(node):
+                key = ("f", commodity.name, node, v)
+                balance[key] = balance.get(key, 0.0) + 1.0
+            for u, _ in graph.in_edges(node):
+                key = ("f", commodity.name, u, node)
+                balance[key] = balance.get(key, 0.0) - 1.0
+            if node == commodity.source:
+                rhs = total - demands.get(node, 0.0)
+            else:
+                rhs = -demands.get(node, 0.0)
+            lp.add_eq(balance, rhs)
+    solution = lp.solve()
+    flows: dict[Hashable, dict[Edge, float]] = {c.name: {} for c in commodities}
+    for (_, name, u, v), value in solution.values.items():
+        if value > _EPS:
+            flows[name][(u, v)] = value
+    return flows, solution.objective

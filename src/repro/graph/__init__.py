@@ -1,0 +1,39 @@
+"""Graph substrate: cache-network model, shortest paths, and topologies."""
+
+from repro.graph.network import CacheNetwork
+from repro.graph.shortest_paths import (
+    all_pairs_least_costs,
+    k_shortest_paths,
+    path_cost,
+    reconstruct_path,
+    single_source_dijkstra,
+)
+from repro.graph.topologies import (
+    abilene_like,
+    abovenet,
+    abvt,
+    deltacom,
+    edge_caching_roles,
+    line_topology,
+    random_topology,
+    tinet,
+    tree_topology,
+)
+
+__all__ = [
+    "CacheNetwork",
+    "single_source_dijkstra",
+    "all_pairs_least_costs",
+    "reconstruct_path",
+    "k_shortest_paths",
+    "path_cost",
+    "abovenet",
+    "abvt",
+    "tinet",
+    "deltacom",
+    "abilene_like",
+    "edge_caching_roles",
+    "line_topology",
+    "tree_topology",
+    "random_topology",
+]

@@ -1,0 +1,149 @@
+"""Topology I/O: load Topology-Zoo GraphML and simple edge-list files.
+
+The paper's Appendix D uses Internet Topology Zoo maps (via the REPETITA
+dataset) with real link bandwidths.  Those files are not bundled here —
+the embedded generators in :mod:`repro.graph.topologies` substitute for
+them — but when a user *does* have the files, these loaders turn them into
+:class:`~repro.graph.network.CacheNetwork` objects with the package's cost
+and capacity conventions, and the writers round-trip networks to disk for
+reproducible experiment sharing.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+from pathlib import Path
+
+import networkx as nx
+
+from repro.exceptions import InvalidNetworkError
+from repro.graph.network import CAPACITY, COST, CacheNetwork
+
+
+def load_graphml(
+    path: str | Path,
+    *,
+    cost_key: str | None = None,
+    capacity_key: str | None = None,
+    default_cost: float = 1.0,
+    default_capacity: float = math.inf,
+    symmetric: bool = True,
+) -> CacheNetwork:
+    """Load a GraphML topology (e.g. from the Internet Topology Zoo).
+
+    ``cost_key`` / ``capacity_key`` name the GraphML edge attributes to map
+    onto the package's ``cost`` / ``capacity``; missing attributes fall back
+    to the defaults.  ``symmetric=True`` adds both directions for undirected
+    inputs (Topology Zoo maps are undirected).
+    """
+    path = Path(path)
+    if not path.exists():
+        raise InvalidNetworkError(f"no such topology file: {path}")
+    try:
+        raw = nx.read_graphml(path)
+    except Exception as exc:  # networkx raises several parse error types
+        raise InvalidNetworkError(f"cannot parse GraphML {path}: {exc}") from exc
+    digraph = nx.DiGraph()
+    digraph.add_nodes_from(raw.nodes)
+    for u, v, data in raw.edges(data=True):
+        cost = float(data.get(cost_key, default_cost)) if cost_key else default_cost
+        cap = (
+            float(data.get(capacity_key, default_capacity))
+            if capacity_key
+            else default_capacity
+        )
+        digraph.add_edge(u, v, **{COST: cost, CAPACITY: cap})
+        if symmetric or not raw.is_directed():
+            digraph.add_edge(v, u, **{COST: cost, CAPACITY: cap})
+    return CacheNetwork(digraph)
+
+
+def load_edge_list(
+    path: str | Path,
+    *,
+    symmetric: bool = True,
+    default_capacity: float = math.inf,
+) -> CacheNetwork:
+    """Load a whitespace edge list: ``u v cost [capacity]`` per line.
+
+    Lines starting with ``#`` are comments.  Node ids stay strings.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise InvalidNetworkError(f"no such topology file: {path}")
+    edges = []
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) not in (3, 4):
+            raise InvalidNetworkError(
+                f"{path}:{lineno}: expected 'u v cost [capacity]', got {line!r}"
+            )
+        u, v = parts[0], parts[1]
+        try:
+            cost = float(parts[2])
+            cap = float(parts[3]) if len(parts) == 4 else default_capacity
+        except ValueError as exc:
+            raise InvalidNetworkError(f"{path}:{lineno}: bad number") from exc
+        edges.append((u, v, cost, cap))
+    return CacheNetwork.from_edges(edges, symmetric=symmetric)
+
+
+def save_edge_list(network: CacheNetwork, path: str | Path) -> None:
+    """Write a network as a directed edge list (round-trips with the loader)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    lines = ["# u v cost capacity (directed)"]
+    for (u, v) in sorted(network.edges, key=repr):
+        cap = network.capacity(u, v)
+        cap_str = "inf" if math.isinf(cap) else f"{cap!r}"
+        lines.append(f"{u} {v} {network.cost(u, v)!r} {cap_str}")
+    path.write_text("\n".join(lines) + "\n")
+
+
+def save_network_json(
+    network: CacheNetwork,
+    path: str | Path,
+) -> None:
+    """Serialize topology + caches to JSON (for experiment manifests)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    payload = {
+        "nodes": [str(v) for v in sorted(network.nodes, key=repr)],
+        "cache_capacity": {
+            str(v): c for v, c in sorted(network.cache_capacities.items(), key=repr)
+        },
+        "edges": [
+            {
+                "u": str(u),
+                "v": str(v),
+                "cost": network.cost(u, v),
+                "capacity": (
+                    None if math.isinf(network.capacity(u, v)) else network.capacity(u, v)
+                ),
+            }
+            for (u, v) in sorted(network.edges, key=repr)
+        ],
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+def load_network_json(path: str | Path) -> CacheNetwork:
+    """Load a network serialized by :func:`save_network_json`."""
+    path = Path(path)
+    if not path.exists():
+        raise InvalidNetworkError(f"no such file: {path}")
+    payload = json.loads(path.read_text())
+    digraph = nx.DiGraph()
+    digraph.add_nodes_from(payload.get("nodes", []))
+    for edge in payload.get("edges", []):
+        cap = edge.get("capacity")
+        digraph.add_edge(
+            edge["u"],
+            edge["v"],
+            **{COST: float(edge["cost"]), CAPACITY: math.inf if cap is None else float(cap)},
+        )
+    return CacheNetwork(digraph, payload.get("cache_capacity", {}))

@@ -1,0 +1,215 @@
+"""Shortest-path primitives (Dijkstra, all-pairs costs, Yen's k-shortest paths).
+
+The paper's algorithms need, for every (cache node ``v``, requester ``s``)
+pair, the least routing cost ``w_{v->s}`` of moving one item from ``v`` to
+``s`` (Section 4.1.1), plus the actual least-cost paths for building routes,
+and k-shortest paths for the candidate-path baseline of [3].
+
+Implemented from scratch on binary heaps; networkx is only used as the graph
+container.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from collections.abc import Hashable
+
+import networkx as nx
+
+from repro.exceptions import InvalidNetworkError
+from repro.graph.network import COST
+
+Node = Hashable
+
+
+def single_source_dijkstra(
+    graph: nx.DiGraph,
+    source: Node,
+    *,
+    weight: str = COST,
+) -> tuple[dict[Node, float], dict[Node, Node]]:
+    """Least-cost distances and predecessors from ``source`` to all nodes.
+
+    Returns ``(dist, pred)`` where ``dist[v]`` is the least cost of a
+    ``source -> v`` path (missing if unreachable) and ``pred[v]`` is ``v``'s
+    predecessor on one such path.
+    """
+    if source not in graph:
+        raise InvalidNetworkError(f"source {source!r} not in graph")
+    dist: dict[Node, float] = {source: 0.0}
+    pred: dict[Node, Node] = {}
+    done: set[Node] = set()
+    counter = itertools.count()  # tie-breaker so heap never compares nodes
+    heap: list[tuple[float, int, Node]] = [(0.0, next(counter), source)]
+    while heap:
+        d, _, u = heapq.heappop(heap)
+        if u in done:
+            continue
+        done.add(u)
+        for _, v, data in graph.out_edges(u, data=True):
+            if v in done:
+                continue
+            w = data.get(weight, 1.0)
+            if w < 0:
+                raise InvalidNetworkError(f"negative weight on ({u!r}, {v!r})")
+            nd = d + w
+            if nd < dist.get(v, math.inf):
+                dist[v] = nd
+                pred[v] = u
+                heapq.heappush(heap, (nd, next(counter), v))
+    return dist, pred
+
+
+def reconstruct_path(pred: dict[Node, Node], source: Node, target: Node) -> list[Node]:
+    """Rebuild the ``source -> target`` path from a predecessor map."""
+    if target == source:
+        return [source]
+    if target not in pred:
+        raise InvalidNetworkError(f"{target!r} unreachable from {source!r}")
+    path = [target]
+    while path[-1] != source:
+        path.append(pred[path[-1]])
+    path.reverse()
+    return path
+
+
+def all_pairs_least_costs(
+    graph: nx.DiGraph,
+    *,
+    weight: str = COST,
+) -> tuple[dict[Node, dict[Node, float]], float]:
+    """All-pairs least costs plus the maximum finite pairwise cost ``w_max``.
+
+    Returns ``(costs, w_max)`` with ``costs[v][s] = w_{v->s}`` (missing keys
+    mean unreachable).  ``w_max`` is the paper's upper bound on the maximum
+    pairwise cost; for a single-node graph it degenerates to ``1.0`` so that
+    downstream formulas stay well-defined.
+    """
+    costs: dict[Node, dict[Node, float]] = {}
+    w_max = 0.0
+    for v in graph.nodes:
+        dist, _ = single_source_dijkstra(graph, v, weight=weight)
+        costs[v] = dist
+        if dist:
+            w_max = max(w_max, max(dist.values()))
+    return costs, (w_max if w_max > 0 else 1.0)
+
+
+def all_pairs_shortest_paths(
+    graph: nx.DiGraph,
+    *,
+    weight: str = COST,
+) -> dict[Node, tuple[dict[Node, float], dict[Node, Node]]]:
+    """For every node ``v``: the Dijkstra ``(dist, pred)`` pair rooted at ``v``."""
+    return {v: single_source_dijkstra(graph, v, weight=weight) for v in graph.nodes}
+
+
+def path_cost(graph: nx.DiGraph, path: list[Node], *, weight: str = COST) -> float:
+    """Total cost of a node path under the given edge weight attribute."""
+    total = 0.0
+    for u, v in zip(path[:-1], path[1:]):
+        if not graph.has_edge(u, v):
+            raise InvalidNetworkError(f"path uses missing link ({u!r}, {v!r})")
+        total += graph.edges[u, v].get(weight, 1.0)
+    return total
+
+
+def k_shortest_paths(
+    graph: nx.DiGraph,
+    source: Node,
+    target: Node,
+    k: int,
+    *,
+    weight: str = COST,
+) -> list[list[Node]]:
+    """Yen's algorithm: up to ``k`` loopless least-cost ``source -> target`` paths.
+
+    Returns fewer than ``k`` paths when the graph does not contain that many
+    distinct loopless paths. Paths are sorted by increasing cost.
+    """
+    if k <= 0:
+        return []
+    dist, pred = single_source_dijkstra(graph, source, weight=weight)
+    if target not in dist:
+        return []
+    paths: list[list[Node]] = [reconstruct_path(pred, source, target)]
+    # Candidate heap holds (cost, counter, path).
+    candidates: list[tuple[float, int, list[Node]]] = []
+    seen: set[tuple[Node, ...]] = {tuple(paths[0])}
+    counter = itertools.count()
+    for _ in range(1, k):
+        prev_path = paths[-1]
+        for i in range(len(prev_path) - 1):
+            spur_node = prev_path[i]
+            root = prev_path[: i + 1]
+            removed_edges: list[tuple[Node, Node, dict]] = []
+            removed_nodes: list[tuple[Node, list[tuple[Node, Node, dict]]]] = []
+            # Remove edges that would recreate an already-found path.
+            for p in paths:
+                if len(p) > i and p[: i + 1] == root and graph.has_edge(p[i], p[i + 1]):
+                    data = dict(graph.edges[p[i], p[i + 1]])
+                    graph.remove_edge(p[i], p[i + 1])
+                    removed_edges.append((p[i], p[i + 1], data))
+            # Remove root nodes (except the spur) to keep paths loopless.
+            for node in root[:-1]:
+                incident = [
+                    (u, v, dict(d))
+                    for u, v, d in itertools.chain(
+                        graph.in_edges(node, data=True), graph.out_edges(node, data=True)
+                    )
+                ]
+                graph.remove_node(node)
+                removed_nodes.append((node, incident))
+            try:
+                spur_dist, spur_pred = single_source_dijkstra(graph, spur_node, weight=weight)
+                if target in spur_dist:
+                    spur_path = reconstruct_path(spur_pred, spur_node, target)
+                    total = root[:-1] + spur_path
+                    key = tuple(total)
+                    if key not in seen:
+                        seen.add(key)
+                        cost = path_cost_restored(graph, removed_nodes, removed_edges, total, weight)
+                        heapq.heappush(candidates, (cost, next(counter), total))
+            finally:
+                for node, incident in reversed(removed_nodes):
+                    graph.add_node(node)
+                    for u, v, d in incident:
+                        graph.add_edge(u, v, **d)
+                for u, v, d in removed_edges:
+                    graph.add_edge(u, v, **d)
+        if not candidates:
+            break
+        _, _, best = heapq.heappop(candidates)
+        paths.append(best)
+    return paths
+
+
+def path_cost_restored(
+    graph: nx.DiGraph,
+    removed_nodes: list[tuple[Node, list[tuple[Node, Node, dict]]]],
+    removed_edges: list[tuple[Node, Node, dict]],
+    path: list[Node],
+    weight: str,
+) -> float:
+    """Cost of ``path`` accounting for temporarily removed nodes/edges.
+
+    Helper for :func:`k_shortest_paths`: candidate paths are costed while the
+    graph is mutilated, so look edge weights up in the removal records first.
+    """
+    restored: dict[tuple[Node, Node], float] = {}
+    for _, incident in removed_nodes:
+        for u, v, d in incident:
+            restored[(u, v)] = d.get(weight, 1.0)
+    for u, v, d in removed_edges:
+        restored[(u, v)] = d.get(weight, 1.0)
+    total = 0.0
+    for u, v in zip(path[:-1], path[1:]):
+        if graph.has_edge(u, v):
+            total += graph.edges[u, v].get(weight, 1.0)
+        elif (u, v) in restored:
+            total += restored[(u, v)]
+        else:
+            raise InvalidNetworkError(f"candidate path uses unknown link ({u!r}, {v!r})")
+    return total

@@ -1,0 +1,200 @@
+"""Network topologies used in the paper's evaluation, plus synthetic generators.
+
+The paper evaluates on the Rocketfuel *Abovenet* ISP map (Fig. 3) and on
+three Topology-Zoo maps — *Abvt* (23 nodes / 31 links), *Tinet* (53/89) and
+*Deltacom* (113/161) — listed in Table 5.  Those datasets are external, so we
+substitute:
+
+- :func:`abovenet`: a hand-crafted PoP-level ISP map over Abovenet's real US
+  cities with one degree-1 gateway (the origin server in the paper's setup)
+  and several low-degree edge PoPs;
+- :func:`abvt` / :func:`tinet` / :func:`deltacom`: deterministic ISP-like
+  graphs (preferential-attachment backbone plus chords) with exactly the
+  node/link counts of Table 5.
+
+All constructors return a :class:`~repro.graph.network.CacheNetwork` whose
+links exist in both directions with unit cost and infinite capacity; the
+experiment scenarios assign the paper's cost and capacity distributions.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+
+import networkx as nx
+import numpy as np
+
+from repro.exceptions import InvalidNetworkError
+from repro.graph.network import CAPACITY, COST, CacheNetwork
+
+Node = Hashable
+
+#: Hand-crafted Abovenet (AS 6461) PoP-level map. Undirected adjacency;
+#: "LON" is the single degree-1 PoP and plays the origin-server gateway.
+_ABOVENET_EDGES: list[tuple[str, str]] = [
+    ("SEA", "SJC"),
+    ("SEA", "ORD"),
+    ("SJC", "SFO"),
+    ("SJC", "LAX"),
+    ("SJC", "DEN"),
+    ("SJC", "ORD"),
+    ("SJC", "IAD"),
+    ("SJC", "DFW"),
+    ("SFO", "LAX"),
+    ("LAX", "PHX"),
+    ("LAX", "DFW"),
+    ("PHX", "DFW"),
+    ("DEN", "ORD"),
+    ("DFW", "IAH"),
+    ("DFW", "ORD"),
+    ("DFW", "ATL"),
+    ("IAH", "ATL"),
+    ("ORD", "JFK"),
+    ("ORD", "IAD"),
+    ("ORD", "BOS"),
+    ("ATL", "MIA"),
+    ("ATL", "IAD"),
+    ("MIA", "IAD"),
+    ("IAD", "JFK"),
+    ("IAD", "EWR"),
+    ("JFK", "BOS"),
+    ("JFK", "EWR"),
+    ("JFK", "LON"),
+    ("EWR", "BOS"),
+]
+
+
+def _bidirectional(undirected: nx.Graph) -> CacheNetwork:
+    """Turn an undirected map into a CacheNetwork with links both ways."""
+    digraph = nx.DiGraph()
+    digraph.add_nodes_from(undirected.nodes)
+    for u, v in undirected.edges:
+        digraph.add_edge(u, v, **{COST: 1.0, CAPACITY: float("inf")})
+        digraph.add_edge(v, u, **{COST: 1.0, CAPACITY: float("inf")})
+    return CacheNetwork(digraph)
+
+
+def abovenet() -> CacheNetwork:
+    """Abovenet-like ISP topology (16 PoPs, 29 undirected links)."""
+    graph = nx.Graph(_ABOVENET_EDGES)
+    return _bidirectional(graph)
+
+
+def _isp_like(num_nodes: int, num_links: int, seed: int) -> CacheNetwork:
+    """Deterministic ISP-like map with exact node and (undirected) link counts.
+
+    A preferential-attachment spanning tree gives the hub-and-spoke backbone
+    typical of ISP maps; the remaining ``num_links - (num_nodes - 1)`` chords
+    are added between non-adjacent pairs, biased toward high-degree hubs.
+    """
+    if num_links < num_nodes - 1:
+        raise InvalidNetworkError("need at least n-1 links for connectivity")
+    max_links = num_nodes * (num_nodes - 1) // 2
+    if num_links > max_links:
+        raise InvalidNetworkError("too many links for a simple graph")
+    rng = np.random.default_rng(seed)
+    graph = nx.Graph()
+    graph.add_node(0)
+    for v in range(1, num_nodes):
+        degrees = np.array([graph.degree(u) + 1.0 for u in range(v)])
+        probs = degrees / degrees.sum()
+        u = int(rng.choice(v, p=probs))
+        graph.add_edge(u, v)
+    while graph.number_of_edges() < num_links:
+        degrees = np.array([graph.degree(u) + 1.0 for u in range(num_nodes)])
+        probs = degrees / degrees.sum()
+        u = int(rng.choice(num_nodes, p=probs))
+        v = int(rng.integers(num_nodes))
+        if u != v and not graph.has_edge(u, v):
+            graph.add_edge(u, v)
+    return _bidirectional(graph)
+
+
+def abvt() -> CacheNetwork:
+    """Abvt-sized topology: 23 nodes, 31 undirected links (Table 5)."""
+    return _isp_like(23, 31, seed=2301)
+
+
+def tinet() -> CacheNetwork:
+    """Tinet-sized topology: 53 nodes, 89 undirected links (Table 5)."""
+    return _isp_like(53, 89, seed=5302)
+
+
+def deltacom() -> CacheNetwork:
+    """Deltacom-sized topology: 113 nodes, 161 undirected links (Table 5)."""
+    return _isp_like(113, 161, seed=11303)
+
+
+def abilene_like() -> CacheNetwork:
+    """The classic 11-node Abilene research backbone (handy for examples)."""
+    edges = [
+        ("Seattle", "Sunnyvale"),
+        ("Seattle", "Denver"),
+        ("Sunnyvale", "LosAngeles"),
+        ("Sunnyvale", "Denver"),
+        ("LosAngeles", "Houston"),
+        ("Denver", "KansasCity"),
+        ("KansasCity", "Houston"),
+        ("KansasCity", "Indianapolis"),
+        ("Houston", "Atlanta"),
+        ("Atlanta", "Indianapolis"),
+        ("Atlanta", "WashingtonDC"),
+        ("Indianapolis", "Chicago"),
+        ("Chicago", "NewYork"),
+        ("NewYork", "WashingtonDC"),
+    ]
+    return _bidirectional(nx.Graph(edges))
+
+
+def line_topology(num_nodes: int) -> CacheNetwork:
+    """A path ``0 - 1 - ... - n-1`` (both directions). Useful in unit tests."""
+    if num_nodes < 2:
+        raise InvalidNetworkError("line topology needs at least 2 nodes")
+    return _bidirectional(nx.path_graph(num_nodes))
+
+
+def tree_topology(branching: int, depth: int) -> CacheNetwork:
+    """Balanced tree: the hierarchical shape common in CDN/IPTV studies."""
+    if branching < 1 or depth < 1:
+        raise InvalidNetworkError("branching and depth must be >= 1")
+    return _bidirectional(nx.balanced_tree(branching, depth))
+
+
+def random_topology(
+    num_nodes: int,
+    *,
+    average_degree: float = 3.0,
+    seed: int = 0,
+) -> CacheNetwork:
+    """Connected Erdos-Renyi-style topology for synthetic sweeps."""
+    if num_nodes < 2:
+        raise InvalidNetworkError("need at least 2 nodes")
+    target_links = max(num_nodes - 1, int(round(num_nodes * average_degree / 2)))
+    target_links = min(target_links, num_nodes * (num_nodes - 1) // 2)
+    return _isp_like(num_nodes, target_links, seed=seed)
+
+
+def edge_caching_roles(
+    network: CacheNetwork,
+    *,
+    num_edge_nodes: int | None = None,
+    max_degree: int = 3,
+) -> tuple[Node, list[Node]]:
+    """Pick the origin server and the edge (cache) nodes as in Section 6.
+
+    The origin is (the gateway to) a lowest-degree node; edge nodes are the
+    next-lowest-degree nodes with undirected degree ``<= max_degree``
+    (paper default), or simply the ``num_edge_nodes`` lowest-degree nodes
+    when a count is requested (Appendix D uses 5).
+    """
+    nodes = sorted(network.nodes, key=lambda v: (network.undirected_degree(v), str(v)))
+    origin = nodes[0]
+    rest = nodes[1:]
+    if num_edge_nodes is not None:
+        if num_edge_nodes > len(rest):
+            raise InvalidNetworkError("not enough nodes for requested edge count")
+        return origin, rest[:num_edge_nodes]
+    edge_nodes = [v for v in rest if network.undirected_degree(v) <= max_degree]
+    if not edge_nodes:
+        edge_nodes = rest[: max(1, len(rest) // 3)]
+    return origin, edge_nodes

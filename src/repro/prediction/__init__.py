@@ -1,0 +1,40 @@
+"""Demand prediction: Gaussian-process regression with the paper's kernel."""
+
+from repro.prediction.gpr import DemandPredictor, GaussianProcessRegressor
+from repro.prediction.metrics import (
+    ForecastScore,
+    interval_coverage,
+    mae,
+    mape,
+    rmse,
+    score_forecast,
+)
+from repro.prediction.kernels import (
+    RBF,
+    Constant,
+    Kernel,
+    Periodic,
+    Product,
+    Sum,
+    White,
+    paper_kernel,
+)
+
+__all__ = [
+    "GaussianProcessRegressor",
+    "DemandPredictor",
+    "Kernel",
+    "RBF",
+    "Periodic",
+    "White",
+    "Constant",
+    "Sum",
+    "Product",
+    "paper_kernel",
+    "mape",
+    "rmse",
+    "mae",
+    "interval_coverage",
+    "score_forecast",
+    "ForecastScore",
+]

@@ -1,0 +1,208 @@
+"""Covariance kernels for Gaussian-process regression.
+
+The paper predicts hourly request rates with scikit-learn's GPR using
+"white noise, periodic, and radial-basis function kernels" (Section 6);
+scikit-learn is not a dependency here, so the kernel algebra is implemented
+from scratch: RBF, ExpSineSquared (periodic), White, Constant, and Sum /
+Product composition.  Hyperparameters live in log space (``theta``) so the
+marginal-likelihood optimizer works on an unconstrained-ish scale.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def _as_2d(x: np.ndarray) -> np.ndarray:
+    x = np.asarray(x, dtype=float)
+    if x.ndim == 1:
+        x = x[:, None]
+    return x
+
+
+def _sqdist(x1: np.ndarray, x2: np.ndarray) -> np.ndarray:
+    return np.sum((x1[:, None, :] - x2[None, :, :]) ** 2, axis=-1)
+
+
+class Kernel:
+    """Base class: callable covariance with log-space hyperparameters."""
+
+    def __call__(self, x1: np.ndarray, x2: np.ndarray | None = None) -> np.ndarray:
+        raise NotImplementedError
+
+    @property
+    def theta(self) -> np.ndarray:
+        """Log-hyperparameters (flattened)."""
+        raise NotImplementedError
+
+    @theta.setter
+    def theta(self, value: np.ndarray) -> None:
+        raise NotImplementedError
+
+    @property
+    def bounds(self) -> list[tuple[float, float]]:
+        """Log-space box bounds, one pair per theta entry."""
+        raise NotImplementedError
+
+    def __add__(self, other: "Kernel") -> "Sum":
+        return Sum(self, other)
+
+    def __mul__(self, other: "Kernel") -> "Product":
+        return Product(self, other)
+
+
+class RBF(Kernel):
+    """Squared-exponential kernel ``exp(-d^2 / (2 l^2))``."""
+
+    def __init__(
+        self, length_scale: float = 1.0, length_scale_bounds=(1e-2, 1e4)
+    ) -> None:
+        self.length_scale = float(length_scale)
+        self._bounds = length_scale_bounds
+
+    def __call__(self, x1, x2=None):
+        x1 = _as_2d(x1)
+        x2 = x1 if x2 is None else _as_2d(x2)
+        return np.exp(-0.5 * _sqdist(x1, x2) / self.length_scale**2)
+
+    @property
+    def theta(self):
+        return np.array([np.log(self.length_scale)])
+
+    @theta.setter
+    def theta(self, value):
+        self.length_scale = float(np.exp(value[0]))
+
+    @property
+    def bounds(self):
+        lo, hi = self._bounds
+        return [(np.log(lo), np.log(hi))]
+
+
+class Periodic(Kernel):
+    """ExpSineSquared kernel ``exp(-2 sin^2(pi d / p) / l^2)``.
+
+    The period defaults to 24 (hours): the diurnal cycle of view counts.
+    """
+
+    def __init__(
+        self,
+        length_scale: float = 1.0,
+        period: float = 24.0,
+        length_scale_bounds=(1e-2, 1e4),
+        period_bounds=(1.0, 1e3),
+    ) -> None:
+        self.length_scale = float(length_scale)
+        self.period = float(period)
+        self._ls_bounds = length_scale_bounds
+        self._p_bounds = period_bounds
+
+    def __call__(self, x1, x2=None):
+        x1 = _as_2d(x1)
+        x2 = x1 if x2 is None else _as_2d(x2)
+        d = np.sqrt(np.maximum(_sqdist(x1, x2), 0.0))
+        return np.exp(-2.0 * np.sin(np.pi * d / self.period) ** 2 / self.length_scale**2)
+
+    @property
+    def theta(self):
+        return np.array([np.log(self.length_scale), np.log(self.period)])
+
+    @theta.setter
+    def theta(self, value):
+        self.length_scale = float(np.exp(value[0]))
+        self.period = float(np.exp(value[1]))
+
+    @property
+    def bounds(self):
+        return [
+            (np.log(self._ls_bounds[0]), np.log(self._ls_bounds[1])),
+            (np.log(self._p_bounds[0]), np.log(self._p_bounds[1])),
+        ]
+
+
+class White(Kernel):
+    """White-noise kernel: ``sigma^2 I`` on identical inputs, 0 elsewhere."""
+
+    def __init__(self, noise_level: float = 1.0, noise_level_bounds=(1e-8, 1e2)):
+        self.noise_level = float(noise_level)
+        self._bounds = noise_level_bounds
+
+    def __call__(self, x1, x2=None):
+        x1 = _as_2d(x1)
+        if x2 is None:
+            return self.noise_level * np.eye(len(x1))
+        return np.zeros((len(x1), len(_as_2d(x2))))
+
+    @property
+    def theta(self):
+        return np.array([np.log(self.noise_level)])
+
+    @theta.setter
+    def theta(self, value):
+        self.noise_level = float(np.exp(value[0]))
+
+    @property
+    def bounds(self):
+        lo, hi = self._bounds
+        return [(np.log(lo), np.log(hi))]
+
+
+class Constant(Kernel):
+    """Constant variance kernel (an output scale when multiplied in)."""
+
+    def __init__(self, value: float = 1.0, value_bounds=(1e-4, 1e4)):
+        self.value = float(value)
+        self._bounds = value_bounds
+
+    def __call__(self, x1, x2=None):
+        x1 = _as_2d(x1)
+        n2 = len(x1) if x2 is None else len(_as_2d(x2))
+        return np.full((len(x1), n2), self.value)
+
+    @property
+    def theta(self):
+        return np.array([np.log(self.value)])
+
+    @theta.setter
+    def theta(self, value):
+        self.value = float(np.exp(value[0]))
+
+    @property
+    def bounds(self):
+        lo, hi = self._bounds
+        return [(np.log(lo), np.log(hi))]
+
+
+class _Composite(Kernel):
+    def __init__(self, left: Kernel, right: Kernel) -> None:
+        self.left = left
+        self.right = right
+
+    @property
+    def theta(self):
+        return np.concatenate([self.left.theta, self.right.theta])
+
+    @theta.setter
+    def theta(self, value):
+        k = len(self.left.theta)
+        self.left.theta = value[:k]
+        self.right.theta = value[k:]
+
+    @property
+    def bounds(self):
+        return self.left.bounds + self.right.bounds
+
+
+class Sum(_Composite):
+    def __call__(self, x1, x2=None):
+        return self.left(x1, x2) + self.right(x1, x2)
+
+
+class Product(_Composite):
+    def __call__(self, x1, x2=None):
+        return self.left(x1, x2) * self.right(x1, x2)
+
+
+def paper_kernel() -> Kernel:
+    """The paper's kernel: constant * (RBF + periodic) + white noise."""
+    return Constant(1.0) * (RBF(24.0) + Periodic(1.0, 24.0)) + White(0.1)

@@ -1,0 +1,83 @@
+"""Prediction-quality metrics (for Fig. 4-style evaluation).
+
+Standard point-forecast errors plus Gaussian-interval coverage, so the GPR
+demand predictor can be scored the way forecasting papers do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.exceptions import PredictionError
+
+
+def _validate(truth: np.ndarray, predicted: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    truth = np.asarray(truth, dtype=float)
+    predicted = np.asarray(predicted, dtype=float)
+    if truth.shape != predicted.shape or truth.size == 0:
+        raise PredictionError("truth and prediction must be same-shaped, nonempty")
+    return truth, predicted
+
+
+def mape(truth: np.ndarray, predicted: np.ndarray) -> float:
+    """Mean absolute percentage error (truth must be positive)."""
+    truth, predicted = _validate(truth, predicted)
+    if (truth <= 0).any():
+        raise PredictionError("MAPE needs strictly positive truth values")
+    return float(np.mean(np.abs(predicted - truth) / truth))
+
+
+def rmse(truth: np.ndarray, predicted: np.ndarray) -> float:
+    """Root mean squared error."""
+    truth, predicted = _validate(truth, predicted)
+    return float(np.sqrt(np.mean((predicted - truth) ** 2)))
+
+
+def mae(truth: np.ndarray, predicted: np.ndarray) -> float:
+    """Mean absolute error."""
+    truth, predicted = _validate(truth, predicted)
+    return float(np.mean(np.abs(predicted - truth)))
+
+
+def interval_coverage(
+    truth: np.ndarray,
+    mean: np.ndarray,
+    std: np.ndarray,
+    *,
+    z: float = 1.96,
+) -> float:
+    """Fraction of truths inside the +-z*std Gaussian band (0.95 nominal)."""
+    truth, mean = _validate(truth, mean)
+    std = np.asarray(std, dtype=float)
+    if std.shape != truth.shape or (std < 0).any():
+        raise PredictionError("std must be same-shaped and nonnegative")
+    inside = np.abs(truth - mean) <= z * std
+    return float(np.mean(inside))
+
+
+@dataclass(frozen=True)
+class ForecastScore:
+    """All metrics of one forecast in one record."""
+
+    mape: float
+    rmse: float
+    mae: float
+    coverage_95: float | None
+
+
+def score_forecast(
+    truth: np.ndarray,
+    predicted: np.ndarray,
+    std: np.ndarray | None = None,
+) -> ForecastScore:
+    """Bundle the point metrics (and coverage when a std is available)."""
+    return ForecastScore(
+        mape=mape(truth, predicted),
+        rmse=rmse(truth, predicted),
+        mae=mae(truth, predicted),
+        coverage_95=(
+            None if std is None else interval_coverage(truth, predicted, std)
+        ),
+    )

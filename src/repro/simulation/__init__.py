@@ -1,0 +1,15 @@
+"""Discrete-event validation simulator for caching/routing solutions."""
+
+from repro.simulation.simulator import (
+    SimulationConfig,
+    SimulationReport,
+    scale_problem,
+    simulate,
+)
+
+__all__ = [
+    "SimulationConfig",
+    "SimulationReport",
+    "simulate",
+    "scale_problem",
+]

@@ -1,0 +1,233 @@
+"""Event-driven validation of caching/routing solutions.
+
+The paper evaluates solutions analytically: routing cost (1a), and
+congestion as the worst load-to-capacity ratio.  This simulator *replays* a
+solution at the request level to validate those analytic quantities and to
+expose what congestion means operationally:
+
+- requests of each type ``(i, s)`` arrive as independent Poisson processes
+  with the instance's rates;
+- each request draws one serving path from the routing's path fractions;
+- the response is transferred store-and-forward: every link is a FIFO
+  server whose service time is ``item_size / link_capacity`` (zero for
+  uncapacitated links);
+- delivery latency, per-link utilization, and empirical loads are recorded.
+
+By the law of large numbers the empirical per-link load converges to the
+analytic ``sum_r lambda_r * f`` of constraint (1b), and latency diverges
+precisely on solutions whose analytic congestion exceeds 1 — the property
+tests pin both facts down.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import math
+from collections import deque
+from collections.abc import Hashable
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.problem import ProblemInstance
+from repro.core.solution import Routing
+from repro.exceptions import InvalidProblemError
+
+Node = Hashable
+Edge = tuple[Node, Node]
+
+
+@dataclass(frozen=True)
+class SimulationConfig:
+    """Simulation horizon and safety limits.
+
+    Time is measured in the instance's rate unit (rates per hour -> hours).
+    """
+
+    horizon: float = 1.0
+    seed: int = 0
+    #: Hard cap on simulated requests (guards against accidental huge rates).
+    max_requests: int = 500_000
+
+    def __post_init__(self) -> None:
+        if self.horizon <= 0:
+            raise InvalidProblemError("horizon must be positive")
+
+
+@dataclass
+class SimulationReport:
+    """Aggregated outcome of one simulation run."""
+
+    generated: int
+    delivered: int
+    mean_latency: float
+    p95_latency: float
+    max_latency: float
+    #: Fraction of the horizon each capacitated link spent transferring.
+    utilization: dict[Edge, float] = field(default_factory=dict)
+    #: Empirical traffic (size per unit time) per link.
+    empirical_loads: dict[Edge, float] = field(default_factory=dict)
+    #: The analytic loads of constraint (1b), for comparison.
+    analytic_loads: dict[Edge, float] = field(default_factory=dict)
+    #: Requests whose delivery completed only after the horizon (backlog —
+    #: nonzero exactly when some link is overloaded).
+    late_deliveries: int = 0
+
+    @property
+    def max_utilization(self) -> float:
+        return max(self.utilization.values(), default=0.0)
+
+
+def scale_problem(problem: ProblemInstance, factor: float) -> ProblemInstance:
+    """Scale demand AND link capacities jointly by ``factor``.
+
+    Utilizations and congestion are invariant under this scaling, so a
+    paper-sized instance (~2M requests/hour) can be simulated at a
+    manageable request count without changing what is being validated.
+    """
+    if factor <= 0:
+        raise InvalidProblemError("factor must be positive")
+    network = problem.network.copy()
+    for (u, v), cap in network.capacities().items():
+        if not math.isinf(cap):
+            network.set_link_capacity(u, v, cap * factor)
+    return ProblemInstance(
+        network=network,
+        catalog=problem.catalog,
+        demand={r: rate * factor for r, rate in problem.demand.items()},
+        item_sizes=None if problem.item_sizes is None else dict(problem.item_sizes),
+        pinned=problem.pinned,
+    )
+
+
+@dataclass
+class _Transfer:
+    request_id: int
+    item: Hashable
+    path: tuple[Node, ...]
+    hop: int
+    start_time: float
+
+
+def simulate(
+    problem: ProblemInstance,
+    routing: Routing,
+    config: SimulationConfig | None = None,
+) -> SimulationReport:
+    """Replay ``routing`` under Poisson arrivals; see the module docstring."""
+    config = config or SimulationConfig()
+    rng = np.random.default_rng(config.seed)
+
+    # --- generate arrivals -------------------------------------------------
+    arrivals: list[tuple[float, int, Hashable, tuple[Node, ...]]] = []
+    counter = itertools.count()
+    for (item, s), rate in problem.demand.items():
+        pfs = routing.paths.get((item, s))
+        if not pfs:
+            raise InvalidProblemError(f"request {(item, s)!r} has no routing")
+        amounts = np.array([pf.amount for pf in pfs], dtype=float)
+        probs = amounts / amounts.sum()
+        expected = rate * config.horizon
+        if expected > config.max_requests:
+            raise InvalidProblemError(
+                f"request {(item, s)!r} would generate ~{expected:.0f} arrivals;"
+                " scale the instance down with scale_problem()"
+            )
+        t = 0.0
+        while True:
+            t += float(rng.exponential(1.0 / rate))
+            if t >= config.horizon:
+                break
+            choice = int(rng.choice(len(pfs), p=probs))
+            arrivals.append((t, next(counter), item, pfs[choice].path))
+            if len(arrivals) > config.max_requests:
+                raise InvalidProblemError(
+                    "simulation exceeds max_requests; scale the instance down"
+                )
+
+    # --- event loop ---------------------------------------------------------
+    # Event kinds: ("arrival", transfer) request enters its first queue;
+    # ("done", edge) a link finished its current transfer.
+    events: list[tuple[float, int, str, object]] = []
+    seq = itertools.count()
+    for t, _, item, path in arrivals:
+        transfer = _Transfer(
+            request_id=next(seq), item=item, path=path, hop=0, start_time=t
+        )
+        heapq.heappush(events, (t, transfer.request_id, "arrival", transfer))
+
+    queues: dict[Edge, deque] = {}
+    busy_until: dict[Edge, float] = {}
+    busy_time: dict[Edge, float] = {}
+    transferred: dict[Edge, float] = {}
+    completions: list[tuple[float, float]] = []  # (finish_time, latency)
+
+    def service_time(edge: Edge, item: Hashable) -> float:
+        cap = problem.network.capacity(*edge)
+        if math.isinf(cap):
+            return 0.0
+        return problem.size_of(item) / cap
+
+    def enter_link(now: float, transfer: _Transfer) -> None:
+        if transfer.hop >= len(transfer.path) - 1:
+            completions.append((now, now - transfer.start_time))
+            return
+        edge = (transfer.path[transfer.hop], transfer.path[transfer.hop + 1])
+        queue = queues.setdefault(edge, deque())
+        if now >= busy_until.get(edge, 0.0) and not queue:
+            _start_service(now, edge, transfer)
+        else:
+            queue.append(transfer)
+
+    def _start_service(now: float, edge: Edge, transfer: _Transfer) -> None:
+        duration = service_time(edge, transfer.item)
+        finish = now + duration
+        busy_until[edge] = finish
+        busy_time[edge] = busy_time.get(edge, 0.0) + duration
+        transferred[edge] = transferred.get(edge, 0.0) + problem.size_of(transfer.item)
+        heapq.heappush(events, (finish, transfer.request_id, "done", (edge, transfer)))
+
+    while events:
+        now, _, kind, payload = heapq.heappop(events)
+        if kind == "arrival":
+            enter_link(now, payload)  # type: ignore[arg-type]
+        else:
+            edge, transfer = payload  # type: ignore[misc]
+            queue = queues.get(edge)
+            if queue:
+                _start_service(now, edge, queue.popleft())
+            transfer.hop += 1
+            enter_link(now, transfer)
+
+    # --- reporting -----------------------------------------------------------
+    analytic: dict[Edge, float] = {}
+    for (item, s), rate in problem.demand.items():
+        for pf in routing.paths.get((item, s), []):
+            for edge in pf.edges():
+                analytic[edge] = (
+                    analytic.get(edge, 0.0)
+                    + rate * pf.amount * problem.size_of(item)
+                )
+    utilization = {
+        edge: busy_time.get(edge, 0.0) / config.horizon
+        for edge in busy_time
+        if not math.isinf(problem.network.capacity(*edge))
+    }
+    latencies_arr = (
+        np.array([lat for _t, lat in completions]) if completions else np.zeros(1)
+    )
+    late = sum(1 for t, _lat in completions if t > config.horizon)
+    return SimulationReport(
+        generated=len(arrivals),
+        delivered=len(completions),
+        mean_latency=float(latencies_arr.mean()),
+        p95_latency=float(np.percentile(latencies_arr, 95)),
+        max_latency=float(latencies_arr.max()),
+        utilization=utilization,
+        empirical_loads={
+            edge: volume / config.horizon for edge, volume in transferred.items()
+        },
+        analytic_loads=analytic,
+        late_deliveries=late,
+    )

@@ -1,0 +1,58 @@
+"""Workload substrate: catalogs, synthetic traces, request matrices, Zipf."""
+
+from repro.workload.catalog import (
+    TABLE1_VIDEOS,
+    CatalogSpec,
+    Video,
+    chunk_level_catalog,
+    file_level_catalog,
+    top_videos,
+)
+from repro.workload.requests import (
+    build_demand,
+    edge_node_shares,
+    perturb_demand,
+    total_chunk_rate,
+)
+from repro.workload.statistics import (
+    TraceSummary,
+    autocorrelation,
+    demand_concentration,
+    fit_zipf_exponent,
+    peak_to_mean_ratio,
+    per_node_demand,
+    summarize_trace,
+)
+from repro.workload.trace import (
+    TraceConfig,
+    ViewTrace,
+    split_train_eval,
+    synthesize_trace,
+)
+from repro.workload.zipf import zipf_demand, zipf_popularity
+
+__all__ = [
+    "Video",
+    "TABLE1_VIDEOS",
+    "top_videos",
+    "CatalogSpec",
+    "chunk_level_catalog",
+    "file_level_catalog",
+    "ViewTrace",
+    "TraceConfig",
+    "synthesize_trace",
+    "split_train_eval",
+    "edge_node_shares",
+    "build_demand",
+    "total_chunk_rate",
+    "perturb_demand",
+    "zipf_demand",
+    "zipf_popularity",
+    "TraceSummary",
+    "summarize_trace",
+    "fit_zipf_exponent",
+    "peak_to_mean_ratio",
+    "autocorrelation",
+    "demand_concentration",
+    "per_node_demand",
+]

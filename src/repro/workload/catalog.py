@@ -1,0 +1,100 @@
+"""Content catalogs: the paper's YouTube videos (Table 1) and chunking.
+
+The original trace — #views per hour of the top YouTube videos collected in
+November 2021 — is not public, so we embed the *published statistics* of
+Table 1 verbatim (video id, size in MB, #100-MB chunks, total #views over the
+100 evaluation hours) and synthesize hourly view counts matching them (see
+:mod:`repro.workload.trace`).
+
+Two simulation granularities (Section 6):
+
+- *chunk level*: each video is split into fixed-size chunks (last chunk
+  padded), giving a homogeneous catalog;
+- *file level*: each video is one item of heterogeneous size.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Video:
+    """One video of the evaluation trace."""
+
+    video_id: str
+    size_mb: float
+    total_views: float
+
+    def num_chunks(self, chunk_mb: float = 100.0) -> int:
+        """Number of ``chunk_mb``-sized chunks (last chunk padded, fn. 4)."""
+        return max(1, math.ceil(self.size_mb / chunk_mb))
+
+    def chunk_ids(self, chunk_mb: float = 100.0) -> list[str]:
+        return [
+            f"{self.video_id}#c{k}" for k in range(self.num_chunks(chunk_mb))
+        ]
+
+
+#: Table 1 of the paper, verbatim.
+TABLE1_VIDEOS: tuple[Video, ...] = (
+    Video("dNCWe_6HAM8", 450.8789, 14144021),
+    Video("f5_wn8mexmM", 611.7188, 6046921),
+    Video("3YqPKLZF_WU", 746.1914, 3516996),
+    Video("2dTMIH5gCHg", 387.5977, 2724433),
+    Video("CULF91XH87w", 851.6602, 1935258),
+    Video("QDYDRA5JPLE", 427.1484, 1606676),
+    Video("LWAI7HkQMyc", 158.2031, 2701699),
+    Video("Zpi7CTDvi1A", 709.2773, 1286994),
+    Video("vH7n1vj-cwQ", 155.5664, 128860),
+    Video("JNCkUEeUFy0", 308.4961, 369157),
+    Video("CaimKeDcudo", 337.5, 613737),
+    Video("gXH7_XaGuPc", 680.2734, 368432),
+)
+
+
+def top_videos(n: int) -> tuple[Video, ...]:
+    """The first ``n`` videos of Table 1 (the paper's default is the top 10)."""
+    if not 1 <= n <= len(TABLE1_VIDEOS):
+        raise ValueError(f"n must be in [1, {len(TABLE1_VIDEOS)}]")
+    return TABLE1_VIDEOS[:n]
+
+
+@dataclass(frozen=True)
+class CatalogSpec:
+    """A concrete catalog derived from a set of videos.
+
+    ``items`` are content-item ids; ``sizes`` maps item -> size (MB), or
+    ``None`` in the homogeneous chunk-level model; ``item_of_video`` maps
+    video id -> the list of items a request for that video touches.
+    """
+
+    items: tuple[str, ...]
+    sizes: dict[str, float] | None
+    item_of_video: dict[str, tuple[str, ...]]
+
+    @property
+    def num_items(self) -> int:
+        return len(self.items)
+
+
+def chunk_level_catalog(
+    videos: tuple[Video, ...], *, chunk_mb: float = 100.0
+) -> CatalogSpec:
+    """Split videos into equal-size chunks (homogeneous item model)."""
+    items: list[str] = []
+    mapping: dict[str, tuple[str, ...]] = {}
+    for video in videos:
+        chunk_ids = tuple(video.chunk_ids(chunk_mb))
+        items.extend(chunk_ids)
+        mapping[video.video_id] = chunk_ids
+    return CatalogSpec(items=tuple(items), sizes=None, item_of_video=mapping)
+
+
+def file_level_catalog(videos: tuple[Video, ...]) -> CatalogSpec:
+    """One heterogeneous-size item per video (Section 5's model)."""
+    items = tuple(v.video_id for v in videos)
+    sizes = {v.video_id: v.size_mb for v in videos}
+    mapping = {v.video_id: (v.video_id,) for v in videos}
+    return CatalogSpec(items=items, sizes=sizes, item_of_video=mapping)

@@ -1,0 +1,96 @@
+"""Request-matrix construction: spread video demand over edge nodes.
+
+The paper "randomly distribute[s] the requests for each video among the edge
+nodes"; a video request at chunk level expands into one request per chunk
+(the application layer reassembles chunks, Section 6).  Fig. 13 additionally
+needs synthetically perturbed demand to study sensitivity to prediction
+error.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Mapping, Sequence
+
+import numpy as np
+
+from repro.core.problem import Request
+from repro.exceptions import InvalidProblemError
+from repro.workload.catalog import CatalogSpec
+
+Node = Hashable
+
+
+def edge_node_shares(
+    edge_nodes: Sequence[Node],
+    video_ids: Sequence[str],
+    rng: np.random.Generator,
+) -> dict[str, np.ndarray]:
+    """Random per-video distribution weights over edge nodes (Dirichlet)."""
+    if not edge_nodes:
+        raise InvalidProblemError("need at least one edge node")
+    return {
+        vid: rng.dirichlet(np.ones(len(edge_nodes)))
+        for vid in video_ids
+    }
+
+
+def build_demand(
+    video_rates: Mapping[str, float],
+    catalog: CatalogSpec,
+    edge_nodes: Sequence[Node],
+    shares: Mapping[str, np.ndarray],
+    *,
+    min_rate: float = 1e-9,
+) -> dict[Request, float]:
+    """Expand per-video rates into per-(item, edge-node) request rates.
+
+    A video viewed ``r`` times per hour at an edge node generates ``r``
+    requests per hour for *each* of its items (all chunks at chunk level, the
+    single file at file level).
+    """
+    demand: dict[Request, float] = {}
+    for vid, rate in video_rates.items():
+        if vid not in catalog.item_of_video:
+            raise InvalidProblemError(f"video {vid!r} not in catalog spec")
+        weights = shares[vid]
+        if len(weights) != len(edge_nodes):
+            raise InvalidProblemError("share vector does not match edge nodes")
+        for node, weight in zip(edge_nodes, weights):
+            node_rate = rate * float(weight)
+            if node_rate <= min_rate:
+                continue
+            for item in catalog.item_of_video[vid]:
+                demand[(item, node)] = demand.get((item, node), 0.0) + node_rate
+    return demand
+
+
+def total_chunk_rate(
+    video_rates: Mapping[str, float], catalog: CatalogSpec
+) -> float:
+    """Total item-request rate (the paper's 'chunks/hour' denominator)."""
+    return sum(
+        rate * len(catalog.item_of_video[vid])
+        for vid, rate in video_rates.items()
+    )
+
+
+def perturb_demand(
+    demand: Mapping[Request, float],
+    sigma: float,
+    rng: np.random.Generator,
+    *,
+    relative: bool = True,
+) -> dict[Request, float]:
+    """Synthetic prediction error for Fig. 13: N(0, sigma^2) noise per rate.
+
+    ``relative=True`` scales the noise by each rate (so ``sigma`` is the
+    relative RMS error); rates are clipped to stay positive.
+    """
+    if sigma < 0:
+        raise InvalidProblemError("sigma must be nonnegative")
+    out: dict[Request, float] = {}
+    for request, rate in demand.items():
+        scale = rate if relative else 1.0
+        noisy = rate + float(rng.normal(0.0, sigma)) * scale
+        out[request] = max(noisy, rate * 1e-3)
+    return out

@@ -1,0 +1,97 @@
+"""Workload statistics: popularity skew, temporal shape, demand summaries.
+
+Utilities for characterizing a trace or a request matrix the way the
+caching literature does — Zipf exponent of the popularity law, peak-to-mean
+ratio of the diurnal cycle, demand concentration — used by the trace bench
+and handy when swapping in one's own workload.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.problem import Request
+from repro.exceptions import InvalidProblemError
+from repro.workload.trace import ViewTrace
+
+
+@dataclass(frozen=True)
+class TraceSummary:
+    """Headline statistics of a view trace."""
+
+    num_videos: int
+    num_hours: int
+    total_views: float
+    zipf_alpha: float
+    peak_to_mean: float
+    diurnal_autocorrelation: float
+
+
+def fit_zipf_exponent(popularity: np.ndarray) -> float:
+    """Least-squares Zipf exponent of a popularity vector.
+
+    Fits ``log(count_k) ~ -alpha * log(rank_k)`` over the positive entries;
+    the returned ``alpha`` is the slope magnitude (0 = uniform).
+    """
+    counts = np.sort(np.asarray(popularity, dtype=float))[::-1]
+    counts = counts[counts > 0]
+    if len(counts) < 2:
+        raise InvalidProblemError("need at least 2 positive popularity values")
+    ranks = np.arange(1, len(counts) + 1, dtype=float)
+    slope, _intercept = np.polyfit(np.log(ranks), np.log(counts), 1)
+    return float(-slope)
+
+
+def peak_to_mean_ratio(series: np.ndarray) -> float:
+    """Peak-hour to mean-hour ratio of one time series."""
+    series = np.asarray(series, dtype=float)
+    if series.size == 0 or series.mean() <= 0:
+        raise InvalidProblemError("series must be nonempty and positive on average")
+    return float(series.max() / series.mean())
+
+
+def autocorrelation(series: np.ndarray, lag: int) -> float:
+    """Normalized autocorrelation at the given lag."""
+    series = np.asarray(series, dtype=float)
+    if lag <= 0 or lag >= len(series):
+        raise InvalidProblemError("lag must be in (0, len(series))")
+    x = (series - series.mean()) / (series.std() or 1.0)
+    return float(np.mean(x[:-lag] * x[lag:]))
+
+
+def summarize_trace(trace: ViewTrace) -> TraceSummary:
+    """Compute the headline statistics of a trace (aggregate over videos)."""
+    totals = trace.views.sum(axis=0)
+    aggregate = trace.views.sum(axis=1)
+    return TraceSummary(
+        num_videos=len(trace.videos),
+        num_hours=trace.num_hours,
+        total_views=float(totals.sum()),
+        zipf_alpha=fit_zipf_exponent(totals),
+        peak_to_mean=peak_to_mean_ratio(aggregate),
+        diurnal_autocorrelation=autocorrelation(aggregate, 24)
+        if trace.num_hours > 24
+        else float("nan"),
+    )
+
+
+def demand_concentration(demand: Mapping[Request, float], top_fraction: float = 0.1) -> float:
+    """Share of total demand carried by the busiest ``top_fraction`` requests."""
+    if not 0 < top_fraction <= 1:
+        raise InvalidProblemError("top_fraction must be in (0, 1]")
+    rates = np.sort(np.array(list(demand.values()), dtype=float))[::-1]
+    if rates.size == 0:
+        raise InvalidProblemError("demand is empty")
+    k = max(1, int(round(top_fraction * rates.size)))
+    return float(rates[:k].sum() / rates.sum())
+
+
+def per_node_demand(demand: Mapping[Request, float]) -> dict:
+    """Total request rate per requesting node."""
+    out: dict = {}
+    for (_item, node), rate in demand.items():
+        out[node] = out.get(node, 0.0) + rate
+    return out

@@ -1,0 +1,57 @@
+"""Zipf-distributed synthetic demand (the workload of the conference version).
+
+The preliminary ICDCS'22 evaluation generated requests from a Zipf
+popularity law, the standard model for content catalogs; we keep it for
+synthetic sweeps and unit tests where trace realism is unnecessary.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable, Sequence
+
+import numpy as np
+
+from repro.core.problem import Request
+from repro.exceptions import InvalidProblemError
+
+Node = Hashable
+
+
+def zipf_popularity(num_items: int, alpha: float = 0.8) -> np.ndarray:
+    """Normalized Zipf weights: p_k ~ 1 / (k+1)^alpha."""
+    if num_items < 1:
+        raise InvalidProblemError("need at least one item")
+    if alpha < 0:
+        raise InvalidProblemError("alpha must be nonnegative")
+    ranks = np.arange(1, num_items + 1, dtype=float)
+    weights = ranks**-alpha
+    return weights / weights.sum()
+
+
+def zipf_demand(
+    items: Sequence[Hashable],
+    edge_nodes: Sequence[Node],
+    *,
+    total_rate: float,
+    alpha: float = 0.8,
+    rng: np.random.Generator | None = None,
+) -> dict[Request, float]:
+    """Zipf demand of total volume ``total_rate`` spread over edge nodes.
+
+    Item popularity follows Zipf(alpha); each item's demand is split over the
+    edge nodes with Dirichlet weights (randomly, as in Section 6).
+    """
+    if total_rate <= 0:
+        raise InvalidProblemError("total_rate must be positive")
+    if not edge_nodes:
+        raise InvalidProblemError("need at least one edge node")
+    rng = rng or np.random.default_rng()
+    popularity = zipf_popularity(len(items), alpha)
+    demand: dict[Request, float] = {}
+    for item, p in zip(items, popularity):
+        weights = rng.dirichlet(np.ones(len(edge_nodes)))
+        for node, w in zip(edge_nodes, weights):
+            rate = total_rate * float(p) * float(w)
+            if rate > 1e-12:
+                demand[(item, node)] = rate
+    return demand

@@ -1,0 +1,117 @@
+"""Tests for the reactive (LRU/LFU) on-path caching baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import EvictingCache, simulate_reactive_caching
+from repro.core import routing_cost
+from repro.core.algorithm1 import algorithm1
+from repro.exceptions import InvalidProblemError
+
+from tests.core.conftest import make_line_problem
+
+
+class TestEvictingCache:
+    def test_insert_and_contains(self):
+        cache = EvictingCache(2.0)
+        assert cache.insert("a", 1.0)
+        assert "a" in cache
+        assert cache.used == 1.0
+
+    def test_lru_evicts_oldest(self):
+        cache = EvictingCache(2.0, "lru")
+        cache.insert("a", 1.0)
+        cache.insert("b", 1.0)
+        cache.touch("a")  # refresh a; b becomes LRU
+        cache.insert("c", 1.0)
+        assert "b" not in cache
+        assert "a" in cache and "c" in cache
+
+    def test_lfu_evicts_least_frequent(self):
+        cache = EvictingCache(2.0, "lfu")
+        cache.insert("a", 1.0)
+        cache.touch("a")
+        cache.touch("a")
+        cache.insert("b", 1.0)
+        cache.insert("c", 1.0)
+        assert "a" in cache  # most hits survive
+        assert "b" not in cache
+
+    def test_oversized_item_rejected(self):
+        cache = EvictingCache(1.0)
+        assert not cache.insert("huge", 5.0)
+        assert cache.used == 0.0
+
+    def test_reinsert_is_touch(self):
+        cache = EvictingCache(2.0)
+        cache.insert("a", 1.0)
+        assert cache.insert("a", 1.0)
+        assert cache.used == 1.0
+
+    def test_heterogeneous_eviction_until_fit(self):
+        cache = EvictingCache(4.0)
+        cache.insert("a", 2.0)
+        cache.insert("b", 2.0)
+        cache.insert("big", 3.0)
+        assert "big" in cache
+        assert cache.used <= 4.0
+
+    def test_invalid_policy(self):
+        with pytest.raises(InvalidProblemError):
+            EvictingCache(1.0, "fifo")
+
+    def test_negative_capacity(self):
+        with pytest.raises(InvalidProblemError):
+            EvictingCache(-1.0)
+
+
+class TestReactiveSimulation:
+    def test_zero_capacity_everything_from_origin(self):
+        prob = make_line_problem()
+        result = simulate_reactive_caching(
+            prob, n_requests=2000, rng=np.random.default_rng(0)
+        )
+        assert result.edge_hit_ratio == 0.0
+        # Everything travels the full 4-hop path: cost rate = 6 * 4.
+        assert result.cost_rate == pytest.approx(24.0, rel=0.05)
+
+    def test_cache_reduces_cost(self):
+        prob = make_line_problem(cache_nodes={3: 2, 4: 2})
+        result = simulate_reactive_caching(
+            prob, n_requests=4000, rng=np.random.default_rng(1)
+        )
+        assert result.edge_hit_ratio > 0.5
+        assert result.cost_rate < 24.0
+
+    def test_lfu_option(self):
+        prob = make_line_problem(cache_nodes={3: 1})
+        result = simulate_reactive_caching(
+            prob, policy="lfu", n_requests=2000, rng=np.random.default_rng(2)
+        )
+        assert result.policy == "lfu"
+        assert result.requests > 0
+
+    def test_invalid_requests(self):
+        with pytest.raises(InvalidProblemError):
+            simulate_reactive_caching(make_line_problem(), n_requests=0)
+
+    def test_optimized_placement_beats_reactive_lru(self):
+        """The paper's motivation: optimization beats reactive caching when
+        caches are scarce and demand is known."""
+        prob = make_line_problem(
+            cache_nodes={3: 1},
+            demand={("item0", 4): 8.0, ("item1", 4): 1.0},
+        )
+        reactive = simulate_reactive_caching(
+            prob, n_requests=4000, rng=np.random.default_rng(3)
+        )
+        optimized = routing_cost(prob, algorithm1(prob).solution.routing)
+        # LRU keeps whichever item arrived last; the optimizer pins the
+        # popular one. Reactive pays strictly more on average.
+        assert optimized < reactive.cost_rate
+
+    def test_deterministic_under_seed(self):
+        prob = make_line_problem(cache_nodes={3: 1})
+        a = simulate_reactive_caching(prob, n_requests=500, rng=np.random.default_rng(7))
+        b = simulate_reactive_caching(prob, n_requests=500, rng=np.random.default_rng(7))
+        assert a.cost_rate == pytest.approx(b.cost_rate)

@@ -1,0 +1,117 @@
+"""Tests for alternating optimization (Section 4.3.3), incl. the Fig. 9 gadget."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.core import (
+    ProblemInstance,
+    alternating_optimization,
+    check_feasibility,
+    congestion,
+    routing_cost,
+    solve_fcfr,
+)
+from repro.core.problem import pin_full_catalog
+from repro.graph import CacheNetwork
+
+from tests.core.conftest import make_line_problem
+
+
+class TestAlternating:
+    def test_improves_over_origin_only(self):
+        prob = make_line_problem(cache_nodes={3: 2}, link_capacity=100.0)
+        result = alternating_optimization(prob, rng=np.random.default_rng(0))
+        assert routing_cost(prob, result.solution.routing) < 24.0
+        assert check_feasibility(prob, result.solution).feasible
+
+    def test_history_starts_at_initial(self):
+        prob = make_line_problem(cache_nodes={3: 2}, link_capacity=100.0)
+        result = alternating_optimization(prob, rng=np.random.default_rng(0))
+        assert result.history[0]["iteration"] == 0
+        assert result.history[0]["accepted"]
+
+    def test_accepted_costs_monotone(self):
+        prob = make_line_problem(cache_nodes={3: 1}, link_capacity=100.0)
+        result = alternating_optimization(prob, rng=np.random.default_rng(1))
+        accepted = [h["cost"] for h in result.history if h["accepted"]]
+        assert accepted == sorted(accepted, reverse=True)
+
+    def test_converges_within_budget(self):
+        prob = make_line_problem(cache_nodes={3: 1}, link_capacity=100.0)
+        result = alternating_optimization(
+            prob, max_iterations=15, rng=np.random.default_rng(2)
+        )
+        assert result.iterations <= 15
+
+    def test_fractional_routing_mode(self):
+        prob = make_line_problem(cache_nodes={3: 1}, link_capacity=100.0)
+        result = alternating_optimization(
+            prob, integral_routing=False, rng=np.random.default_rng(3)
+        )
+        assert check_feasibility(prob, result.solution).feasible
+
+    def test_never_worse_than_fcfr(self):
+        prob = make_line_problem(cache_nodes={3: 1}, link_capacity=100.0)
+        lower = solve_fcfr(prob).cost
+        result = alternating_optimization(prob, rng=np.random.default_rng(4))
+        assert routing_cost(prob, result.solution.routing) >= lower - 1e-6
+
+    def test_greedy_mmufp_method(self):
+        prob = make_line_problem(cache_nodes={3: 1}, link_capacity=100.0)
+        result = alternating_optimization(
+            prob, mmufp_method="greedy", rng=np.random.default_rng(5)
+        )
+        assert check_feasibility(prob, result.solution).feasible
+
+    def test_infeasible_without_augmentation_falls_back(self):
+        """Total demand exceeds origin-link capacity; greedy warm start kicks in."""
+        # Total demand 6 exceeds the line capacity 4, so origin-only routing
+        # is infeasible; a cache at the requester absorbs the popular item.
+        prob = make_line_problem(cache_nodes={4: 1}, link_capacity=4.0)
+        result = alternating_optimization(prob, rng=np.random.default_rng(6))
+        assert check_feasibility(prob, result.solution).feasible
+
+
+class TestFig9Gadget:
+    """Proposition 4.8: a bad Nash equilibrium the alternation cannot leave."""
+
+    def _gadget(self, lam=10.0, eps=0.01, w=5.0):
+        g = nx.DiGraph()
+        g.add_edge("vs", "v1", cost=w, capacity=lam)
+        g.add_edge("vs", "v2", cost=w, capacity=lam)
+        g.add_edge("v1", "s", cost=eps, capacity=lam)
+        g.add_edge("v2", "s", cost=w, capacity=lam)
+        net = CacheNetwork(g, {"v1": 1, "v2": 1, "vs": 2})
+        catalog = ("item1", "item2")
+        demand = {("item1", "s"): lam, ("item2", "s"): eps}
+        prob = ProblemInstance(
+            net, catalog, demand, pinned=pin_full_catalog(catalog, ["vs"])
+        )
+        return prob, lam, eps, w
+
+    def test_bad_equilibrium_is_stable(self):
+        """Starting from the bad placement, one full alternation round keeps it."""
+        from repro.core import Placement, mmufp_routing, optimize_placement
+
+        prob, lam, eps, w = self._gadget()
+        bad = Placement({("v2", "item1"): 1.0, ("v1", "item2"): 1.0})
+        routing = mmufp_routing(prob, bad, rng=np.random.default_rng(0), n_samples=4)
+        bad_cost = routing_cost(prob, routing)
+        assert bad_cost == pytest.approx(lam * w + eps * eps)
+        replacement = optimize_placement(prob, routing)
+        rerouted = mmufp_routing(
+            prob, replacement, rng=np.random.default_rng(0), n_samples=4
+        )
+        # No unilateral improvement: the NE of Proposition 4.8.
+        assert routing_cost(prob, rerouted) >= bad_cost - 1e-9
+
+    def test_optimal_solution_is_much_better(self):
+        from repro.core import Placement, mmufp_routing
+
+        prob, lam, eps, w = self._gadget()
+        good = Placement({("v1", "item1"): 1.0, ("v2", "item2"): 1.0})
+        routing = mmufp_routing(prob, good, rng=np.random.default_rng(0), n_samples=4)
+        good_cost = routing_cost(prob, routing)
+        assert good_cost == pytest.approx(eps * (lam + w), rel=1e-6)
+        assert good_cost < lam * w + eps * eps

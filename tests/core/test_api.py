@@ -1,0 +1,89 @@
+"""Tests for the unified solve() front door."""
+
+import numpy as np
+import pytest
+
+from repro.core import solve
+from repro.exceptions import InvalidProblemError
+
+from tests.core.conftest import make_line_problem
+
+
+class TestSolveDispatch:
+    def test_fcfr(self):
+        prob = make_line_problem(cache_nodes={4: 1})
+        result = solve(prob, caching="fractional", routing="fractional")
+        assert result.regime == "FC-FR"
+        assert "LP" in result.method
+        assert result.feasible
+
+    def test_icfr(self):
+        prob = make_line_problem(cache_nodes={3: 1}, link_capacity=50.0)
+        result = solve(prob, caching="integral", routing="fractional")
+        assert result.regime == "IC-FR"
+        assert result.feasible
+
+    def test_icir_uncapacitated_homogeneous_uses_algorithm1(self):
+        prob = make_line_problem(cache_nodes={3: 1})
+        result = solve(prob)
+        assert result.regime == "IC-IR"
+        assert "Algorithm 1" in result.method
+        assert result.solution.placement.is_integral()
+
+    def test_icir_uncapacitated_hetero_uses_greedy(self):
+        from repro.core import ProblemInstance, pin_full_catalog
+        from repro.graph import line_topology
+
+        net = line_topology(4)
+        net.set_cache_capacity(2, 5.0)
+        prob = ProblemInstance(
+            net,
+            ("a", "b"),
+            {("a", 3): 3.0, ("b", 3): 1.0},
+            item_sizes={"a": 2.0, "b": 3.0},
+            pinned=pin_full_catalog(("a", "b"), [0]),
+        )
+        result = solve(prob)
+        assert "greedy" in result.method
+        assert result.feasible
+
+    def test_icir_capacitated_uses_alternating(self):
+        prob = make_line_problem(cache_nodes={3: 1}, link_capacity=50.0)
+        result = solve(prob, rng=np.random.default_rng(0))
+        assert "alternating" in result.method
+        assert result.feasible
+
+    def test_fcir_collapses_to_icir(self):
+        prob = make_line_problem(cache_nodes={3: 1})
+        result = solve(prob, caching="fractional", routing="integral")
+        assert "IC-IR" in result.regime
+
+    def test_invalid_modes(self):
+        prob = make_line_problem()
+        with pytest.raises(InvalidProblemError):
+            solve(prob, caching="quantum")
+        with pytest.raises(InvalidProblemError):
+            solve(prob, routing="quantum")
+
+
+class TestRegimeOrdering:
+    def test_fcfr_cheapest_icir_most_expensive(self):
+        """The regime ordering of Section 2.4 on a nontrivial instance."""
+        prob = make_line_problem(
+            cache_nodes={3: 1, 4: 1},
+            demand={("item0", 4): 4.0, ("item1", 4): 2.0, ("item0", 2): 1.0},
+            link_capacity=20.0,
+        )
+        rng = np.random.default_rng(0)
+        fcfr = solve(prob, caching="fractional", routing="fractional")
+        icfr = solve(prob, caching="integral", routing="fractional", rng=rng)
+        icir = solve(prob, caching="integral", routing="integral", rng=rng)
+        assert fcfr.cost <= icfr.cost + 1e-6
+        assert fcfr.cost <= icir.cost + 1e-6
+
+    def test_metrics_populated(self):
+        prob = make_line_problem(cache_nodes={3: 1}, link_capacity=50.0)
+        result = solve(prob)
+        assert result.cost > 0
+        assert result.congestion >= 0
+        assert 0 <= result.max_cache_occupancy <= 1 + 1e-9

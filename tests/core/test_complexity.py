@@ -1,0 +1,40 @@
+"""Tests for the Section-3 complexity taxonomy."""
+
+import pytest
+
+from repro.core import all_regimes, regime_complexity
+from repro.exceptions import InvalidProblemError
+
+
+class TestComplexityTaxonomy:
+    def test_fcfr_polynomial(self):
+        verdict = regime_complexity("fractional", "fractional")
+        assert verdict.complexity == "P"
+        assert verdict.polynomial_solver == "repro.core.fcfr.solve_fcfr"
+
+    @pytest.mark.parametrize(
+        "caching,routing",
+        [("integral", "fractional"), ("integral", "integral"), ("fractional", "integral")],
+    )
+    def test_other_regimes_np_hard(self, caching, routing):
+        verdict = regime_complexity(caching, routing)
+        assert verdict.complexity == "NP-hard"
+        assert verdict.polynomial_solver is None
+        assert verdict.reduction
+
+    def test_invalid_mode(self):
+        with pytest.raises(InvalidProblemError):
+            regime_complexity("quantum", "integral")
+
+    def test_all_regimes_cover_fig1(self):
+        regimes = all_regimes()
+        assert [r.regime for r in regimes] == ["FC-FR", "IC-FR", "IC-IR", "FC-IR"]
+        assert sum(1 for r in regimes if r.complexity == "P") == 1
+
+    def test_polynomial_solver_actually_exists(self):
+        verdict = regime_complexity("fractional", "fractional")
+        module_name, func_name = verdict.polynomial_solver.rsplit(".", 1)
+        import importlib
+
+        module = importlib.import_module(module_name)
+        assert callable(getattr(module, func_name))

@@ -1,0 +1,154 @@
+"""Tests for routing cost / congestion / occupancy / feasibility checking."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    Placement,
+    Routing,
+    Solution,
+    check_feasibility,
+    congestion,
+    link_loads,
+    max_cache_occupancy,
+    routing_cost,
+    summarize,
+)
+from repro.flow.decomposition import PathFlow
+
+from tests.core.conftest import make_line_problem
+
+
+def integral_routing_from_origin(prob):
+    """Serve every request from node 0 along the line."""
+    r = Routing()
+    for (item, s) in prob.demand:
+        r.paths[(item, s)] = [PathFlow(path=tuple(range(s + 1)), amount=1.0)]
+    return r
+
+
+class TestCostAndLoads:
+    def test_routing_cost_from_origin(self):
+        prob = make_line_problem()  # demand 5 + 1 at node 4, unit costs
+        r = integral_routing_from_origin(prob)
+        assert routing_cost(prob, r) == pytest.approx(6.0 * 4)
+
+    def test_routing_cost_under_different_demand(self):
+        prob = make_line_problem()
+        r = integral_routing_from_origin(prob)
+        true_demand = {req: 2 * rate for req, rate in prob.demand.items()}
+        assert routing_cost(prob, r, demand=true_demand) == pytest.approx(48.0)
+
+    def test_fractional_paths_weighted(self):
+        prob = make_line_problem(cache_nodes={3: 1})
+        item = prob.catalog[0]
+        r = Routing()
+        r.paths[(item, 4)] = [
+            PathFlow(path=(0, 1, 2, 3, 4), amount=0.5),
+            PathFlow(path=(3, 4), amount=0.5),
+        ]
+        r.paths[(prob.catalog[1], 4)] = [PathFlow(path=(0, 1, 2, 3, 4), amount=1.0)]
+        assert routing_cost(prob, r) == pytest.approx(5 * (0.5 * 4 + 0.5 * 1) + 1 * 4)
+
+    def test_link_loads_accumulate(self):
+        prob = make_line_problem()
+        r = integral_routing_from_origin(prob)
+        loads = link_loads(prob, r)
+        assert loads[(0, 1)] == pytest.approx(6.0)
+        assert loads[(3, 4)] == pytest.approx(6.0)
+
+    def test_congestion_zero_when_uncapacitated(self):
+        prob = make_line_problem()
+        r = integral_routing_from_origin(prob)
+        assert congestion(prob, r) == 0.0
+
+    def test_congestion_ratio(self):
+        prob = make_line_problem(link_capacity=3.0)
+        r = integral_routing_from_origin(prob)
+        assert congestion(prob, r) == pytest.approx(2.0)
+
+
+class TestOccupancy:
+    def test_max_cache_occupancy(self):
+        prob = make_line_problem(cache_nodes={3: 2})
+        p = Placement({(3, prob.catalog[0]): 1.0})
+        assert max_cache_occupancy(prob, p) == pytest.approx(0.5)
+
+    def test_occupancy_infinite_when_no_capacity(self):
+        prob = make_line_problem(cache_nodes={3: 1})
+        p = Placement({(1, prob.catalog[0]): 1.0})  # node 1 has no cache
+        # node 1 is not a cache node; occupancy only scans cache nodes
+        assert max_cache_occupancy(prob, p) == pytest.approx(0.0)
+
+    def test_overfull_cache_reported(self):
+        prob = make_line_problem(cache_nodes={3: 1})
+        p = Placement({(3, prob.catalog[0]): 1.0, (3, prob.catalog[1]): 1.0})
+        assert max_cache_occupancy(prob, p) == pytest.approx(2.0)
+
+
+class TestFeasibility:
+    def test_feasible_solution(self):
+        prob = make_line_problem()
+        sol = Solution(Placement(), integral_routing_from_origin(prob))
+        report = check_feasibility(prob, sol)
+        assert report.feasible
+        assert report.violations == []
+
+    def test_cache_violation(self):
+        prob = make_line_problem(cache_nodes={3: 1})
+        p = Placement({(3, prob.catalog[0]): 1.0, (3, prob.catalog[1]): 1.0})
+        sol = Solution(p, integral_routing_from_origin(prob))
+        report = check_feasibility(prob, sol)
+        assert not report.cache_ok
+        assert not report.feasible
+
+    def test_link_violation(self):
+        prob = make_line_problem(link_capacity=2.0)
+        sol = Solution(Placement(), integral_routing_from_origin(prob))
+        report = check_feasibility(prob, sol)
+        assert not report.links_ok
+
+    def test_unserved_request(self):
+        prob = make_line_problem()
+        sol = Solution(Placement(), Routing())
+        report = check_feasibility(prob, sol)
+        assert not report.served_ok
+
+    def test_source_without_content(self):
+        prob = make_line_problem()
+        r = Routing()
+        for (item, s) in prob.demand:
+            # node 2 serves but stores nothing and is not pinned
+            r.paths[(item, s)] = [PathFlow(path=(2, 3, 4), amount=1.0)]
+        report = check_feasibility(prob, Solution(Placement(), r))
+        assert not report.sources_ok
+
+    def test_path_not_ending_at_requester(self):
+        prob = make_line_problem()
+        r = Routing()
+        for (item, s) in prob.demand:
+            r.paths[(item, s)] = [PathFlow(path=(0, 1, 2, 3), amount=1.0)]
+        report = check_feasibility(prob, Solution(Placement(), r))
+        assert not report.sources_ok
+
+    def test_missing_link_detected(self):
+        prob = make_line_problem()
+        r = Routing()
+        for (item, s) in prob.demand:
+            r.paths[(item, s)] = [PathFlow(path=(0, 4), amount=1.0)]
+        report = check_feasibility(prob, Solution(Placement(), r))
+        assert not report.links_ok
+
+    def test_summarize_bundle(self):
+        prob = make_line_problem()
+        sol = Solution(Placement(), integral_routing_from_origin(prob))
+        stats = summarize(prob, sol)
+        assert set(stats) == {
+            "routing_cost",
+            "congestion",
+            "max_cache_occupancy",
+            "cache_hit_rate",
+            "feasible",
+        }
+        assert stats["feasible"] == 1.0

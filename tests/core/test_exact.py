@@ -1,0 +1,86 @@
+"""Tests for the exhaustive IC-IR reference solver."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    algorithm1,
+    alternating_optimization,
+    check_feasibility,
+    exact_icir,
+    routing_cost,
+)
+from repro.exceptions import InfeasibleError, InvalidProblemError
+
+from tests.core.conftest import brute_force_rnr_optimum, make_line_problem
+
+
+class TestExactICIR:
+    def test_matches_hand_computation(self):
+        prob = make_line_problem(cache_nodes={3: 1})
+        result = exact_icir(prob)
+        # Cache the rate-5 item at node 3: cost 5*1 + 1*4.
+        assert result.cost == pytest.approx(9.0)
+        assert check_feasibility(prob, result.solution).feasible
+
+    def test_matches_rnr_brute_force_when_uncapacitated(self):
+        prob = make_line_problem(cache_nodes={3: 1, 4: 1})
+        result = exact_icir(prob)
+        assert result.cost == pytest.approx(brute_force_rnr_optimum(prob))
+
+    def test_capacity_forces_costlier_routing(self):
+        # Line 0-..-4, capacity 4 < demand 6: the popular item must be cached
+        # at the requester; without a cache the instance is infeasible.
+        prob = make_line_problem(cache_nodes={4: 1}, link_capacity=4.0)
+        result = exact_icir(prob)
+        assert result.solution.placement[(4, prob.catalog[0])] == 1.0
+        assert result.cost == pytest.approx(1 * 4.0)
+
+    def test_infeasible_raises(self):
+        prob = make_line_problem(link_capacity=2.0)  # demand 6 over capacity 2
+        with pytest.raises(InfeasibleError):
+            exact_icir(prob)
+
+    def test_placement_budget_guard(self):
+        prob = make_line_problem(
+            num_nodes=4,
+            catalog_size=2,
+            cache_nodes={1: 1, 2: 1, 3: 1},
+        )
+        with pytest.raises(InvalidProblemError):
+            exact_icir(prob, max_placements=2)
+
+    def test_counts_placements(self):
+        prob = make_line_problem(cache_nodes={3: 1})
+        result = exact_icir(prob)
+        # node 3, capacity 1, 2 items: {}, {item0}, {item1}.
+        assert result.placements_tried == 3
+
+    def test_algorithm1_never_beats_exact(self):
+        prob = make_line_problem(cache_nodes={3: 1, 4: 1})
+        exact = exact_icir(prob)
+        approx = routing_cost(prob, algorithm1(prob).solution.routing)
+        assert approx >= exact.cost - 1e-9
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(min_value=0, max_value=100))
+    def test_alternating_within_factor_on_tiny_instances(self, seed):
+        """Empirical quality of the alternating heuristic vs the optimum."""
+        rng = np.random.default_rng(seed)
+        prob = make_line_problem(
+            num_nodes=4,
+            catalog_size=2,
+            cache_nodes={2: 1},
+            demand={
+                ("item0", 3): float(rng.integers(2, 9)),
+                ("item1", 3): float(rng.integers(1, 5)),
+            },
+            link_capacity=30.0,
+        )
+        exact = exact_icir(prob)
+        alt = alternating_optimization(prob, rng=np.random.default_rng(1))
+        cost = routing_cost(prob, alt.solution.routing)
+        assert cost >= exact.cost - 1e-9
+        assert cost <= 2.0 * exact.cost + 1e-9  # far better than worst case

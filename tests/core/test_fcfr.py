@@ -1,0 +1,90 @@
+"""Tests for the exact FC-FR LP (Section 3)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    algorithm1,
+    check_feasibility,
+    routing_cost,
+    solve_fcfr,
+)
+from repro.exceptions import InfeasibleError
+
+from tests.core.conftest import (
+    brute_force_rnr_optimum,
+    make_line_problem,
+    random_uncapacitated_problem,
+)
+
+
+class TestFCFR:
+    def test_origin_only_matches_shortest_paths(self):
+        prob = make_line_problem()
+        result = solve_fcfr(prob)
+        assert result.cost == pytest.approx(24.0)
+        assert check_feasibility(prob, result.solution).feasible
+
+    def test_cache_capacity_fully_exploited(self):
+        """With capacity 1 and two unit-rate items, one unit of content mass is
+        cached at the requester (the optimum is degenerate between fractional
+        and integral splits; the cost is 4 either way)."""
+        prob = make_line_problem(
+            cache_nodes={4: 1},
+            demand={("item0", 4): 1.0, ("item1", 4): 1.0},
+        )
+        result = solve_fcfr(prob)
+        assert result.cost == pytest.approx(4.0)
+        placement = result.solution.placement
+        mass = placement[(4, "item0")] + placement[(4, "item1")]
+        assert mass == pytest.approx(1.0, abs=1e-6)
+
+    def test_fractional_caching_strictly_beats_integral(self):
+        """A sub-unit cache capacity is usable by FC (coded chunks) but not IC."""
+        prob = make_line_problem(
+            cache_nodes={4: 0.4},
+            demand={("item0", 4): 2.0},
+        )
+        result = solve_fcfr(prob)
+        # FC: cache 0.4 of the item locally -> cost 2 * 0.6 * 4 = 4.8.
+        assert result.cost == pytest.approx(4.8)
+        # IC cannot use the 0.4-item cache at all -> cost 8.
+        assert result.cost < 8.0
+
+    def test_respects_link_capacities(self):
+        prob = make_line_problem(cache_nodes={4: 1}, link_capacity=4.0)
+        result = solve_fcfr(prob)
+        assert check_feasibility(prob, result.solution).feasible
+
+    def test_infeasible_instance_raises(self):
+        # Demand 6 into node 4 over a single capacity-2 link, cache too small
+        # to absorb it fractionally (capacity 0).
+        prob = make_line_problem(link_capacity=2.0)
+        with pytest.raises(InfeasibleError):
+            solve_fcfr(prob)
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(min_value=0, max_value=150))
+    def test_lower_bounds_ic_ir(self, seed):
+        """FC-FR optimum <= IC-IR optimum (Fig. 1's regime ordering)."""
+        prob = random_uncapacitated_problem(seed)
+        lower = solve_fcfr(prob).cost
+        ic_ir_opt = brute_force_rnr_optimum(prob)
+        assert lower <= ic_ir_opt + 1e-6
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(min_value=0, max_value=150))
+    def test_lower_bounds_algorithm1(self, seed):
+        prob = random_uncapacitated_problem(seed)
+        lower = solve_fcfr(prob).cost
+        result = algorithm1(prob)
+        assert lower <= routing_cost(prob, result.solution.routing) + 1e-6
+
+    def test_served_fractions_complete(self):
+        prob = make_line_problem(cache_nodes={3: 1})
+        result = solve_fcfr(prob)
+        for request in prob.demand:
+            assert result.solution.routing.served_fraction(request) == pytest.approx(
+                1.0
+            )

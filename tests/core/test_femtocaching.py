@@ -1,0 +1,94 @@
+"""Tests for the FemtoCaching reduction (Section 4.1.4)."""
+
+import pytest
+
+from repro.core import (
+    algorithm1,
+    bipartite_network,
+    femtocaching_instance,
+    femtocaching_problem,
+    routing_cost,
+)
+from repro.exceptions import InvalidProblemError
+
+from tests.core.conftest import make_line_problem
+
+
+class TestBipartiteNetwork:
+    def test_basic_construction(self):
+        net = bipartite_network(
+            ["h0", "h1"],
+            ["u0"],
+            {("h0", "u0"): 1.0, ("h1", "u0"): 2.0},
+            helper_capacity=1,
+        )
+        assert net.cost("h0", "u0") == 1.0
+        assert net.cache_capacity("h0") == 1.0
+        assert net.cache_capacity("u0") == 0.0
+
+    def test_overlapping_sets_rejected(self):
+        with pytest.raises(InvalidProblemError):
+            bipartite_network(["x"], ["x"], {}, helper_capacity=1)
+
+    def test_bad_cost_pair_rejected(self):
+        with pytest.raises(InvalidProblemError):
+            bipartite_network(
+                ["h"], ["u"], {("u", "h"): 1.0}, helper_capacity=1
+            )
+
+
+class TestFemtocachingProblem:
+    def _classic(self):
+        """[32]'s further special case: equal helper costs w1 < origin cost."""
+        helpers = ["origin", "h1", "h2"]
+        users = ["u1", "u2"]
+        costs = {("origin", u): 10.0 for u in users}
+        costs.update({(h, u): 1.0 for h in ("h1", "h2") for u in users})
+        demand = {("A", "u1"): 5.0, ("B", "u1"): 1.0, ("A", "u2"): 4.0}
+        return femtocaching_problem(
+            helpers,
+            users,
+            costs,
+            demand,
+            catalog=("A", "B"),
+            helper_capacity=1,
+            origin="origin",
+        )
+
+    def test_algorithm1_solves_classic_case(self):
+        prob = self._classic()
+        result = algorithm1(prob)
+        cost = routing_cost(prob, result.solution.routing)
+        # Optimum: A on one helper (9 * 1), B on the other (1 * 1).
+        assert cost == pytest.approx(9.0 * 1.0 + 1.0 * 1.0)
+
+    def test_origin_must_be_helper(self):
+        with pytest.raises(InvalidProblemError):
+            femtocaching_problem(
+                ["h"], ["u"], {("h", "u"): 1.0}, {("A", "u"): 1.0},
+                catalog=("A",), helper_capacity=1, origin="zz",
+            )
+
+
+class TestFemtocachingInstance:
+    def test_reduction_preserves_optimal_cost(self):
+        """Solving the bipartite abstraction == solving the full network."""
+        prob = make_line_problem(cache_nodes={2: 1, 3: 1})
+        bipartite = femtocaching_instance(prob)
+        full = algorithm1(prob)
+        reduced = algorithm1(bipartite)
+        assert routing_cost(bipartite, reduced.solution.routing) == pytest.approx(
+            routing_cost(prob, full.solution.routing)
+        )
+
+    def test_bipartite_nodes_are_tagged(self):
+        prob = make_line_problem(cache_nodes={3: 1})
+        bipartite = femtocaching_instance(prob)
+        for node in bipartite.network.nodes:
+            assert node[0] in ("helper", "user")
+
+    def test_logical_costs_are_shortest_paths(self):
+        prob = make_line_problem(cache_nodes={3: 1})
+        bipartite = femtocaching_instance(prob)
+        assert bipartite.network.cost(("helper", 0), ("user", 4)) == pytest.approx(4.0)
+        assert bipartite.network.cost(("helper", 3), ("user", 4)) == pytest.approx(1.0)

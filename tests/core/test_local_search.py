@@ -1,0 +1,78 @@
+"""Direct tests for the 1-swap local search on F_RNR."""
+
+import pytest
+
+from repro.core import (
+    Placement,
+    route_to_nearest_replica,
+    routing_cost,
+)
+from repro.core.submodular import local_search_swap
+
+from tests.core.conftest import (
+    brute_force_rnr_optimum,
+    make_line_problem,
+    random_uncapacitated_problem,
+)
+
+
+def rnr_cost(problem, placement):
+    return routing_cost(problem, route_to_nearest_replica(problem, placement))
+
+
+class TestLocalSearchSwap:
+    def test_fixes_obviously_bad_placement(self):
+        prob = make_line_problem(cache_nodes={3: 1})
+        bad = Placement({(3, prob.catalog[1]): 1.0})  # caches the rate-1 item
+        polished = local_search_swap(prob, bad)
+        assert (3, prob.catalog[0]) in polished  # swapped to the rate-5 item
+        assert rnr_cost(prob, polished) < rnr_cost(prob, bad)
+
+    def test_fills_spare_capacity(self):
+        prob = make_line_problem(cache_nodes={3: 2})
+        polished = local_search_swap(prob, Placement())
+        assert len(polished) == 2  # pure insertions, no eviction needed
+        assert rnr_cost(prob, polished) == pytest.approx(
+            brute_force_rnr_optimum(prob)
+        )
+
+    def test_never_increases_cost(self):
+        for seed in (3, 17, 55):
+            prob = random_uncapacitated_problem(seed)
+            from repro.core import greedy_rnr_placement
+
+            start = greedy_rnr_placement(prob)
+            polished = local_search_swap(prob, start, max_sweeps=6)
+            assert rnr_cost(prob, polished) <= rnr_cost(prob, start) + 1e-9
+
+    def test_respects_capacities(self):
+        prob = random_uncapacitated_problem(7)
+        from repro.core import greedy_rnr_placement
+
+        polished = local_search_swap(prob, greedy_rnr_placement(prob))
+        for v in prob.network.cache_nodes():
+            assert polished.used_capacity(v, prob) <= (
+                prob.network.cache_capacity(v) + 1e-9
+            )
+
+    def test_optimal_placement_is_fixed_point(self):
+        prob = make_line_problem(cache_nodes={3: 1})
+        good = Placement({(3, prob.catalog[0]): 1.0})
+        polished = local_search_swap(prob, good)
+        assert polished.as_set() == good.as_set()
+
+    def test_input_not_mutated(self):
+        prob = make_line_problem(cache_nodes={3: 1})
+        bad = Placement({(3, prob.catalog[1]): 1.0})
+        local_search_swap(prob, bad)
+        assert bad.as_set() == frozenset({(3, prob.catalog[1])})
+
+    def test_never_places_pinned_items(self):
+        prob = make_line_problem(cache_nodes={0: 3, 3: 1})
+        polished = local_search_swap(prob, Placement())
+        assert all((v, i) not in prob.pinned for (v, i) in polished)
+
+    def test_zero_sweeps_is_identity(self):
+        prob = make_line_problem(cache_nodes={3: 1})
+        bad = Placement({(3, prob.catalog[1]): 1.0})
+        assert local_search_swap(prob, bad, max_sweeps=0).as_set() == bad.as_set()

@@ -1,0 +1,87 @@
+"""Tests for the extra evaluation metrics (hit rate, stretch, utilization)."""
+
+import pytest
+
+from repro.core import (
+    Placement,
+    Routing,
+    Solution,
+    cache_hit_rate,
+    path_stretch,
+    route_to_nearest_replica,
+    summarize,
+    utilization_profile,
+)
+from repro.flow.decomposition import PathFlow
+
+from tests.core.conftest import make_line_problem
+
+
+class TestCacheHitRate:
+    def test_all_from_origin_is_zero(self):
+        prob = make_line_problem()
+        routing = route_to_nearest_replica(prob, Placement())
+        assert cache_hit_rate(prob, routing) == 0.0
+
+    def test_all_cached_is_one(self):
+        prob = make_line_problem(cache_nodes={4: 2})
+        placement = Placement(
+            {(4, prob.catalog[0]): 1.0, (4, prob.catalog[1]): 1.0}
+        )
+        routing = route_to_nearest_replica(prob, placement)
+        assert cache_hit_rate(prob, routing) == pytest.approx(1.0)
+
+    def test_partial_hit_weighted_by_rate(self):
+        prob = make_line_problem(cache_nodes={3: 1})  # rates 5 (hit) and 1 (miss)
+        placement = Placement({(3, prob.catalog[0]): 1.0})
+        routing = route_to_nearest_replica(prob, placement)
+        assert cache_hit_rate(prob, routing) == pytest.approx(5.0 / 6.0)
+
+    def test_in_summarize(self):
+        prob = make_line_problem()
+        sol = Solution(Placement(), route_to_nearest_replica(prob, Placement()))
+        assert summarize(prob, sol)["cache_hit_rate"] == 0.0
+
+
+class TestPathStretch:
+    def test_optimal_routing_has_stretch_one(self):
+        prob = make_line_problem(cache_nodes={3: 1})
+        placement = Placement({(3, prob.catalog[0]): 1.0})
+        routing = route_to_nearest_replica(prob, placement)
+        # Floors: nearest candidate is node 3 at 1 hop; item0 served at the
+        # floor, item1 from the origin (4 hops vs floor 1) -> stretch 4.
+        stretch = path_stretch(prob, routing)
+        assert stretch == pytest.approx((5 * 1.0 + 1 * 4.0) / 6.0)
+
+    def test_detour_increases_stretch(self):
+        prob = make_line_problem(cache_nodes={3: 1})
+        item0, item1 = prob.catalog
+        routing = Routing(
+            {
+                (item0, 4): [PathFlow(path=(3, 4), amount=1.0)],
+                (item1, 4): [PathFlow(path=(0, 1, 2, 3, 4), amount=1.0)],
+            }
+        )
+        stretched = Routing(
+            {
+                (item0, 4): [PathFlow(path=(3, 2, 3, 4), amount=1.0)]
+                if prob.network.has_edge(3, 2)
+                else routing.paths[(item0, 4)],
+                (item1, 4): routing.paths[(item1, 4)],
+            }
+        )
+        assert path_stretch(prob, stretched) >= path_stretch(prob, routing)
+
+
+class TestUtilizationProfile:
+    def test_profile_matches_manual(self):
+        prob = make_line_problem(link_capacity=12.0)
+        routing = route_to_nearest_replica(prob, Placement())
+        profile = utilization_profile(prob, routing)
+        assert profile[(0, 1)] == pytest.approx(0.5)
+        assert profile[(3, 4)] == pytest.approx(0.5)
+
+    def test_uncapacitated_profile_empty(self):
+        prob = make_line_problem()
+        routing = route_to_nearest_replica(prob, Placement())
+        assert utilization_profile(prob, routing) == {}

@@ -1,0 +1,86 @@
+"""Tests for pipage rounding (Lemma 4.3)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import pipage_round
+from repro.exceptions import InvalidProblemError
+
+
+def linear_weights(weights):
+    return lambda v, i, x: weights.get((v, i), 0.0)
+
+
+class TestPipageRound:
+    def test_already_integral_is_untouched(self):
+        x = {(1, "a"): 1.0, (1, "b"): 1.0}
+        out = pipage_round(x, {1: 2}, linear_weights({}))
+        assert out == {(1, "a"): 1.0, (1, "b"): 1.0}
+
+    def test_two_fractional_merge_to_heavier(self):
+        x = {(1, "a"): 0.5, (1, "b"): 0.5}
+        out = pipage_round(x, {1: 1}, linear_weights({(1, "a"): 2.0, (1, "b"): 1.0}))
+        assert out == {(1, "a"): 1.0}
+
+    def test_lighter_item_wins_when_heavier_weightless(self):
+        x = {(1, "a"): 0.5, (1, "b"): 0.5}
+        out = pipage_round(x, {1: 1}, linear_weights({(1, "b"): 3.0}))
+        assert out == {(1, "b"): 1.0}
+
+    def test_sum_above_one_keeps_both(self):
+        x = {(1, "a"): 0.9, (1, "b"): 0.8}
+        out = pipage_round(x, {1: 2}, linear_weights({(1, "a"): 2.0, (1, "b"): 1.0}))
+        # total mass 1.7 -> one full item + one 0.7 -> singleton rounded up.
+        assert out == {(1, "a"): 1.0, (1, "b"): 1.0}
+
+    def test_singleton_rounded_up(self):
+        x = {(1, "a"): 0.4}
+        out = pipage_round(x, {1: 1}, linear_weights({}))
+        assert out == {(1, "a"): 1.0}
+
+    def test_capacity_never_exceeded(self):
+        x = {(1, "a"): 0.5, (1, "b"): 0.5, (1, "c"): 0.5}
+        out = pipage_round(
+            x, {1: 2}, linear_weights({(1, "a"): 3.0, (1, "b"): 2.0, (1, "c"): 1.0})
+        )
+        assert sum(out.values()) <= 2
+
+    def test_multiple_nodes_independent(self):
+        x = {(1, "a"): 0.5, (1, "b"): 0.5, (2, "a"): 0.3}
+        out = pipage_round(
+            x, {1: 1, 2: 1}, linear_weights({(1, "a"): 1.0, (1, "b"): 0.5})
+        )
+        assert out.get((2, "a")) == 1.0
+
+    def test_rejects_out_of_range_values(self):
+        with pytest.raises(InvalidProblemError):
+            pipage_round({(1, "a"): 1.4}, {1: 2}, linear_weights({}))
+
+    def test_rejects_fractional_capacity(self):
+        with pytest.raises(InvalidProblemError):
+            pipage_round({(1, "a"): 0.5, (1, "b"): 0.5}, {1: 1.5}, linear_weights({}))
+
+    def test_empty_input(self):
+        assert pipage_round({}, {}, linear_weights({})) == {}
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.lists(st.floats(min_value=0.0, max_value=1.0), min_size=2, max_size=6),
+        st.lists(st.floats(min_value=0.0, max_value=10.0), min_size=6, max_size=6),
+        st.integers(min_value=1, max_value=4),
+    )
+    def test_never_decreases_linear_objective(self, fracs, weights, cap):
+        """Core pipage property: sum(w * x) never decreases."""
+        items = [f"i{k}" for k in range(len(fracs))]
+        total = sum(fracs)
+        if total > cap:
+            fracs = [f * cap / total for f in fracs]
+        x = {(0, i): f for i, f in zip(items, fracs) if f > 1e-6}
+        w = {(0, i): weights[k] for k, i in enumerate(items)}
+        before = sum(w[key] * val for key, val in x.items())
+        out = pipage_round(x, {0: cap}, linear_weights(w))
+        after = sum(w.get(key, 0.0) * val for key, val in out.items())
+        assert after >= before - 1e-7
+        assert sum(out.values()) <= cap + 1e-9
+        assert all(val == 1.0 for val in out.values())

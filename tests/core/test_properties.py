@@ -1,0 +1,163 @@
+"""Cross-cutting property tests on randomized capacitated instances.
+
+These pin down relationships the paper relies on but never states as
+testable facts: fractional routing lower-bounds integral routing for the
+same placement, RNR is the optimal routing when links are uncapacitated,
+accepted alternating iterations are monotone in cost, and the pipage /
+greedy placement machinery never violates capacities.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Placement,
+    alternating_optimization,
+    check_feasibility,
+    congestion,
+    greedy_rnr_placement,
+    mmsfp_routing,
+    mmufp_routing,
+    optimize_placement,
+    route_to_nearest_replica,
+    routing_cost,
+    Solution,
+)
+from repro.core.problem import ProblemInstance, pin_full_catalog
+from repro.exceptions import InfeasibleError
+from repro.graph import CacheNetwork
+
+
+def random_capacitated_problem(seed: int, *, tightness: float = 0.5):
+    """Small random connected instance with finite link capacities."""
+    import networkx as nx
+
+    rng = np.random.default_rng(seed)
+    base = seed
+    while True:
+        g = nx.gnp_random_graph(7, 0.45, seed=base, directed=True)
+        base += 10_000
+        if g.number_of_edges() and nx.is_strongly_connected(g):
+            break
+    catalog = ("A", "B", "C")
+    demand = {}
+    for item in catalog:
+        for s in (3, 4, 5):
+            if rng.random() < 0.7:
+                demand[(item, s)] = float(rng.integers(1, 6))
+    if not demand:
+        demand[("A", 4)] = 2.0
+    total = sum(demand.values())
+    for u, v in g.edges:
+        g.edges[u, v]["cost"] = float(rng.integers(1, 12))
+        g.edges[u, v]["capacity"] = max(total * tightness, 1.0)
+    net = CacheNetwork(g, {1: 1, 2: 2})
+    return ProblemInstance(
+        network=net, catalog=catalog, demand=demand,
+        pinned=pin_full_catalog(catalog, [0]),
+    )
+
+
+class TestRoutingRelations:
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=300))
+    def test_mmsfp_lower_bounds_mmufp(self, seed):
+        prob = random_capacitated_problem(seed, tightness=1.2)
+        placement = greedy_rnr_placement(prob)
+        try:
+            frac = mmsfp_routing(prob, placement)
+        except InfeasibleError:
+            return
+        integral = mmufp_routing(
+            prob, placement, method="best", rng=np.random.default_rng(seed)
+        )
+        assert frac.cost <= routing_cost(prob, integral) + 1e-6
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=300))
+    def test_rnr_is_optimal_routing_when_uncapacitated(self, seed):
+        prob = random_capacitated_problem(seed)
+        prob = ProblemInstance(
+            network=prob.network.uncapacitated(),
+            catalog=prob.catalog,
+            demand=prob.demand,
+            pinned=prob.pinned,
+        )
+        placement = greedy_rnr_placement(prob)
+        rnr = route_to_nearest_replica(prob, placement)
+        frac = mmsfp_routing(prob, placement)
+        assert frac.cost == pytest.approx(routing_cost(prob, rnr), rel=1e-9)
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(min_value=0, max_value=200))
+    def test_placement_step_never_violates_capacity(self, seed):
+        prob = random_capacitated_problem(seed, tightness=1.5)
+        try:
+            routing = mmsfp_routing(prob, Placement()).routing
+        except InfeasibleError:
+            return
+        placement = optimize_placement(prob, routing)
+        for v in prob.network.cache_nodes():
+            assert placement.used_capacity(v, prob) <= (
+                prob.network.cache_capacity(v) + 1e-9
+            )
+
+
+class TestAlternatingInvariants:
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(min_value=0, max_value=200))
+    def test_accepted_costs_monotone_and_final_feasible(self, seed):
+        prob = random_capacitated_problem(seed, tightness=1.5)
+        try:
+            result = alternating_optimization(
+                prob, rng=np.random.default_rng(seed), max_iterations=6
+            )
+        except InfeasibleError:
+            return
+        accepted = [h["cost"] for h in result.history if h["accepted"]]
+        assert accepted == sorted(accepted, reverse=True)
+        report = check_feasibility(prob, result.solution)
+        assert report.served_ok and report.sources_ok and report.cache_ok
+
+    @settings(max_examples=6, deadline=None)
+    @given(st.integers(min_value=0, max_value=100))
+    def test_greedy_mmufp_never_congests_when_feasible_exists(self, seed):
+        """The greedy router only exceeds capacity when forced to fall back."""
+        prob = random_capacitated_problem(seed, tightness=2.0)
+        placement = greedy_rnr_placement(prob)
+        try:
+            mmsfp_routing(prob, placement)  # fractional feasibility witness
+        except InfeasibleError:
+            return
+        routing = mmufp_routing(prob, placement, method="greedy")
+        # With tightness 2.0 per-request demands fit residual capacities.
+        assert congestion(prob, routing) <= 1 + 1e-6
+
+
+class TestSolutionEvaluationConsistency:
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(min_value=0, max_value=200))
+    def test_cost_is_linear_in_demand(self, seed):
+        prob = random_capacitated_problem(seed)
+        placement = greedy_rnr_placement(prob)
+        routing = route_to_nearest_replica(prob, placement)
+        base = routing_cost(prob, routing)
+        doubled = routing_cost(
+            prob, routing, demand={r: 2 * v for r, v in prob.demand.items()}
+        )
+        assert doubled == pytest.approx(2 * base)
+
+    @settings(max_examples=8, deadline=None)
+    @given(st.integers(min_value=0, max_value=200))
+    def test_feasibility_report_consistent_with_congestion(self, seed):
+        prob = random_capacitated_problem(seed, tightness=0.3)
+        placement = greedy_rnr_placement(prob)
+        routing = route_to_nearest_replica(prob, placement)
+        report = check_feasibility(prob, Solution(placement, routing))
+        cong = congestion(prob, routing)
+        if cong > 1 + 1e-6:
+            assert not report.links_ok
+        else:
+            assert report.links_ok

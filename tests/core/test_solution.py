@@ -1,0 +1,109 @@
+"""Tests for Placement / Routing / Solution containers."""
+
+import pytest
+
+from repro.core import Placement, Routing, Solution
+from repro.exceptions import InvalidProblemError
+from repro.flow.decomposition import PathFlow
+
+from tests.core.conftest import make_line_problem
+
+
+class TestPlacement:
+    def test_set_and_get(self):
+        p = Placement()
+        p[(1, "a")] = 1.0
+        assert p[(1, "a")] == 1.0
+        assert p[(2, "a")] == 0.0
+
+    def test_zero_removes_entry(self):
+        p = Placement({(1, "a"): 1.0})
+        p[(1, "a")] = 0.0
+        assert (1, "a") not in p
+        assert len(p) == 0
+
+    def test_out_of_range_rejected(self):
+        p = Placement()
+        with pytest.raises(InvalidProblemError):
+            p[(1, "a")] = 1.5
+        with pytest.raises(InvalidProblemError):
+            p[(1, "a")] = -0.2
+
+    def test_is_integral(self):
+        assert Placement({(1, "a"): 1.0}).is_integral()
+        assert not Placement({(1, "a"): 0.5}).is_integral()
+        assert Placement().is_integral()
+
+    def test_items_at_and_holders(self):
+        p = Placement({(1, "a"): 1.0, (1, "b"): 0.5, (2, "a"): 1.0})
+        assert p.items_at(1) == {"a", "b"}
+        assert p.holders("a") == {1, 2}
+
+    def test_used_capacity_ignores_pinned(self):
+        prob = make_line_problem(cache_nodes={3: 2})
+        p = Placement({(3, prob.catalog[0]): 1.0, (0, prob.catalog[0]): 1.0})
+        assert p.used_capacity(3, prob) == pytest.approx(1.0)
+        assert p.used_capacity(0, prob) == pytest.approx(0.0)  # pinned at origin
+
+    def test_used_capacity_with_sizes(self):
+        from repro.core import ProblemInstance
+        from repro.graph import line_topology
+
+        net = line_topology(3)
+        net.set_cache_capacity(1, 10)
+        prob = ProblemInstance(
+            net, ("a", "b"), {("a", 2): 1.0}, item_sizes={"a": 3.0, "b": 4.0}
+        )
+        p = Placement({(1, "a"): 1.0, (1, "b"): 1.0})
+        assert p.used_capacity(1, prob) == pytest.approx(7.0)
+
+    def test_as_set_and_from_set_roundtrip(self):
+        entries = {(1, "a"), (2, "b")}
+        p = Placement.from_set(entries)
+        assert p.as_set() == frozenset(entries)
+
+    def test_copy_independent(self):
+        p = Placement({(1, "a"): 1.0})
+        q = p.copy()
+        q[(1, "a")] = 0.0
+        assert p[(1, "a")] == 1.0
+
+
+class TestRouting:
+    def test_served_fraction(self):
+        r = Routing()
+        r.paths[("a", 2)] = [
+            PathFlow(path=(0, 1, 2), amount=0.6),
+            PathFlow(path=(1, 2), amount=0.4),
+        ]
+        assert r.served_fraction(("a", 2)) == pytest.approx(1.0)
+        assert r.served_fraction(("b", 2)) == 0.0
+
+    def test_sources_aggregates_by_head(self):
+        r = Routing()
+        r.paths[("a", 2)] = [
+            PathFlow(path=(0, 1, 2), amount=0.6),
+            PathFlow(path=(0, 2), amount=0.1),
+            PathFlow(path=(1, 2), amount=0.3),
+        ]
+        assert r.sources(("a", 2)) == pytest.approx({0: 0.7, 1: 0.3})
+
+    def test_is_integral(self):
+        r = Routing({("a", 2): [PathFlow(path=(0, 2), amount=1.0)]})
+        assert r.is_integral()
+        r2 = Routing({("a", 2): [PathFlow(path=(0, 2), amount=0.5)]})
+        assert not r2.is_integral()
+
+    def test_copy_independent(self):
+        r = Routing({("a", 2): [PathFlow(path=(0, 2), amount=1.0)]})
+        c = r.copy()
+        c.paths[("a", 2)].append(PathFlow(path=(1, 2), amount=0.5))
+        assert len(r.paths[("a", 2)]) == 1
+
+
+class TestSolution:
+    def test_copy_is_deep_enough(self):
+        sol = Solution(Placement({(1, "a"): 1.0}), Routing())
+        dup = sol.copy()
+        dup.placement[(1, "a")] = 0.0
+        assert sol.placement[(1, "a")] == 1.0

@@ -1,0 +1,140 @@
+"""Tests for the F_RNR set function (Lemma 4.1) and greedy placement."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    Placement,
+    ProblemInstance,
+    RNRCostSaving,
+    greedy_rnr_placement,
+    route_to_nearest_replica,
+    routing_cost,
+)
+from repro.core.problem import pin_full_catalog
+from repro.graph import line_topology
+
+from tests.core.conftest import (
+    brute_force_rnr_optimum,
+    make_line_problem,
+    random_uncapacitated_problem,
+)
+
+
+class TestRNRCostSaving:
+    def test_marginal_gain_matches_add(self):
+        prob = make_line_problem(cache_nodes={3: 1})
+        saving = RNRCostSaving(prob)
+        item = prob.catalog[0]
+        gain = saving.marginal_gain(3, item)
+        realized = saving.add(3, item)
+        assert gain == pytest.approx(realized)
+        assert gain == pytest.approx(5.0 * 3)  # rate 5, saving 4 -> 1 hops
+
+    def test_serving_cost_tracks_rnr(self):
+        prob = make_line_problem(cache_nodes={3: 1})
+        saving = RNRCostSaving(prob)
+        item = prob.catalog[0]
+        saving.add(3, item)
+        placement = Placement({(3, item): 1.0})
+        routing = route_to_nearest_replica(prob, placement)
+        assert saving.serving_cost() == pytest.approx(routing_cost(prob, routing))
+
+    def test_value_accumulates(self):
+        prob = make_line_problem(cache_nodes={3: 1, 4: 1})
+        saving = RNRCostSaving(prob)
+        g1 = saving.add(3, prob.catalog[0])
+        g2 = saving.add(4, prob.catalog[0])
+        assert saving.value() == pytest.approx(g1 + g2)
+
+    def test_evaluate_matches_incremental(self):
+        prob = make_line_problem(cache_nodes={3: 1, 4: 1})
+        entries = frozenset({(3, prob.catalog[0]), (4, prob.catalog[1])})
+        saving = RNRCostSaving(prob)
+        expected = saving.evaluate(entries)
+        inc = RNRCostSaving(prob)
+        total = sum(inc.add(v, i) for (v, i) in sorted(entries, key=repr))
+        assert total == pytest.approx(expected)
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=300))
+    def test_monotone_and_submodular(self, seed):
+        """Lemma 4.1 on random instances: diminishing returns + monotonicity."""
+        prob = random_uncapacitated_problem(seed)
+        ground = [
+            (v, i)
+            for v in (1, 2)
+            for i in prob.catalog
+            if (v, i) not in prob.pinned
+        ]
+        saving = RNRCostSaving(prob)
+        # All subsets of a small ground set.
+        values = {}
+        for r in range(len(ground) + 1):
+            for subset in itertools.combinations(ground, r):
+                values[frozenset(subset)] = saving.evaluate(frozenset(subset))
+        for subset, value in values.items():
+            for extra in ground:
+                if extra in subset:
+                    continue
+                bigger = frozenset(subset | {extra})
+                # Monotone.
+                assert values[bigger] >= value - 1e-9
+                # Submodular: marginal on subset >= marginal on any superset.
+                for other in ground:
+                    if other in subset or other == extra:
+                        continue
+                    superset = frozenset(subset | {other})
+                    lhs = values[frozenset(subset | {extra})] - value
+                    rhs = values[frozenset(superset | {extra})] - values[superset]
+                    assert lhs >= rhs - 1e-9
+
+
+class TestGreedyPlacement:
+    def test_respects_capacity(self):
+        prob = make_line_problem(cache_nodes={3: 1})
+        placement = greedy_rnr_placement(prob)
+        assert placement.used_capacity(3, prob) <= 1.0 + 1e-9
+
+    def test_picks_high_rate_item(self):
+        prob = make_line_problem(cache_nodes={3: 1})
+        placement = greedy_rnr_placement(prob)
+        assert (3, prob.catalog[0]) in placement  # rate-5 item wins
+
+    def test_never_places_pinned(self):
+        prob = make_line_problem(cache_nodes={0: 5, 3: 1})
+        placement = greedy_rnr_placement(prob)
+        assert all((v, i) not in prob.pinned for (v, i) in placement)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=200))
+    def test_half_approximation(self, seed):
+        """Greedy is a 1/2-approximation for the matroid case (Section 4.1.2)."""
+        prob = random_uncapacitated_problem(seed)
+        placement = greedy_rnr_placement(prob)
+        routing = route_to_nearest_replica(prob, placement)
+        cost = routing_cost(prob, routing)
+        optimum = brute_force_rnr_optimum(prob)
+        base = routing_cost(prob, route_to_nearest_replica(prob, Placement()))
+        # Saving >= 1/2 optimal saving.
+        assert base - cost >= 0.5 * (base - optimum) - 1e-6
+
+    def test_heterogeneous_sizes_respected(self):
+        net = line_topology(4)
+        net.set_cache_capacity(2, 5.0)
+        catalog = ("big", "small1", "small2")
+        sizes = {"big": 5.0, "small1": 2.0, "small2": 2.0}
+        demand = {("big", 3): 1.0, ("small1", 3): 10.0, ("small2", 3): 10.0}
+        prob = ProblemInstance(
+            net, catalog, demand, item_sizes=sizes,
+            pinned=pin_full_catalog(catalog, [0]),
+        )
+        placement = greedy_rnr_placement(prob)
+        assert placement.used_capacity(2, prob) <= 5.0 + 1e-9
+        # Two small popular items beat the single big one.
+        assert (2, "small1") in placement
+        assert (2, "small2") in placement
+        assert (2, "big") not in placement

@@ -1,0 +1,99 @@
+"""Tests for the named algorithm wrappers used by the benches."""
+
+import pytest
+
+from repro.core import check_feasibility, congestion, routing_cost
+from repro.experiments import (
+    ScenarioConfig,
+    algorithms as alg,
+    binary_cache_servers,
+    build_scenario,
+    pin_servers,
+)
+
+UNLIMITED = ScenarioConfig(seed=0, link_capacity_fraction=None)
+CAPACITATED = ScenarioConfig(seed=0)
+
+
+@pytest.fixture(scope="module")
+def unlimited_scenario():
+    return build_scenario(UNLIMITED)
+
+
+@pytest.fixture(scope="module")
+def capacitated_scenario():
+    return build_scenario(CAPACITATED)
+
+
+class TestUncapacitatedWrappers:
+    def test_alg1_feasible(self, unlimited_scenario):
+        solution = alg.alg1(unlimited_scenario)
+        assert check_feasibility(unlimited_scenario.problem, solution).feasible
+
+    def test_greedy_feasible(self, unlimited_scenario):
+        solution = alg.greedy(unlimited_scenario)
+        assert check_feasibility(unlimited_scenario.problem, solution).feasible
+
+    def test_alg1_beats_sp(self, unlimited_scenario):
+        ours = routing_cost(
+            unlimited_scenario.problem, alg.alg1(unlimited_scenario).routing
+        )
+        theirs = routing_cost(
+            unlimited_scenario.problem, alg.sp(unlimited_scenario).routing
+        )
+        assert ours < theirs
+
+    def test_ksp_wrapper_names(self):
+        assert alg.ksp(10).__name__ == "ksp_10"
+
+
+class TestGeneralCaseWrappers:
+    def test_alternating_deterministic_per_seed(self, capacitated_scenario):
+        a = alg.alternating()(capacitated_scenario)
+        b = alg.alternating()(capacitated_scenario)
+        assert routing_cost(capacitated_scenario.problem, a.routing) == pytest.approx(
+            routing_cost(capacitated_scenario.problem, b.routing)
+        )
+
+    def test_alternating_low_congestion(self, capacitated_scenario):
+        solution = alg.alternating(mmufp_method="best")(capacitated_scenario)
+        assert congestion(capacitated_scenario.problem, solution.routing) < 2.0
+
+    def test_fcfr_lower_bound(self, capacitated_scenario):
+        lower = routing_cost(
+            capacitated_scenario.problem, alg.fcfr(capacitated_scenario).routing
+        )
+        integral = routing_cost(
+            capacitated_scenario.problem,
+            alg.alternating(mmufp_method="best")(capacitated_scenario).routing,
+        )
+        assert lower <= integral + 1e-6
+
+
+class TestBinaryCaseWrappers:
+    def test_alg2_serves_everything(self, capacitated_scenario):
+        servers = binary_cache_servers(capacitated_scenario)
+        solution = alg.alg2_binary(servers, 10)(capacitated_scenario)
+        problem = pin_servers(capacitated_scenario, servers)
+        report = check_feasibility(
+            problem.with_demand(capacitated_scenario.problem.demand), solution
+        )
+        assert report.served_ok and report.sources_ok
+
+    def test_rnr_congests_more_than_alg2(self, capacitated_scenario):
+        servers = binary_cache_servers(capacitated_scenario)
+        problem = capacitated_scenario.problem
+        rnr = alg.rnr_binary(servers)(capacitated_scenario)
+        alg2 = alg.alg2_binary(servers, 1000)(capacitated_scenario)
+        assert congestion(problem, rnr.routing) > congestion(problem, alg2.routing)
+
+    def test_splittable_cheapest_feasible(self, capacitated_scenario):
+        servers = binary_cache_servers(capacitated_scenario)
+        problem = capacitated_scenario.problem
+        split = alg.splittable_binary(servers)(capacitated_scenario)
+        alg2 = alg.alg2_binary(servers, 1000)(capacitated_scenario)
+        # Alg 2's cost never exceeds the splittable optimum (Thm 4.7(i)).
+        assert routing_cost(problem, alg2.routing) <= routing_cost(
+            problem, split.routing
+        ) * 1.001
+        assert congestion(problem, split.routing) <= 1 + 1e-6

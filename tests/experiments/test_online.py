@@ -1,0 +1,103 @@
+"""Tests for the online (hourly re-optimization) loop."""
+
+import numpy as np
+import pytest
+
+from repro.core import Placement, Solution, route_to_nearest_replica
+from repro.exceptions import InfeasibleError
+from repro.experiments import ScenarioConfig
+from repro.experiments.online import (
+    HourRecord,
+    OnlineResult,
+    predict_rate_matrix,
+    run_online,
+)
+from repro.workload import TraceConfig, synthesize_trace, top_videos
+
+
+def origin_policy(scenario):
+    problem = scenario.problem
+    return Solution(Placement(), route_to_nearest_replica(problem, Placement()))
+
+
+def failing_policy(scenario):
+    raise InfeasibleError("boom")
+
+
+FAST = ScenarioConfig(seed=0, link_capacity_fraction=None)
+
+
+class TestOnlineResult:
+    def test_totals(self):
+        result = OnlineResult(
+            algorithm="x",
+            hours=[
+                HourRecord(0, 10.0, 0.5, 1, 1),
+                HourRecord(1, 20.0, 1.5, 1, 1),
+                HourRecord(2, float("inf"), float("inf"), 1, 1, failed=True),
+            ],
+        )
+        assert result.total_cost == pytest.approx(30.0)
+        assert result.mean_congestion == pytest.approx(1.0)
+        assert result.worst_congestion == pytest.approx(1.5)
+        assert result.failures == 1
+
+    def test_empty_result(self):
+        result = OnlineResult(algorithm="x")
+        assert result.mean_congestion == float("inf")
+
+
+class TestRunOnline:
+    def test_oracle_planning(self):
+        result = run_online(FAST, origin_policy, name="origin", hours=3)
+        assert len(result.hours) == 3
+        assert result.failures == 0
+        assert all(h.cost > 0 for h in result.hours)
+        # Oracle: planning rates equal true rates.
+        for h in result.hours:
+            assert h.predicted_total_rate == pytest.approx(h.true_total_rate)
+
+    def test_hourly_demand_changes(self):
+        result = run_online(FAST, origin_policy, hours=4)
+        costs = {round(h.cost, 3) for h in result.hours}
+        assert len(costs) > 1  # the trace moves hour to hour
+
+    def test_failures_recorded_and_loop_continues(self):
+        result = run_online(FAST, failing_policy, hours=2)
+        assert result.failures == 2
+        assert len(result.hours) == 2
+
+    def test_predicted_rates_from_matrix(self):
+        trace_config = TraceConfig(seed=0)
+        trace = synthesize_trace(videos=top_videos(10), config=trace_config)
+        matrix = {
+            video.video_id: trace.views[trace_config.train_hours :, k] * 1.2
+            for k, video in enumerate(trace.videos)
+        }
+        result = run_online(
+            FAST,
+            origin_policy,
+            hours=2,
+            rate_matrix=matrix,
+            trace=trace,
+            trace_config=trace_config,
+        )
+        for h in result.hours:
+            assert h.predicted_total_rate == pytest.approx(
+                1.2 * h.true_total_rate, rel=1e-6
+            )
+
+    def test_predict_rate_matrix_shapes(self):
+        trace_config = TraceConfig(seed=1)
+        trace = synthesize_trace(videos=top_videos(3), config=trace_config)
+        from repro.experiments import PredictionConfig
+
+        matrix = predict_rate_matrix(
+            trace,
+            eval_hours=5,
+            prediction=PredictionConfig(history_window=80, n_restarts=0),
+        )
+        assert set(matrix) == {v.video_id for v in trace.videos}
+        for series in matrix.values():
+            assert len(series) == 5
+            assert (np.asarray(series) > 0).all()

@@ -1,0 +1,179 @@
+"""Tests for scenario construction."""
+
+import math
+
+import pytest
+
+from repro.exceptions import InvalidProblemError
+from repro.experiments import (
+    ScenarioConfig,
+    binary_cache_servers,
+    build_scenario,
+    pin_servers,
+)
+
+
+class TestScenarioConfig:
+    def test_default_matches_paper(self):
+        config = ScenarioConfig()
+        assert config.level == "chunk"
+        assert config.cache_capacity == 12
+        assert config.link_capacity_fraction == pytest.approx(0.007)
+
+    def test_bad_level_rejected(self):
+        with pytest.raises(ValueError):
+            ScenarioConfig(level="blob")
+
+    def test_file_level_needs_capacity(self):
+        with pytest.raises(ValueError):
+            ScenarioConfig(level="file", cache_capacity=0.5)
+
+
+class TestBuildScenario:
+    def test_chunk_level_default(self):
+        scenario = build_scenario(ScenarioConfig(seed=1))
+        assert len(scenario.problem.catalog) == 54  # top-10 at 100 MB
+        assert scenario.problem.item_sizes is None
+        # Every edge node has a 12-chunk cache.
+        for v in scenario.edge_nodes:
+            assert scenario.problem.network.cache_capacity(v) == 12
+
+    def test_origin_pins_everything(self):
+        scenario = build_scenario(ScenarioConfig(seed=1))
+        assert scenario.problem.pinned_items_at(scenario.origin) == set(
+            scenario.problem.catalog
+        )
+
+    def test_cost_distributions(self):
+        scenario = build_scenario(ScenarioConfig(seed=2))
+        net = scenario.problem.network
+        for (u, v), cost in net.costs().items():
+            if scenario.origin in (u, v):
+                assert 100 <= cost <= 200
+            else:
+                assert 1 <= cost <= 20
+
+    def test_link_capacity_fraction(self):
+        scenario = build_scenario(ScenarioConfig(seed=3, augment_origin_paths=False))
+        total = sum(scenario.problem.demand.values())
+        caps = set(scenario.problem.network.capacities().values())
+        assert len(caps) == 1
+        assert caps.pop() == pytest.approx(0.007 * total)
+
+    def test_unlimited_links(self):
+        scenario = build_scenario(
+            ScenarioConfig(seed=3, link_capacity_fraction=None)
+        )
+        assert all(
+            math.isinf(c) for c in scenario.problem.network.capacities().values()
+        )
+
+    def test_augmentation_makes_origin_routing_feasible(self):
+        from repro.core import Placement, mmsfp_routing
+
+        scenario = build_scenario(ScenarioConfig(seed=4))
+        # Origin-only routing must be feasible thanks to augmentation.
+        result = mmsfp_routing(scenario.problem, Placement())
+        assert result.cost > 0
+
+    def test_file_level_sizes_and_capacity(self):
+        scenario = build_scenario(
+            ScenarioConfig(level="file", cache_capacity=2, seed=5)
+        )
+        sizes = scenario.problem.item_sizes
+        assert sizes is not None and len(sizes) == 10
+        import numpy as np
+
+        mean_size = float(np.mean(list(sizes.values())))
+        for v in scenario.edge_nodes:
+            assert scenario.problem.network.cache_capacity(v) == pytest.approx(
+                2 * mean_size
+            )
+
+    def test_file_level_demand_in_mb(self):
+        chunk = build_scenario(ScenarioConfig(seed=6, augment_origin_paths=False))
+        file_ = build_scenario(
+            ScenarioConfig(level="file", cache_capacity=2, seed=6,
+                           augment_origin_paths=False)
+        )
+        # File-level total demand (MB/h) ~ chunk-level (chunks/h) * ~89 MB.
+        assert sum(file_.problem.demand.values()) > 10 * sum(
+            chunk.problem.demand.values()
+        )
+
+    def test_seed_changes_shares(self):
+        a = build_scenario(ScenarioConfig(seed=1))
+        b = build_scenario(ScenarioConfig(seed=2))
+        assert a.problem.demand != b.problem.demand
+
+    def test_seed_reproducible(self):
+        a = build_scenario(ScenarioConfig(seed=1))
+        b = build_scenario(ScenarioConfig(seed=1))
+        assert a.problem.demand == b.problem.demand
+
+    def test_unknown_topology(self):
+        with pytest.raises(InvalidProblemError):
+            build_scenario(ScenarioConfig(topology="mars-net"))
+
+    def test_predicted_rates_build_predicted_problem(self):
+        scenario = build_scenario(
+            ScenarioConfig(seed=1),
+            predicted_rates={
+                vid: rate * 1.1
+                for vid, rate in build_scenario(ScenarioConfig(seed=1)).video_rates.items()
+            },
+        )
+        assert scenario.predicted_problem is not None
+        assert scenario.planning_problem() is scenario.predicted_problem
+        assert sum(scenario.predicted_problem.demand.values()) == pytest.approx(
+            1.1 * sum(scenario.problem.demand.values())
+        )
+
+    def test_planning_problem_defaults_to_truth(self):
+        scenario = build_scenario(ScenarioConfig(seed=1))
+        assert scenario.planning_problem() is scenario.problem
+
+
+class TestZipfScenario:
+    def test_build_zipf_scenario(self):
+        from repro.experiments import build_zipf_scenario
+
+        scenario = build_zipf_scenario(num_items=20, alpha=0.9, seed=3)
+        assert len(scenario.problem.catalog) == 20
+        assert sum(scenario.problem.demand.values()) == pytest.approx(1000.0)
+        assert scenario.problem.pinned_items_at(scenario.origin) == set(
+            scenario.problem.catalog
+        )
+
+    def test_zipf_scenario_reproducible(self):
+        from repro.experiments import build_zipf_scenario
+
+        a = build_zipf_scenario(seed=5)
+        b = build_zipf_scenario(seed=5)
+        assert a.problem.demand == b.problem.demand
+
+    def test_zipf_origin_routing_feasible(self):
+        from repro.core import Placement, mmsfp_routing
+        from repro.experiments import build_zipf_scenario
+
+        scenario = build_zipf_scenario(seed=1)
+        result = mmsfp_routing(scenario.problem, Placement())
+        assert result.cost > 0
+
+
+class TestBinaryCaseHelpers:
+    def test_binary_cache_servers(self):
+        scenario = build_scenario(ScenarioConfig(seed=1))
+        servers = binary_cache_servers(scenario)
+        assert servers[0] == scenario.origin
+        assert servers[1] in scenario.edge_nodes
+
+    def test_pin_servers_disables_caches(self):
+        scenario = build_scenario(ScenarioConfig(seed=1))
+        servers = binary_cache_servers(scenario)
+        problem = pin_servers(scenario, servers)
+        assert problem.network.cache_nodes() == []
+        for server in servers:
+            assert problem.pinned_items_at(server) == set(problem.catalog)
+        # The original scenario is untouched.
+        assert scenario.problem.network.cache_nodes() != []

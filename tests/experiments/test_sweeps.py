@@ -1,0 +1,85 @@
+"""Tests for the parameter-sweep helper."""
+
+import pytest
+
+from repro.core import Placement, Solution, route_to_nearest_replica
+from repro.exceptions import InvalidProblemError
+from repro.experiments import (
+    MonteCarloConfig,
+    ScenarioConfig,
+    SWEEPABLE,
+    sweep_parameter,
+)
+
+
+def origin_only(scenario):
+    problem = scenario.problem
+    return Solution(Placement(), route_to_nearest_replica(problem, Placement()))
+
+
+BASE = ScenarioConfig(seed=0, link_capacity_fraction=None, num_videos=4)
+
+
+class TestSweepParameter:
+    def test_rows_per_value_and_algorithm(self):
+        rows = sweep_parameter(
+            BASE,
+            "cache_capacity",
+            [6, 12],
+            {"origin": origin_only},
+            MonteCarloConfig(n_runs=2),
+        )
+        assert len(rows) == 2
+        assert {r["cache_capacity"] for r in rows} == {6, 12}
+        assert all(r["algorithm"] == "origin" for r in rows)
+        assert all(r["cost"] > 0 for r in rows)
+
+    def test_origin_only_cost_independent_of_cache(self):
+        rows = sweep_parameter(
+            BASE,
+            "cache_capacity",
+            [6, 18],
+            {"origin": origin_only},
+            MonteCarloConfig(n_runs=1),
+        )
+        costs = [r["cost"] for r in rows]
+        assert costs[0] == pytest.approx(costs[1])
+
+    def test_unknown_parameter(self):
+        with pytest.raises(InvalidProblemError):
+            sweep_parameter(BASE, "nope", [1], {"o": origin_only})
+
+    def test_unsweepable_parameter(self):
+        with pytest.raises(InvalidProblemError):
+            sweep_parameter(BASE, "seed", [1], {"o": origin_only})
+
+    def test_empty_values(self):
+        with pytest.raises(InvalidProblemError):
+            sweep_parameter(BASE, "cache_capacity", [], {"o": origin_only})
+
+    def test_sweepable_knobs_exist_on_config(self):
+        from dataclasses import fields
+
+        names = {f.name for f in fields(ScenarioConfig)}
+        assert set(SWEEPABLE) <= names
+
+
+class TestSweepCLI:
+    def test_sweep_subcommand(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "sweep",
+                "--parameter", "cache_capacity",
+                "--values", "6,12",
+                "--algorithms", "sp",
+                "--runs", "1",
+                "--link-fraction", "0",
+                "--videos", "4",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "sweep cache_capacity" in out
+        assert "sp" in out

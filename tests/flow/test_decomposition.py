@@ -1,0 +1,176 @@
+"""Tests for flow -> path decomposition."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import DecompositionError
+from repro.flow import (
+    decompose_single_source_flow,
+    min_cost_single_source_flow,
+)
+from repro.flow.decomposition import split_among_commodities, split_with_removal_quotas
+
+
+class TestDecomposition:
+    def test_single_path(self):
+        flow = {("s", "a"): 2.0, ("a", "t"): 2.0}
+        paths = decompose_single_source_flow(flow, "s", {"t": 2.0})
+        assert len(paths["t"]) == 1
+        assert paths["t"][0].path == ("s", "a", "t")
+        assert paths["t"][0].amount == pytest.approx(2.0)
+
+    def test_split_flow_two_paths(self):
+        flow = {
+            ("s", "a"): 1.0,
+            ("a", "t"): 1.0,
+            ("s", "b"): 2.0,
+            ("b", "t"): 2.0,
+        }
+        paths = decompose_single_source_flow(flow, "s", {"t": 3.0})
+        assert sum(p.amount for p in paths["t"]) == pytest.approx(3.0)
+        assert {p.path for p in paths["t"]} == {("s", "a", "t"), ("s", "b", "t")}
+
+    def test_multiple_sinks_share_edges(self):
+        flow = {("s", "a"): 3.0, ("a", "t1"): 1.0, ("a", "t2"): 2.0}
+        paths = decompose_single_source_flow(flow, "s", {"t1": 1.0, "t2": 2.0})
+        assert paths["t1"][0].path == ("s", "a", "t1")
+        assert paths["t2"][0].path == ("s", "a", "t2")
+
+    def test_sink_equals_source(self):
+        paths = decompose_single_source_flow({}, "s", {"s": 5.0})
+        assert paths["s"][0].path == ("s",)
+        assert paths["s"][0].amount == pytest.approx(5.0)
+
+    def test_cycle_is_canceled(self):
+        # A 2-cycle a<->b carrying junk flow on top of a real path.
+        flow = {
+            ("s", "a"): 1.0,
+            ("a", "t"): 1.0,
+            ("a", "b"): 0.5,
+            ("b", "a"): 0.5,
+        }
+        paths = decompose_single_source_flow(flow, "s", {"t": 1.0})
+        assert paths["t"][0].path == ("s", "a", "t")
+
+    def test_insufficient_flow_raises(self):
+        flow = {("s", "a"): 1.0, ("a", "t"): 1.0}
+        with pytest.raises(DecompositionError):
+            decompose_single_source_flow(flow, "s", {"t": 2.0})
+
+    def test_pathflow_accessors(self):
+        flow = {("s", "t"): 1.0}
+        pf = decompose_single_source_flow(flow, "s", {"t": 1.0})["t"][0]
+        assert pf.source == "s"
+        assert pf.sink == "t"
+        assert pf.edges() == [("s", "t")]
+
+    def test_zero_demand_sink_gets_no_paths(self):
+        flow = {("s", "t"): 1.0}
+        paths = decompose_single_source_flow(flow, "s", {"t": 1.0, "x": 0.0})
+        assert paths["x"] == []
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=500))
+    def test_reassembles_lp_flow(self, seed):
+        """Decomposition of an LP min-cost flow covers demands and respects loads."""
+        g = nx.gnp_random_graph(9, 0.4, seed=seed, directed=True)
+        for u, v in g.edges:
+            g.edges[u, v]["cost"] = float((3 * u + v + seed) % 7 + 1)
+            g.edges[u, v]["capacity"] = 10.0
+        sinks = [n for n in g.nodes if n != 0][:3]
+        if 0 not in g or not sinks:
+            return
+        demands = {t: 1.0 + (t % 3) for t in sinks}
+        try:
+            flow, _ = min_cost_single_source_flow(g, 0, demands)
+        except Exception:
+            return
+        paths = decompose_single_source_flow(flow, 0, demands)
+        # Demands covered exactly.
+        for t, d in demands.items():
+            assert sum(p.amount for p in paths[t]) == pytest.approx(d)
+        # Per-edge usage never exceeds the original flow.
+        usage: dict = {}
+        for pfs in paths.values():
+            for pf in pfs:
+                for e in pf.edges():
+                    usage[e] = usage.get(e, 0.0) + pf.amount
+        for e, used in usage.items():
+            assert used <= flow[e] + 1e-6
+
+
+class TestSplitAmongCommodities:
+    def test_exact_split(self):
+        flow = {("s", "t"): 3.0}
+        paths = decompose_single_source_flow(flow, "s", {"t": 3.0})
+        split = split_among_commodities(
+            paths, [("c1", "t", 1.0), ("c2", "t", 2.0)]
+        )
+        assert sum(p.amount for p in split["c1"]) == pytest.approx(1.0)
+        assert sum(p.amount for p in split["c2"]) == pytest.approx(2.0)
+
+    def test_shortfall_raises(self):
+        flow = {("s", "t"): 1.0}
+        paths = decompose_single_source_flow(flow, "s", {"t": 1.0})
+        with pytest.raises(DecompositionError):
+            split_among_commodities(paths, [("c1", "t", 5.0)])
+
+    def test_quota_aware_split_steers_expensive_slices(self):
+        """The commodity with the removal quota gets the expensive path."""
+        flow = {
+            ("s", "a"): 2.0,
+            ("a", "t"): 2.0,
+            ("s", "t"): 2.0,  # expensive direct link
+        }
+        costs = {("s", "a"): 1.0, ("a", "t"): 1.0, ("s", "t"): 50.0}
+        paths = decompose_single_source_flow(flow, "s", {"t": 4.0})
+        split = split_with_removal_quotas(
+            paths,
+            [("trimmer", "t", 2.0, 2.0), ("keeper", "t", 2.0, 0.0)],
+            costs=costs,
+        )
+        trimmer_paths = {pf.path for pf in split["trimmer"]}
+        keeper_paths = {pf.path for pf in split["keeper"]}
+        assert ("s", "t") in trimmer_paths  # expensive slice -> full quota
+        assert keeper_paths == {("s", "a", "t")}
+
+    def test_quota_split_demands_covered(self):
+        flow = {("s", "t"): 5.0}
+        paths = decompose_single_source_flow(flow, "s", {"t": 5.0})
+        split = split_with_removal_quotas(
+            paths,
+            [("a", "t", 2.0, 0.5), ("b", "t", 3.0, 1.0)],
+            costs={("s", "t"): 1.0},
+        )
+        assert sum(pf.amount for pf in split["a"]) == pytest.approx(2.0)
+        assert sum(pf.amount for pf in split["b"]) == pytest.approx(3.0)
+
+    def test_quota_split_without_costs_falls_back(self):
+        flow = {("s", "t"): 3.0}
+        paths = decompose_single_source_flow(flow, "s", {"t": 3.0})
+        split = split_with_removal_quotas(
+            paths, [("a", "t", 1.0, 0.2), ("b", "t", 2.0, 0.4)]
+        )
+        assert sum(pf.amount for pf in split["a"]) == pytest.approx(1.0)
+
+    def test_quota_split_shortfall_raises(self):
+        flow = {("s", "t"): 1.0}
+        paths = decompose_single_source_flow(flow, "s", {"t": 1.0})
+        with pytest.raises(DecompositionError):
+            split_with_removal_quotas(
+                paths, [("a", "t", 5.0, 1.0)], costs={("s", "t"): 1.0}
+            )
+
+    def test_commodity_spanning_multiple_paths(self):
+        flow = {
+            ("s", "a"): 1.0,
+            ("a", "t"): 1.0,
+            ("s", "b"): 1.0,
+            ("b", "t"): 1.0,
+        }
+        paths = decompose_single_source_flow(flow, "s", {"t": 2.0})
+        split = split_among_commodities(paths, [("c1", "t", 1.5), ("c2", "t", 0.5)])
+        assert sum(p.amount for p in split["c1"]) == pytest.approx(1.5)
+        assert len(split["c1"]) == 2

@@ -1,0 +1,102 @@
+"""Tests for the sparse LP builder."""
+
+import math
+
+import pytest
+
+from repro.exceptions import InfeasibleError, SolverError
+from repro.flow import LPBuilder
+
+
+class TestLPBuilder:
+    def test_simple_minimization(self):
+        lp = LPBuilder("min")
+        lp.add_variable("x", lb=0, cost=1.0)
+        lp.add_variable("y", lb=0, cost=2.0)
+        lp.add_ge({"x": 1.0, "y": 1.0}, 4.0)
+        sol = lp.solve()
+        assert sol.objective == pytest.approx(4.0)
+        assert sol["x"] == pytest.approx(4.0)
+        assert sol["y"] == pytest.approx(0.0)
+
+    def test_simple_maximization(self):
+        lp = LPBuilder("max")
+        lp.add_variable("x", lb=0, ub=3, cost=5.0)
+        sol = lp.solve()
+        assert sol.objective == pytest.approx(15.0)
+
+    def test_equality_constraint(self):
+        lp = LPBuilder("min")
+        lp.add_variable("x", cost=1.0)
+        lp.add_variable("y", cost=1.0)
+        lp.add_eq({"x": 1.0, "y": 2.0}, 6.0)
+        sol = lp.solve()
+        assert sol["x"] + 2 * sol["y"] == pytest.approx(6.0)
+        assert sol.objective == pytest.approx(3.0)  # all mass on y
+
+    def test_le_constraint_binds(self):
+        lp = LPBuilder("max")
+        lp.add_variable("x", cost=1.0)
+        lp.add_le({"x": 2.0}, 10.0)
+        assert lp.solve()["x"] == pytest.approx(5.0)
+
+    def test_infinite_rhs_skipped(self):
+        lp = LPBuilder("max")
+        lp.add_variable("x", ub=1.0, cost=1.0)
+        lp.add_le({"x": 1.0}, math.inf)
+        assert lp.num_constraints == 0
+        assert lp.solve().objective == pytest.approx(1.0)
+
+    def test_duplicate_variable_rejected(self):
+        lp = LPBuilder()
+        lp.add_variable("x")
+        with pytest.raises(ValueError):
+            lp.add_variable("x")
+
+    def test_unknown_sense_rejected(self):
+        with pytest.raises(ValueError):
+            LPBuilder("maximize-ish")
+
+    def test_infeasible_raises(self):
+        lp = LPBuilder("min")
+        lp.add_variable("x", lb=0, ub=1, cost=1.0)
+        lp.add_ge({"x": 1.0}, 5.0)
+        with pytest.raises(InfeasibleError):
+            lp.solve()
+
+    def test_empty_lp_raises(self):
+        with pytest.raises(SolverError):
+            LPBuilder().solve()
+
+    def test_unbounded_raises_solver_error(self):
+        lp = LPBuilder("max")
+        lp.add_variable("x", cost=1.0)
+        with pytest.raises(SolverError):
+            lp.solve()
+
+    def test_add_objective_terms_accumulates(self):
+        lp = LPBuilder("max")
+        lp.add_variable("x", ub=2.0)
+        lp.add_objective_terms({"x": 1.0})
+        lp.add_objective_terms({"x": 1.5})
+        assert lp.solve().objective == pytest.approx(5.0)
+
+    def test_tuple_keys(self):
+        lp = LPBuilder("min")
+        lp.add_variable(("f", "a", "b"), lb=1.0, cost=2.0)
+        sol = lp.solve()
+        assert sol[("f", "a", "b")] == pytest.approx(1.0)
+
+    def test_solution_get_default(self):
+        lp = LPBuilder("min")
+        lp.add_variable("x", lb=0.5, cost=1.0)
+        sol = lp.solve()
+        assert sol.get("missing", 7.0) == 7.0
+
+    def test_coefficients_on_same_key_accumulate_in_row(self):
+        lp = LPBuilder("max")
+        lp.add_variable("x", cost=1.0)
+        # x + x <= 4  ->  x <= 2
+        lp._ub_rows.append((lp._row({"x": 1.0}), 4.0))
+        lp.add_le({"x": 2.0}, 4.0)
+        assert lp.solve()["x"] == pytest.approx(2.0)

@@ -1,0 +1,150 @@
+"""Tests for min-cost splittable flow solvers."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import InfeasibleError, InvalidProblemError
+from repro.flow import Commodity, min_cost_multicommodity_flow, min_cost_single_source_flow
+
+
+def capacitated_diamond() -> nx.DiGraph:
+    g = nx.DiGraph()
+    g.add_edge("s", "a", cost=1.0, capacity=5.0)
+    g.add_edge("s", "b", cost=3.0, capacity=10.0)
+    g.add_edge("a", "t", cost=1.0, capacity=5.0)
+    g.add_edge("b", "t", cost=1.0, capacity=10.0)
+    return g
+
+
+class TestSingleSource:
+    def test_prefers_cheap_path(self):
+        flow, cost = min_cost_single_source_flow(capacitated_diamond(), "s", {"t": 4.0})
+        assert cost == pytest.approx(8.0)
+        assert flow[("s", "a")] == pytest.approx(4.0)
+        assert ("s", "b") not in flow
+
+    def test_splits_when_cheap_path_saturates(self):
+        flow, cost = min_cost_single_source_flow(capacitated_diamond(), "s", {"t": 8.0})
+        assert flow[("s", "a")] == pytest.approx(5.0)
+        assert flow[("s", "b")] == pytest.approx(3.0)
+        assert cost == pytest.approx(5 * 2 + 3 * 4)
+
+    def test_multiple_sinks(self):
+        g = capacitated_diamond()
+        flow, cost = min_cost_single_source_flow(g, "s", {"a": 2.0, "t": 3.0})
+        assert flow[("s", "a")] == pytest.approx(5.0)
+        assert cost == pytest.approx(5 * 1 + 3 * 1)
+
+    def test_infeasible_when_capacity_too_small(self):
+        with pytest.raises(InfeasibleError):
+            min_cost_single_source_flow(capacitated_diamond(), "s", {"t": 16.0})
+
+    def test_zero_demand_returns_empty(self):
+        flow, cost = min_cost_single_source_flow(capacitated_diamond(), "s", {"t": 0.0})
+        assert flow == {}
+        assert cost == 0.0
+
+    def test_demand_at_source_is_free(self):
+        flow, cost = min_cost_single_source_flow(capacitated_diamond(), "s", {"s": 3.0})
+        assert flow == {}
+        assert cost == 0.0
+
+    def test_unknown_sink_rejected(self):
+        with pytest.raises(InvalidProblemError):
+            min_cost_single_source_flow(capacitated_diamond(), "s", {"zz": 1.0})
+
+    def test_negative_demand_rejected(self):
+        with pytest.raises(InvalidProblemError):
+            min_cost_single_source_flow(capacitated_diamond(), "s", {"t": -1.0})
+
+    def test_conservation_holds(self):
+        g = capacitated_diamond()
+        demands = {"t": 6.0, "b": 1.0}
+        flow, _ = min_cost_single_source_flow(g, "s", demands)
+        for node in g.nodes:
+            out = sum(f for (u, v), f in flow.items() if u == node)
+            inn = sum(f for (u, v), f in flow.items() if v == node)
+            if node == "s":
+                assert out - inn == pytest.approx(7.0)
+            else:
+                assert out - inn == pytest.approx(-demands.get(node, 0.0))
+
+    @settings(max_examples=15, deadline=None)
+    @given(st.integers(min_value=0, max_value=1000))
+    def test_matches_networkx_min_cost_flow(self, seed):
+        g = nx.gnp_random_graph(8, 0.5, seed=seed, directed=True)
+        for u, v in g.edges:
+            g.edges[u, v]["cost"] = float((u + 2 * v + seed) % 9 + 1)
+            g.edges[u, v]["capacity"] = float((u * v + seed) % 4 + 2)
+        if 0 not in g or 7 not in g:
+            return
+        demand = 3.0
+        nxg = g.copy()
+        nxg.nodes[0]["demand"] = -demand
+        nxg.nodes[7]["demand"] = demand
+        try:
+            expected = nx.min_cost_flow_cost(nxg, weight="cost")
+        except nx.NetworkXUnfeasible:
+            with pytest.raises(InfeasibleError):
+                min_cost_single_source_flow(g, 0, {7: demand})
+            return
+        _, cost = min_cost_single_source_flow(g, 0, {7: demand})
+        assert cost == pytest.approx(expected)
+
+
+class TestMulticommodity:
+    def test_independent_commodities_match_single_source(self):
+        g = capacitated_diamond()
+        flows, cost = min_cost_multicommodity_flow(
+            g, [Commodity("c1", "s", {"t": 4.0})]
+        )
+        _, expected = min_cost_single_source_flow(g, "s", {"t": 4.0})
+        assert cost == pytest.approx(expected)
+        assert flows["c1"][("s", "a")] == pytest.approx(4.0)
+
+    def test_capacity_coupling_forces_split(self):
+        g = nx.DiGraph()
+        g.add_edge("s1", "m", cost=1.0, capacity=10.0)
+        g.add_edge("s2", "m", cost=1.0, capacity=10.0)
+        g.add_edge("m", "t", cost=1.0, capacity=3.0)
+        g.add_edge("s1", "t", cost=10.0, capacity=10.0)
+        g.add_edge("s2", "t", cost=10.0, capacity=10.0)
+        flows, cost = min_cost_multicommodity_flow(
+            g,
+            [
+                Commodity("a", "s1", {"t": 3.0}),
+                Commodity("b", "s2", {"t": 2.0}),
+            ],
+        )
+        # Only 3 units fit through m; the other 2 must pay the direct links.
+        through_m = flows["a"].get(("m", "t"), 0) + flows["b"].get(("m", "t"), 0)
+        assert through_m == pytest.approx(3.0)
+        assert cost == pytest.approx(3 * 2 + 2 * 10)
+
+    def test_infeasible_total_demand(self):
+        g = nx.DiGraph()
+        g.add_edge("s", "t", cost=1.0, capacity=1.0)
+        with pytest.raises(InfeasibleError):
+            min_cost_multicommodity_flow(
+                g,
+                [Commodity("a", "s", {"t": 1.0}), Commodity("b", "s", {"t": 1.0})],
+            )
+
+    def test_duplicate_names_rejected(self):
+        g = capacitated_diamond()
+        with pytest.raises(InvalidProblemError):
+            min_cost_multicommodity_flow(
+                g,
+                [Commodity("a", "s", {"t": 1.0}), Commodity("a", "s", {"t": 1.0})],
+            )
+
+    def test_empty_commodity_list(self):
+        flows, cost = min_cost_multicommodity_flow(capacitated_diamond(), [])
+        assert flows == {}
+        assert cost == 0.0
+
+    def test_commodity_total_demand(self):
+        c = Commodity("x", "s", {"a": 1.0, "b": 2.5})
+        assert c.total_demand == pytest.approx(3.5)

@@ -1,0 +1,132 @@
+"""Tests for the successive-shortest-paths min-cost flow engine."""
+
+import math
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import InfeasibleError, InvalidProblemError
+from repro.flow import min_cost_flow_ssp, min_cost_single_source_flow
+
+
+def capacitated_diamond() -> nx.DiGraph:
+    g = nx.DiGraph()
+    g.add_edge("s", "a", cost=1.0, capacity=5.0)
+    g.add_edge("s", "b", cost=3.0, capacity=10.0)
+    g.add_edge("a", "t", cost=1.0, capacity=5.0)
+    g.add_edge("b", "t", cost=1.0, capacity=10.0)
+    return g
+
+
+class TestSSP:
+    def test_prefers_cheap_path(self):
+        flow, cost = min_cost_flow_ssp(capacitated_diamond(), "s", {"t": 4.0})
+        assert cost == pytest.approx(8.0)
+        assert flow[("s", "a")] == pytest.approx(4.0)
+
+    def test_splits_when_saturated(self):
+        flow, cost = min_cost_flow_ssp(capacitated_diamond(), "s", {"t": 8.0})
+        assert flow[("s", "a")] == pytest.approx(5.0)
+        assert flow[("s", "b")] == pytest.approx(3.0)
+        assert cost == pytest.approx(5 * 2 + 3 * 4)
+
+    def test_rerouting_via_backward_arcs(self):
+        """Optimality requires undoing an earlier greedy augmentation."""
+        g = nx.DiGraph()
+        g.add_edge("s", "a", cost=1.0, capacity=1.0)
+        g.add_edge("a", "t1", cost=0.0, capacity=1.0)
+        g.add_edge("a", "t2", cost=0.0, capacity=1.0)
+        g.add_edge("s", "t1", cost=3.0, capacity=1.0)
+        flow, cost = min_cost_flow_ssp(g, "s", {"t1": 1.0, "t2": 1.0})
+        # t2 is only reachable through a; t1 must take the expensive direct.
+        assert flow[("a", "t2")] == pytest.approx(1.0)
+        assert flow[("s", "t1")] == pytest.approx(1.0)
+        assert cost == pytest.approx(1 + 3)
+
+    def test_multiple_sinks(self):
+        flow, cost = min_cost_flow_ssp(
+            capacitated_diamond(), "s", {"a": 2.0, "t": 3.0}
+        )
+        _, lp_cost = min_cost_single_source_flow(
+            capacitated_diamond(), "s", {"a": 2.0, "t": 3.0}
+        )
+        assert cost == pytest.approx(lp_cost)
+
+    def test_zero_demand(self):
+        flow, cost = min_cost_flow_ssp(capacitated_diamond(), "s", {"t": 0.0})
+        assert flow == {}
+        assert cost == 0.0
+
+    def test_demand_at_source_free(self):
+        flow, cost = min_cost_flow_ssp(capacitated_diamond(), "s", {"s": 2.0})
+        assert cost == 0.0
+
+    def test_infeasible(self):
+        with pytest.raises(InfeasibleError):
+            min_cost_flow_ssp(capacitated_diamond(), "s", {"t": 100.0})
+
+    def test_unknown_nodes(self):
+        with pytest.raises(InvalidProblemError):
+            min_cost_flow_ssp(capacitated_diamond(), "zz", {"t": 1.0})
+        with pytest.raises(InvalidProblemError):
+            min_cost_flow_ssp(capacitated_diamond(), "s", {"zz": 1.0})
+
+    def test_negative_demand_rejected(self):
+        with pytest.raises(InvalidProblemError):
+            min_cost_flow_ssp(capacitated_diamond(), "s", {"t": -1.0})
+
+    def test_negative_cost_rejected(self):
+        g = nx.DiGraph()
+        g.add_edge("s", "t", cost=-1.0, capacity=1.0)
+        with pytest.raises(InvalidProblemError):
+            min_cost_flow_ssp(g, "s", {"t": 1.0})
+
+    def test_anti_parallel_arcs(self):
+        g = nx.DiGraph()
+        g.add_edge("s", "t", cost=1.0, capacity=1.0)
+        g.add_edge("t", "s", cost=1.0, capacity=1.0)
+        g.add_edge("s", "m", cost=1.0, capacity=5.0)
+        g.add_edge("m", "t", cost=1.0, capacity=5.0)
+        flow, cost = min_cost_flow_ssp(g, "s", {"t": 3.0})
+        assert cost == pytest.approx(1 * 1 + 2 * 2)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=3000),
+        st.integers(min_value=1, max_value=4),
+    )
+    def test_matches_lp_on_random_instances(self, seed, n_sinks):
+        import random as _random
+
+        rng = _random.Random(seed)
+        g = nx.gnp_random_graph(10, 0.4, seed=seed, directed=True)
+        for u, v in g.edges:
+            g.edges[u, v]["cost"] = rng.uniform(0, 8)
+            g.edges[u, v]["capacity"] = rng.uniform(1, 6)
+        if 0 not in g:
+            return
+        sinks = sorted(nx.descendants(g, 0))[:n_sinks]
+        if not sinks:
+            return
+        demands = {t: rng.uniform(0.2, 2.0) for t in sinks}
+        try:
+            _, lp_cost = min_cost_single_source_flow(g, 0, demands)
+        except InfeasibleError:
+            with pytest.raises(InfeasibleError):
+                min_cost_flow_ssp(g, 0, demands)
+            return
+        flow, ssp_cost = min_cost_flow_ssp(g, 0, demands)
+        assert ssp_cost == pytest.approx(lp_cost, rel=1e-6, abs=1e-6)
+        # Capacity feasibility and conservation.
+        for e, f in flow.items():
+            assert f <= g.edges[e]["capacity"] + 1e-6
+        for node in g.nodes:
+            out = sum(f for (u, _v), f in flow.items() if u == node)
+            inn = sum(f for (_u, v), f in flow.items() if v == node)
+            if node == 0:
+                expected = sum(demands.values()) - demands.get(0, 0.0)
+            else:
+                expected = -demands.get(node, 0.0)
+            assert out - inn == pytest.approx(expected, abs=1e-6)

@@ -1,0 +1,132 @@
+"""Tests for the Skutella splittable->unsplittable rounding (Lemma 4.6)."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import InvalidProblemError, SolverError
+from repro.flow import min_cost_single_source_flow, round_to_unsplittable
+
+
+def build_flow(graph, source, demands):
+    flow, cost = min_cost_single_source_flow(graph, source, demands)
+    return flow, cost
+
+
+def path_cost(costs, path):
+    return sum(costs.get((u, v), 0.0) for u, v in zip(path[:-1], path[1:]))
+
+
+def check_lemma_4_6(costs, flow, commodities, paths, flow_cost):
+    """Assert the two guarantees of Lemma 4.6."""
+    # (i) total unsplittable cost <= cost of the splittable flow.
+    total = sum(d * path_cost(costs, paths[cid]) for cid, _, d in commodities)
+    assert total <= flow_cost + 1e-6
+    # (ii) on each link, all but the largest commodity fit in the flow.
+    loads: dict = {}
+    for cid, _, d in commodities:
+        for e in zip(paths[cid][:-1], paths[cid][1:]):
+            loads.setdefault(e, []).append(d)
+    for e, ds in loads.items():
+        assert sum(ds) - max(ds) <= flow.get(e, 0.0) + 1e-6
+
+
+class TestRounding:
+    def test_single_commodity_takes_flow_path(self):
+        g = nx.DiGraph()
+        g.add_edge("s", "a", cost=1.0, capacity=10.0)
+        g.add_edge("a", "t", cost=1.0, capacity=10.0)
+        flow, cost = build_flow(g, "s", {"t": 2.0})
+        costs = {(u, v): d["cost"] for u, v, d in g.edges(data=True)}
+        paths = round_to_unsplittable(costs, "s", [("c", "t", 2.0)], flow)
+        assert paths["c"] == ("s", "a", "t")
+
+    def test_split_flow_rounds_to_single_path(self):
+        # Splittable optimum splits 1+1 over two parallel paths; the rounding
+        # must pick one path for the single demand-2 commodity.
+        g = nx.DiGraph()
+        g.add_edge("s", "a", cost=1.0, capacity=1.0)
+        g.add_edge("a", "t", cost=1.0, capacity=1.0)
+        g.add_edge("s", "b", cost=1.0, capacity=1.0)
+        g.add_edge("b", "t", cost=1.0, capacity=1.0)
+        flow, cost = build_flow(g, "s", {"t": 2.0})
+        costs = {(u, v): d["cost"] for u, v, d in g.edges(data=True)}
+        commodities = [("c", "t", 2.0)]
+        paths = round_to_unsplittable(costs, "s", commodities, flow)
+        assert paths["c"] in {("s", "a", "t"), ("s", "b", "t")}
+        check_lemma_4_6(costs, flow, commodities, paths, cost)
+
+    def test_two_commodities_power_of_two(self):
+        g = nx.DiGraph()
+        for mid in ("a", "b"):
+            g.add_edge("s", mid, cost=1.0, capacity=3.0)
+            g.add_edge(mid, "t1", cost=1.0, capacity=3.0)
+            g.add_edge(mid, "t2", cost=2.0, capacity=3.0)
+        demands = {"t1": 1.0, "t2": 2.0}
+        flow, cost = build_flow(g, "s", demands)
+        costs = {(u, v): d["cost"] for u, v, d in g.edges(data=True)}
+        commodities = [("c1", "t1", 1.0), ("c2", "t2", 2.0)]
+        paths = round_to_unsplittable(costs, "s", commodities, flow)
+        assert paths["c1"][0] == "s" and paths["c1"][-1] == "t1"
+        assert paths["c2"][0] == "s" and paths["c2"][-1] == "t2"
+        check_lemma_4_6(costs, flow, commodities, paths, cost)
+
+    def test_sink_at_source(self):
+        paths = round_to_unsplittable({}, "s", [("c", "s", 1.0)], {})
+        assert paths["c"] == ("s",)
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(InvalidProblemError):
+            round_to_unsplittable(
+                {}, "s", [("a", "t", 1.0), ("b", "t", 3.0)], {("s", "t"): 4.0}
+            )
+
+    def test_nonpositive_demand_rejected(self):
+        with pytest.raises(InvalidProblemError):
+            round_to_unsplittable({}, "s", [("a", "t", 0.0)], {})
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(InvalidProblemError):
+            round_to_unsplittable(
+                {}, "s", [("a", "t", 1.0), ("a", "t", 1.0)], {("s", "t"): 2.0}
+            )
+
+    def test_missing_support_raises(self):
+        with pytest.raises(SolverError):
+            round_to_unsplittable({}, "s", [("a", "t", 1.0)], {})
+
+    def test_empty_commodities(self):
+        assert round_to_unsplittable({}, "s", [], {}) == {}
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.integers(min_value=0, max_value=800),
+        st.lists(st.sampled_from([1.0, 2.0, 4.0]), min_size=1, max_size=6),
+    )
+    def test_lemma_4_6_on_random_instances(self, seed, demand_values):
+        g = nx.gnp_random_graph(8, 0.5, seed=seed, directed=True)
+        for u, v in g.edges:
+            g.edges[u, v]["cost"] = float((u + 3 * v + seed) % 6 + 1)
+            g.edges[u, v]["capacity"] = 40.0
+        if 0 not in g:
+            return
+        reachable = nx.descendants(g, 0)
+        if not reachable:
+            return
+        sinks = sorted(reachable)
+        commodities = [
+            (f"c{k}", sinks[k % len(sinks)], d) for k, d in enumerate(demand_values)
+        ]
+        agg: dict = {}
+        for _, t, d in commodities:
+            agg[t] = agg.get(t, 0.0) + d
+        flow, cost = build_flow(g, 0, agg)
+        costs = {(u, v): d["cost"] for u, v, d in g.edges(data=True)}
+        paths = round_to_unsplittable(costs, 0, commodities, flow)
+        for cid, t, _ in commodities:
+            assert paths[cid][0] == 0
+            assert paths[cid][-1] == t
+            # Loopless.
+            assert len(set(paths[cid])) == len(paths[cid])
+        check_lemma_4_6(costs, flow, commodities, paths, cost)

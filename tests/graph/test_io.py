@@ -1,0 +1,108 @@
+"""Tests for topology I/O (GraphML, edge lists, JSON manifests)."""
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.exceptions import InvalidNetworkError
+from repro.graph import abovenet
+from repro.graph.io import (
+    load_edge_list,
+    load_graphml,
+    load_network_json,
+    save_edge_list,
+    save_network_json,
+)
+
+
+class TestGraphML:
+    def _write_graphml(self, tmp_path, directed=False):
+        g = nx.DiGraph() if directed else nx.Graph()
+        g.add_edge("a", "b", weight=2.5, bw=10.0)
+        g.add_edge("b", "c", weight=1.0, bw=5.0)
+        path = tmp_path / "topo.graphml"
+        nx.write_graphml(g, path)
+        return path
+
+    def test_load_with_attribute_mapping(self, tmp_path):
+        path = self._write_graphml(tmp_path)
+        net = load_graphml(path, cost_key="weight", capacity_key="bw")
+        assert net.cost("a", "b") == 2.5
+        assert net.capacity("b", "c") == 5.0
+        assert net.has_edge("b", "a")  # symmetric
+
+    def test_load_with_defaults(self, tmp_path):
+        path = self._write_graphml(tmp_path)
+        net = load_graphml(path)
+        assert net.cost("a", "b") == 1.0
+        assert math.isinf(net.capacity("a", "b"))
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(InvalidNetworkError):
+            load_graphml(tmp_path / "missing.graphml")
+
+    def test_unparseable_file(self, tmp_path):
+        bad = tmp_path / "bad.graphml"
+        bad.write_text("this is not xml")
+        with pytest.raises(InvalidNetworkError):
+            load_graphml(bad)
+
+
+class TestEdgeList:
+    def test_round_trip(self, tmp_path):
+        net = abovenet()
+        net.set_uniform_link_capacity(42.0)
+        path = tmp_path / "abovenet.edges"
+        save_edge_list(net, path)
+        loaded = load_edge_list(path, symmetric=False)
+        assert set(loaded.edges) == set(net.edges)
+        assert loaded.capacity("SEA", "SJC") == 42.0
+
+    def test_infinite_capacity_round_trip(self, tmp_path):
+        net = abovenet()
+        path = tmp_path / "abovenet.edges"
+        save_edge_list(net, path)
+        loaded = load_edge_list(path, symmetric=False)
+        assert math.isinf(loaded.capacity("SEA", "SJC"))
+
+    def test_comments_and_blank_lines(self, tmp_path):
+        path = tmp_path / "topo.txt"
+        path.write_text("# comment\n\na b 2.0 7.0\n")
+        net = load_edge_list(path)
+        assert net.cost("a", "b") == 2.0
+        assert net.capacity("b", "a") == 7.0  # symmetric default
+
+    def test_malformed_line(self, tmp_path):
+        path = tmp_path / "topo.txt"
+        path.write_text("a b\n")
+        with pytest.raises(InvalidNetworkError):
+            load_edge_list(path)
+
+    def test_bad_number(self, tmp_path):
+        path = tmp_path / "topo.txt"
+        path.write_text("a b notanumber\n")
+        with pytest.raises(InvalidNetworkError):
+            load_edge_list(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(InvalidNetworkError):
+            load_edge_list(tmp_path / "nope.txt")
+
+
+class TestJSONManifest:
+    def test_round_trip_with_caches(self, tmp_path):
+        net = abovenet()
+        net.set_cache_capacity("SEA", 12)
+        net.set_link_capacity("SEA", "SJC", 3.5)
+        path = tmp_path / "net.json"
+        save_network_json(net, path)
+        loaded = load_network_json(path)
+        assert loaded.cache_capacity("SEA") == 12
+        assert loaded.capacity("SEA", "SJC") == 3.5
+        assert math.isinf(loaded.capacity("SJC", "SFO"))
+        assert loaded.num_edges == net.num_edges
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(InvalidNetworkError):
+            load_network_json(tmp_path / "nope.json")

@@ -1,0 +1,136 @@
+"""Unit tests for the CacheNetwork model."""
+
+import math
+
+import networkx as nx
+import pytest
+
+from repro.exceptions import InvalidNetworkError
+from repro.graph import CacheNetwork
+
+
+def small_net() -> CacheNetwork:
+    return CacheNetwork.from_edges(
+        [("a", "b", 1.0, 5.0), ("b", "c", 2.0, 7.0)],
+        cache_capacity={"a": 2, "c": 1},
+    )
+
+
+class TestConstruction:
+    def test_from_edges_sets_costs_and_capacities(self):
+        net = small_net()
+        assert net.cost("a", "b") == 1.0
+        assert net.capacity("b", "c") == 7.0
+
+    def test_from_edges_default_capacity_is_infinite(self):
+        net = CacheNetwork.from_edges([("a", "b", 3.0)])
+        assert math.isinf(net.capacity("a", "b"))
+
+    def test_symmetric_adds_reverse_links(self):
+        net = CacheNetwork.from_edges([("a", "b", 3.0, 4.0)], symmetric=True)
+        assert net.cost("b", "a") == 3.0
+        assert net.capacity("b", "a") == 4.0
+
+    def test_missing_attributes_get_defaults(self):
+        g = nx.DiGraph()
+        g.add_edge(1, 2)
+        net = CacheNetwork(g)
+        assert net.cost(1, 2) == 1.0
+        assert math.isinf(net.capacity(1, 2))
+
+    def test_nodes_without_cache_entry_get_zero(self):
+        net = small_net()
+        assert net.cache_capacity("b") == 0.0
+
+    def test_negative_cost_rejected(self):
+        g = nx.DiGraph()
+        g.add_edge(1, 2, cost=-1.0)
+        with pytest.raises(InvalidNetworkError):
+            CacheNetwork(g)
+
+    def test_nonpositive_link_capacity_rejected(self):
+        g = nx.DiGraph()
+        g.add_edge(1, 2, cost=1.0, capacity=0.0)
+        with pytest.raises(InvalidNetworkError):
+            CacheNetwork(g)
+
+    def test_negative_cache_capacity_rejected(self):
+        g = nx.DiGraph()
+        g.add_edge(1, 2)
+        with pytest.raises(InvalidNetworkError):
+            CacheNetwork(g, {1: -1})
+
+    def test_cache_on_unknown_node_rejected(self):
+        g = nx.DiGraph()
+        g.add_edge(1, 2)
+        with pytest.raises(InvalidNetworkError):
+            CacheNetwork(g, {99: 1})
+
+    def test_multigraph_rejected(self):
+        with pytest.raises(InvalidNetworkError):
+            CacheNetwork(nx.MultiDiGraph())
+
+
+class TestAccessors:
+    def test_cache_nodes_lists_only_positive(self):
+        net = small_net()
+        assert set(net.cache_nodes()) == {"a", "c"}
+
+    def test_costs_and_capacities_maps(self):
+        net = small_net()
+        assert net.costs() == {("a", "b"): 1.0, ("b", "c"): 2.0}
+        assert net.capacities() == {("a", "b"): 5.0, ("b", "c"): 7.0}
+
+    def test_degree_counts_directed_edges(self):
+        net = CacheNetwork.from_edges([("a", "b", 1.0)], symmetric=True)
+        assert net.degree("a") == 2
+        assert net.undirected_degree("a") == 1
+
+    def test_len_and_contains(self):
+        net = small_net()
+        assert len(net) == 3
+        assert "a" in net
+        assert "zz" not in net
+
+    def test_repr_mentions_sizes(self):
+        assert "|V|=3" in repr(small_net())
+
+
+class TestMutators:
+    def test_set_cache_capacity(self):
+        net = small_net()
+        net.set_cache_capacity("b", 4)
+        assert net.cache_capacity("b") == 4.0
+
+    def test_set_cache_capacity_unknown_node(self):
+        with pytest.raises(InvalidNetworkError):
+            small_net().set_cache_capacity("zz", 1)
+
+    def test_set_uniform_link_capacity(self):
+        net = small_net()
+        net.set_uniform_link_capacity(9.0)
+        assert all(c == 9.0 for c in net.capacities().values())
+
+    def test_uncapacitated_copy_does_not_mutate_original(self):
+        net = small_net()
+        free = net.uncapacitated()
+        assert math.isinf(free.capacity("a", "b"))
+        assert net.capacity("a", "b") == 5.0
+
+    def test_augment_capacity_along_path(self):
+        net = small_net()
+        net.augment_capacity_along_path(["a", "b", "c"], 3.0)
+        assert net.capacity("a", "b") == 8.0
+        assert net.capacity("b", "c") == 10.0
+
+    def test_augment_negative_rejected(self):
+        with pytest.raises(InvalidNetworkError):
+            small_net().augment_capacity_along_path(["a", "b"], -1.0)
+
+    def test_copy_is_independent(self):
+        net = small_net()
+        dup = net.copy()
+        dup.set_cache_capacity("a", 99)
+        dup.set_link_capacity("a", "b", 123.0)
+        assert net.cache_capacity("a") == 2.0
+        assert net.capacity("a", "b") == 5.0

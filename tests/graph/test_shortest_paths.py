@@ -1,0 +1,149 @@
+"""Tests for Dijkstra, all-pairs costs and Yen's k-shortest paths."""
+
+import networkx as nx
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.exceptions import InvalidNetworkError
+from repro.graph import (
+    abovenet,
+    all_pairs_least_costs,
+    k_shortest_paths,
+    path_cost,
+    reconstruct_path,
+    single_source_dijkstra,
+)
+
+
+def diamond() -> nx.DiGraph:
+    g = nx.DiGraph()
+    g.add_edge("s", "a", cost=1.0)
+    g.add_edge("s", "b", cost=4.0)
+    g.add_edge("a", "t", cost=1.0)
+    g.add_edge("b", "t", cost=1.0)
+    g.add_edge("a", "b", cost=1.0)
+    return g
+
+
+class TestDijkstra:
+    def test_distances_on_diamond(self):
+        dist, _ = single_source_dijkstra(diamond(), "s")
+        assert dist == {"s": 0.0, "a": 1.0, "b": 2.0, "t": 2.0}
+
+    def test_reconstruct_path(self):
+        dist, pred = single_source_dijkstra(diamond(), "s")
+        assert reconstruct_path(pred, "s", "t") == ["s", "a", "t"]
+        assert reconstruct_path(pred, "s", "s") == ["s"]
+
+    def test_unreachable_node_missing_from_dist(self):
+        g = diamond()
+        g.add_node("island")
+        dist, pred = single_source_dijkstra(g, "s")
+        assert "island" not in dist
+        with pytest.raises(InvalidNetworkError):
+            reconstruct_path(pred, "s", "island")
+
+    def test_unknown_source_raises(self):
+        with pytest.raises(InvalidNetworkError):
+            single_source_dijkstra(diamond(), "zz")
+
+    def test_negative_weight_raises(self):
+        g = nx.DiGraph()
+        g.add_edge(1, 2, cost=-1.0)
+        with pytest.raises(InvalidNetworkError):
+            single_source_dijkstra(g, 1)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=0, max_value=10_000))
+    def test_matches_networkx_on_random_graphs(self, seed):
+        g = nx.gnp_random_graph(12, 0.3, seed=seed, directed=True)
+        for u, v in g.edges:
+            g.edges[u, v]["cost"] = ((u * 7 + v * 13 + seed) % 19) + 1.0
+        dist, _ = single_source_dijkstra(g, 0)
+        expected = nx.single_source_dijkstra_path_length(g, 0, weight="cost")
+        assert dist == pytest.approx(expected)
+
+
+class TestAllPairs:
+    def test_wmax_is_max_finite_cost(self):
+        costs, wmax = all_pairs_least_costs(diamond())
+        assert costs["s"]["t"] == 2.0
+        # Largest finite pairwise least cost: s->b = min(4, 1+1) = 2.
+        assert wmax == 2.0
+
+    def test_single_node_graph_wmax_defaults_to_one(self):
+        g = nx.DiGraph()
+        g.add_node("x")
+        costs, wmax = all_pairs_least_costs(g)
+        assert costs == {"x": {"x": 0.0}}
+        assert wmax == 1.0
+
+    def test_abovenet_symmetric_costs(self):
+        net = abovenet()
+        costs, _ = all_pairs_least_costs(net.graph)
+        # Unit symmetric costs: distance is symmetric.
+        assert costs["SEA"]["MIA"] == costs["MIA"]["SEA"]
+
+
+class TestPathCost:
+    def test_simple_sum(self):
+        assert path_cost(diamond(), ["s", "a", "t"]) == 2.0
+
+    def test_missing_link_raises(self):
+        with pytest.raises(InvalidNetworkError):
+            path_cost(diamond(), ["s", "t"])
+
+
+class TestKShortestPaths:
+    def test_first_path_is_shortest(self):
+        paths = k_shortest_paths(diamond(), "s", "t", 3)
+        assert paths[0] == ["s", "a", "t"]
+
+    def test_costs_nondecreasing(self):
+        g = diamond()
+        paths = k_shortest_paths(g, "s", "t", 4)
+        costs = [path_cost(g, p) for p in paths]
+        assert costs == sorted(costs)
+
+    def test_paths_are_loopless_and_distinct(self):
+        g = abovenet().graph
+        paths = k_shortest_paths(g, "LON", "SEA", 8)
+        assert len({tuple(p) for p in paths}) == len(paths)
+        for p in paths:
+            assert len(set(p)) == len(p)
+
+    def test_returns_fewer_when_graph_small(self):
+        g = nx.DiGraph()
+        g.add_edge("s", "t", cost=1.0)
+        assert k_shortest_paths(g, "s", "t", 5) == [["s", "t"]]
+
+    def test_no_path_returns_empty(self):
+        g = nx.DiGraph()
+        g.add_node("s")
+        g.add_node("t")
+        assert k_shortest_paths(g, "s", "t", 3) == []
+
+    def test_k_zero_returns_empty(self):
+        assert k_shortest_paths(diamond(), "s", "t", 0) == []
+
+    def test_graph_restored_after_run(self):
+        g = diamond()
+        before = set(g.edges)
+        k_shortest_paths(g, "s", "t", 4)
+        assert set(g.edges) == before
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.integers(min_value=0, max_value=5_000))
+    def test_matches_networkx_shortest_simple_paths(self, seed):
+        g = nx.gnp_random_graph(8, 0.4, seed=seed, directed=True)
+        for u, v in g.edges:
+            g.edges[u, v]["cost"] = ((u * 3 + v * 11 + seed) % 7) + 1.0
+        try:
+            expected = list(nx.shortest_simple_paths(g, 0, 7, weight="cost"))[:4]
+        except nx.NetworkXNoPath:
+            expected = []
+        got = k_shortest_paths(g, 0, 7, 4) if 0 in g and 7 in g else []
+        assert [path_cost(g, p) for p in got] == pytest.approx(
+            [path_cost(g, p) for p in expected]
+        )

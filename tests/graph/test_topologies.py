@@ -1,0 +1,107 @@
+"""Tests for embedded and synthetic topologies."""
+
+import networkx as nx
+import pytest
+
+from repro.exceptions import InvalidNetworkError
+from repro.graph import (
+    abilene_like,
+    abovenet,
+    abvt,
+    deltacom,
+    edge_caching_roles,
+    line_topology,
+    random_topology,
+    tinet,
+    tree_topology,
+)
+
+
+def undirected_edge_count(net) -> int:
+    return net.num_edges // 2
+
+
+class TestEmbeddedTopologies:
+    @pytest.mark.parametrize(
+        "factory,nodes,links",
+        [(abvt, 23, 31), (tinet, 53, 89), (deltacom, 113, 161)],
+    )
+    def test_table5_sizes(self, factory, nodes, links):
+        net = factory()
+        assert net.num_nodes == nodes
+        assert undirected_edge_count(net) == links
+
+    @pytest.mark.parametrize("factory", [abovenet, abvt, tinet, deltacom, abilene_like])
+    def test_connected_and_symmetric(self, factory):
+        net = factory()
+        assert nx.is_strongly_connected(net.graph)
+        for u, v in net.edges:
+            assert net.has_edge(v, u)
+
+    @pytest.mark.parametrize("factory", [abvt, tinet, deltacom])
+    def test_deterministic(self, factory):
+        assert set(factory().edges) == set(factory().edges)
+
+    def test_abovenet_has_degree_one_gateway(self):
+        net = abovenet()
+        assert net.undirected_degree("LON") == 1
+
+    @pytest.mark.parametrize("factory", [abovenet, abvt, tinet, deltacom])
+    def test_default_attributes(self, factory):
+        net = factory()
+        for (u, v), cost in net.costs().items():
+            assert cost == 1.0
+        assert all(cap == float("inf") for cap in net.capacities().values())
+
+
+class TestSyntheticTopologies:
+    def test_line_topology(self):
+        net = line_topology(5)
+        assert net.num_nodes == 5
+        assert undirected_edge_count(net) == 4
+
+    def test_line_too_short(self):
+        with pytest.raises(InvalidNetworkError):
+            line_topology(1)
+
+    def test_tree_topology(self):
+        net = tree_topology(2, 3)
+        assert net.num_nodes == 15
+        assert nx.is_strongly_connected(net.graph)
+
+    def test_tree_invalid_params(self):
+        with pytest.raises(InvalidNetworkError):
+            tree_topology(0, 2)
+
+    def test_random_topology_connected(self):
+        net = random_topology(30, average_degree=2.5, seed=7)
+        assert net.num_nodes == 30
+        assert nx.is_strongly_connected(net.graph)
+
+    def test_random_topology_seed_reproducible(self):
+        a = random_topology(20, seed=3)
+        b = random_topology(20, seed=3)
+        assert set(a.edges) == set(b.edges)
+
+    def test_random_topology_too_small(self):
+        with pytest.raises(InvalidNetworkError):
+            random_topology(1)
+
+
+class TestEdgeCachingRoles:
+    def test_origin_is_lowest_degree(self):
+        net = abovenet()
+        origin, edge_nodes = edge_caching_roles(net)
+        assert origin == "LON"
+        assert origin not in edge_nodes
+        assert all(net.undirected_degree(v) <= 3 for v in edge_nodes)
+
+    def test_explicit_count(self):
+        net = tinet()
+        origin, edge_nodes = edge_caching_roles(net, num_edge_nodes=5)
+        assert len(edge_nodes) == 5
+        assert origin not in edge_nodes
+
+    def test_count_too_large(self):
+        with pytest.raises(InvalidNetworkError):
+            edge_caching_roles(line_topology(3), num_edge_nodes=10)

@@ -1,0 +1,108 @@
+"""Tests for Gaussian-process regression and the demand predictor."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import PredictionError
+from repro.prediction import RBF, GaussianProcessRegressor, White
+from repro.prediction.gpr import DemandPredictor
+from repro.workload import TABLE1_VIDEOS, TraceConfig, synthesize_trace
+
+
+class TestGPR:
+    def test_interpolates_smooth_function(self):
+        x = np.linspace(0, 10, 30)
+        y = np.sin(x)
+        gpr = GaussianProcessRegressor(
+            RBF(1.0) + White(1e-6), n_restarts=0
+        ).fit(x, y)
+        pred = gpr.predict(x)
+        assert np.max(np.abs(pred - y)) < 0.05
+
+    def test_extrapolates_periodic_signal(self):
+        x = np.arange(0, 96, dtype=float)
+        y = 5.0 + 2.0 * np.sin(2 * np.pi * x / 24.0)
+        gpr = GaussianProcessRegressor(n_restarts=1).fit(x, y)
+        x_star = np.arange(96, 120, dtype=float)
+        truth = 5.0 + 2.0 * np.sin(2 * np.pi * x_star / 24.0)
+        pred = gpr.predict(x_star)
+        assert np.mean(np.abs(pred - truth)) < 0.5
+
+    def test_predict_with_std(self):
+        x = np.arange(0, 20, dtype=float)
+        y = np.cos(x / 3)
+        gpr = GaussianProcessRegressor(RBF(2.0) + White(1e-4), n_restarts=0).fit(x, y)
+        mean, std = gpr.predict(np.array([5.0, 100.0]), return_std=True)
+        assert std[1] > std[0]  # far from data -> more uncertain
+
+    def test_lml_improves_with_fit(self):
+        x = np.arange(0, 50, dtype=float)
+        y = np.sin(2 * np.pi * x / 24.0)
+        gpr = GaussianProcessRegressor(n_restarts=0)
+        gpr._x = x[:, None]
+        gpr._y_train = (y - y.mean()) / y.std()
+        before = gpr.log_marginal_likelihood()
+        gpr.fit(x, y)
+        after = gpr.log_marginal_likelihood()
+        assert after >= before - 1e-6
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(PredictionError):
+            GaussianProcessRegressor().predict(np.array([1.0]))
+
+    def test_mismatched_lengths_raise(self):
+        with pytest.raises(PredictionError):
+            GaussianProcessRegressor().fit(np.arange(3.0), np.arange(4.0))
+
+    def test_too_few_points_raise(self):
+        with pytest.raises(PredictionError):
+            GaussianProcessRegressor().fit(np.array([1.0]), np.array([2.0]))
+
+    def test_normalization_recovers_scale(self):
+        x = np.arange(0, 30, dtype=float)
+        y = 1e6 + 1e5 * np.sin(x / 4)
+        gpr = GaussianProcessRegressor(n_restarts=0).fit(x, y)
+        pred = gpr.predict(x)
+        assert np.mean(np.abs(pred - y)) / 1e5 < 0.5
+
+
+class TestDemandPredictor:
+    def test_predicts_trace_within_tolerance(self):
+        cfg = TraceConfig(seed=0, noise_sigma=0.05)
+        trace = synthesize_trace(config=cfg)
+        series = trace.series(TABLE1_VIDEOS[0].video_id)
+        predictor = DemandPredictor(
+            train_hours=550, batch_hours=5, history_window=120, n_restarts=0
+        )
+        pred = predictor.predict_series(series, eval_hours=10)
+        truth = series[550:560]
+        rel = np.abs(pred - truth) / truth
+        assert rel.mean() < 0.35  # realistic, imperfect prediction
+
+    def test_output_positive(self):
+        cfg = TraceConfig(seed=3)
+        trace = synthesize_trace(config=cfg)
+        series = trace.series(TABLE1_VIDEOS[5].video_id)
+        pred = DemandPredictor(
+            train_hours=550, history_window=100, n_restarts=0
+        ).predict_series(series, eval_hours=5)
+        assert (pred > 0).all()
+
+    def test_series_too_short(self):
+        with pytest.raises(PredictionError):
+            DemandPredictor(train_hours=550).predict_series(
+                np.ones(100), eval_hours=10
+            )
+
+    def test_batching_matches_requested_length(self):
+        cfg = TraceConfig(seed=1)
+        trace = synthesize_trace(config=cfg)
+        series = trace.series(TABLE1_VIDEOS[1].video_id)
+        pred = DemandPredictor(
+            train_hours=550, batch_hours=5, history_window=80, n_restarts=0
+        ).predict_series(series, eval_hours=7)
+        assert len(pred) == 7
+
+    def test_invalid_train_hours(self):
+        with pytest.raises(PredictionError):
+            DemandPredictor(train_hours=1)

@@ -1,0 +1,92 @@
+"""Tests for the GP kernel algebra."""
+
+import numpy as np
+import pytest
+
+from repro.prediction import RBF, Constant, Periodic, White, paper_kernel
+
+
+def is_psd(matrix, tol=1e-8):
+    eigenvalues = np.linalg.eigvalsh((matrix + matrix.T) / 2)
+    return eigenvalues.min() > -tol
+
+
+class TestRBF:
+    def test_diagonal_is_one(self):
+        x = np.arange(5.0)
+        k = RBF(2.0)(x)
+        assert np.allclose(np.diag(k), 1.0)
+
+    def test_decay_with_distance(self):
+        k = RBF(1.0)(np.array([0.0, 1.0, 5.0]))
+        assert k[0, 1] > k[0, 2]
+
+    def test_psd(self):
+        x = np.linspace(0, 10, 20)
+        assert is_psd(RBF(1.5)(x))
+
+    def test_theta_roundtrip(self):
+        k = RBF(3.0)
+        k.theta = np.array([np.log(7.0)])
+        assert k.length_scale == pytest.approx(7.0)
+
+    def test_cross_covariance_shape(self):
+        k = RBF(1.0)(np.arange(4.0), np.arange(6.0))
+        assert k.shape == (4, 6)
+
+
+class TestPeriodic:
+    def test_periodicity(self):
+        k = Periodic(1.0, period=24.0)
+        x = np.array([0.0, 24.0, 48.0, 12.0])
+        cov = k(x)
+        assert cov[0, 1] == pytest.approx(1.0)
+        assert cov[0, 2] == pytest.approx(1.0)
+        assert cov[0, 3] < 1.0
+
+    def test_theta_roundtrip(self):
+        k = Periodic(2.0, period=12.0)
+        assert np.allclose(k.theta, [np.log(2.0), np.log(12.0)])
+        k.theta = np.array([0.0, np.log(24.0)])
+        assert k.period == pytest.approx(24.0)
+
+    def test_psd(self):
+        x = np.linspace(0, 100, 25)
+        assert is_psd(Periodic(1.0, 24.0)(x))
+
+
+class TestWhite:
+    def test_identity_on_train(self):
+        k = White(0.5)(np.arange(3.0))
+        assert np.allclose(k, 0.5 * np.eye(3))
+
+    def test_zero_on_cross(self):
+        k = White(0.5)(np.arange(3.0), np.arange(4.0))
+        assert np.allclose(k, 0.0)
+
+
+class TestComposition:
+    def test_sum(self):
+        x = np.arange(4.0)
+        k = RBF(1.0) + White(0.1)
+        assert np.allclose(k(x), RBF(1.0)(x) + White(0.1)(x))
+
+    def test_product(self):
+        x = np.arange(4.0)
+        k = Constant(2.0) * RBF(1.0)
+        assert np.allclose(k(x), 2.0 * RBF(1.0)(x))
+
+    def test_composite_theta_concatenates(self):
+        k = Constant(2.0) * (RBF(1.0) + Periodic(1.0, 24.0)) + White(0.1)
+        assert len(k.theta) == 5
+        assert len(k.bounds) == 5
+
+    def test_composite_theta_setter(self):
+        k = RBF(1.0) + White(1.0)
+        k.theta = np.array([np.log(4.0), np.log(0.25)])
+        assert k.left.length_scale == pytest.approx(4.0)
+        assert k.right.noise_level == pytest.approx(0.25)
+
+    def test_paper_kernel_psd(self):
+        x = np.linspace(0, 72, 30)
+        assert is_psd(paper_kernel()(x))

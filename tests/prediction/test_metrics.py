@@ -1,0 +1,86 @@
+"""Tests for forecast-quality metrics."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import PredictionError
+from repro.prediction import (
+    GaussianProcessRegressor,
+    interval_coverage,
+    mae,
+    mape,
+    rmse,
+    score_forecast,
+)
+
+
+class TestPointMetrics:
+    def test_perfect_forecast(self):
+        truth = np.array([1.0, 2.0, 3.0])
+        assert mape(truth, truth) == 0.0
+        assert rmse(truth, truth) == 0.0
+        assert mae(truth, truth) == 0.0
+
+    def test_known_values(self):
+        truth = np.array([10.0, 10.0])
+        predicted = np.array([11.0, 9.0])
+        assert mape(truth, predicted) == pytest.approx(0.1)
+        assert rmse(truth, predicted) == pytest.approx(1.0)
+        assert mae(truth, predicted) == pytest.approx(1.0)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(PredictionError):
+            mape(np.ones(3), np.ones(4))
+
+    def test_empty(self):
+        with pytest.raises(PredictionError):
+            rmse(np.array([]), np.array([]))
+
+    def test_mape_needs_positive_truth(self):
+        with pytest.raises(PredictionError):
+            mape(np.array([0.0, 1.0]), np.array([1.0, 1.0]))
+
+    def test_rmse_at_least_mae(self):
+        rng = np.random.default_rng(0)
+        truth = rng.uniform(1, 10, 50)
+        predicted = truth + rng.normal(0, 1, 50)
+        assert rmse(truth, predicted) >= mae(truth, predicted) - 1e-12
+
+
+class TestCoverage:
+    def test_full_coverage(self):
+        truth = np.array([1.0, 2.0])
+        assert interval_coverage(truth, truth, np.ones(2)) == 1.0
+
+    def test_zero_coverage(self):
+        truth = np.array([10.0, 10.0])
+        mean = np.array([0.0, 0.0])
+        assert interval_coverage(truth, mean, np.ones(2)) == 0.0
+
+    def test_invalid_std(self):
+        with pytest.raises(PredictionError):
+            interval_coverage(np.ones(2), np.ones(2), -np.ones(2))
+
+    def test_gp_intervals_roughly_calibrated(self):
+        """A GP fit on a noisy sine should cover ~95% at 1.96 sigma."""
+        rng = np.random.default_rng(1)
+        x = np.arange(0, 120, dtype=float)
+        y = 5 + np.sin(2 * np.pi * x / 24.0) + rng.normal(0, 0.15, len(x))
+        gpr = GaussianProcessRegressor(n_restarts=1).fit(x[:96], y[:96])
+        mean, std = gpr.predict(x[96:], return_std=True)
+        coverage = interval_coverage(y[96:], mean, std)
+        assert coverage >= 0.6  # calibrated-ish; small-sample slack
+
+
+class TestScoreForecast:
+    def test_bundle(self):
+        truth = np.array([10.0, 20.0])
+        predicted = np.array([12.0, 18.0])
+        score = score_forecast(truth, predicted)
+        assert score.mape == pytest.approx((0.2 + 0.1) / 2)
+        assert score.coverage_95 is None
+
+    def test_bundle_with_std(self):
+        truth = np.array([10.0, 20.0])
+        score = score_forecast(truth, truth, std=np.ones(2))
+        assert score.coverage_95 == 1.0

@@ -1,0 +1,155 @@
+"""Tests for the event-driven validation simulator."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Placement, Routing, route_to_nearest_replica
+from repro.exceptions import InvalidProblemError
+from repro.flow.decomposition import PathFlow
+from repro.simulation import SimulationConfig, scale_problem, simulate
+
+from tests.core.conftest import make_line_problem
+
+
+def origin_routing(prob) -> Routing:
+    return route_to_nearest_replica(prob, Placement())
+
+
+class TestConfigAndScaling:
+    def test_bad_horizon(self):
+        with pytest.raises(InvalidProblemError):
+            SimulationConfig(horizon=0.0)
+
+    def test_scale_problem_keeps_ratios(self):
+        prob = make_line_problem(link_capacity=10.0)
+        scaled = scale_problem(prob, 0.5)
+        assert sum(scaled.demand.values()) == pytest.approx(3.0)
+        assert scaled.network.capacity(0, 1) == pytest.approx(5.0)
+        # Original untouched.
+        assert prob.network.capacity(0, 1) == pytest.approx(10.0)
+
+    def test_scale_problem_invalid_factor(self):
+        with pytest.raises(InvalidProblemError):
+            scale_problem(make_line_problem(), 0.0)
+
+    def test_scale_keeps_infinite_capacity(self):
+        prob = make_line_problem()
+        scaled = scale_problem(prob, 0.1)
+        assert math.isinf(scaled.network.capacity(0, 1))
+
+
+class TestSimulate:
+    def test_all_requests_delivered(self):
+        prob = make_line_problem(link_capacity=20.0)
+        report = simulate(prob, origin_routing(prob), SimulationConfig(horizon=10.0))
+        assert report.delivered == report.generated
+        assert report.generated > 0
+
+    def test_self_serving_request_zero_latency(self):
+        prob = make_line_problem(cache_nodes={4: 2})
+        placement = Placement(
+            {(4, prob.catalog[0]): 1.0, (4, prob.catalog[1]): 1.0}
+        )
+        routing = route_to_nearest_replica(prob, placement)
+        report = simulate(prob, routing, SimulationConfig(horizon=5.0))
+        assert report.mean_latency == pytest.approx(0.0)
+        assert report.max_utilization == 0.0
+
+    def test_uncapacitated_links_have_zero_service_time(self):
+        prob = make_line_problem()  # infinite capacities
+        report = simulate(prob, origin_routing(prob), SimulationConfig(horizon=5.0))
+        assert report.mean_latency == pytest.approx(0.0)
+        assert report.utilization == {}
+
+    def test_empirical_loads_match_analytic(self):
+        prob = make_line_problem(link_capacity=50.0)
+        report = simulate(
+            prob, origin_routing(prob), SimulationConfig(horizon=200.0, seed=3)
+        )
+        for edge, analytic in report.analytic_loads.items():
+            empirical = report.empirical_loads.get(edge, 0.0)
+            assert empirical == pytest.approx(analytic, rel=0.15)
+
+    def test_utilization_tracks_load_over_capacity(self):
+        prob = make_line_problem(link_capacity=10.0)  # load 6 -> util 0.6
+        report = simulate(
+            prob, origin_routing(prob), SimulationConfig(horizon=100.0, seed=5)
+        )
+        assert report.max_utilization == pytest.approx(0.6, rel=0.15)
+        assert report.late_deliveries <= report.generated * 0.05
+
+    def test_overloaded_link_produces_backlog(self):
+        prob = make_line_problem(link_capacity=3.0)  # load 6 -> util 2.0
+        report = simulate(
+            prob, origin_routing(prob), SimulationConfig(horizon=50.0, seed=7)
+        )
+        assert report.max_utilization > 1.5
+        # Queueing explodes: latency far above service time, work spills
+        # past the horizon.
+        assert report.late_deliveries > 0
+        assert report.p95_latency > 1.0
+
+    def test_missing_routing_rejected(self):
+        prob = make_line_problem()
+        with pytest.raises(InvalidProblemError):
+            simulate(prob, Routing(), SimulationConfig(horizon=1.0))
+
+    def test_request_cap_enforced(self):
+        prob = make_line_problem()
+        with pytest.raises(InvalidProblemError):
+            simulate(
+                prob,
+                origin_routing(prob),
+                SimulationConfig(horizon=10.0, max_requests=10),
+            )
+
+    def test_seed_reproducible(self):
+        prob = make_line_problem(link_capacity=20.0)
+        a = simulate(prob, origin_routing(prob), SimulationConfig(horizon=5.0, seed=9))
+        b = simulate(prob, origin_routing(prob), SimulationConfig(horizon=5.0, seed=9))
+        assert a.generated == b.generated
+        assert a.mean_latency == pytest.approx(b.mean_latency)
+
+    def test_fractional_routing_splits_traffic(self):
+        prob = make_line_problem(cache_nodes={3: 1}, link_capacity=50.0)
+        item = prob.catalog[0]
+        routing = origin_routing(prob)
+        routing.paths[(item, 4)] = [
+            PathFlow(path=(0, 1, 2, 3, 4), amount=0.5),
+            PathFlow(path=(3, 4), amount=0.5),
+        ]
+        report = simulate(prob, routing, SimulationConfig(horizon=100.0, seed=11))
+        # Link (0,1) carries only half of item0's rate (2.5) plus item1 (1).
+        assert report.empirical_loads[(0, 1)] == pytest.approx(3.5, rel=0.2)
+
+    def test_heterogeneous_sizes_scale_service_time(self):
+        from repro.core import ProblemInstance, pin_full_catalog
+        from repro.graph import line_topology
+
+        net = line_topology(3)
+        net.set_uniform_link_capacity(10.0)
+        prob = ProblemInstance(
+            net,
+            ("big", "small"),
+            {("big", 2): 1.0, ("small", 2): 1.0},
+            item_sizes={"big": 8.0, "small": 1.0},
+            pinned=pin_full_catalog(("big", "small"), [0]),
+        )
+        routing = origin_routing(prob)
+        report = simulate(prob, routing, SimulationConfig(horizon=100.0, seed=2))
+        # Load = (1*8 + 1*1) MB/h over capacity 10 -> utilization ~0.9.
+        assert report.max_utilization == pytest.approx(0.9, rel=0.25)
+
+    @settings(max_examples=10, deadline=None)
+    @given(st.integers(min_value=0, max_value=100))
+    def test_conservation_generated_equals_delivered(self, seed):
+        prob = make_line_problem(link_capacity=15.0)
+        report = simulate(
+            prob, origin_routing(prob), SimulationConfig(horizon=20.0, seed=seed)
+        )
+        assert report.delivered == report.generated
+        assert report.mean_latency >= 0
+        assert report.p95_latency <= report.max_latency + 1e-12

@@ -1,0 +1,87 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestTrace:
+    def test_prints_table1(self, capsys):
+        assert main(["trace"]) == 0
+        out = capsys.readouterr().out
+        assert "dNCWe_6HAM8" in out
+        assert "14,144,021" in out
+
+
+class TestScenario:
+    def test_runs_algorithms(self, capsys):
+        code = main(
+            [
+                "scenario",
+                "--link-fraction", "0",
+                "--algorithms", "alg1,sp",
+                "--runs", "1",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "alg1" in out
+        assert "sp" in out
+
+    def test_unknown_algorithm_exits(self):
+        with pytest.raises(SystemExit):
+            main(["scenario", "--algorithms", "quantum"])
+
+    def test_ksp_with_custom_k(self, capsys):
+        code = main(
+            [
+                "scenario",
+                "--link-fraction", "0",
+                "--algorithms", "ksp2",
+                "--runs", "1",
+                "--videos", "4",
+            ]
+        )
+        assert code == 0
+        assert "ksp2" in capsys.readouterr().out
+
+
+class TestOnline:
+    def test_oracle_loop(self, capsys):
+        code = main(
+            [
+                "online",
+                "--hours", "2",
+                "--algorithm", "sp",
+                "--link-fraction", "0",
+                "--videos", "4",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "total cost" in out
+        assert "oracle" in out
+
+
+class TestSimulate:
+    def test_simulation_summary(self, capsys):
+        code = main(
+            [
+                "simulate",
+                "--algorithm", "sp",
+                "--scale", "1e-4",
+                "--horizon", "0.5",
+                "--videos", "4",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "max link utilization" in out
+
+
+class TestPredict:
+    def test_prediction_table(self, capsys):
+        code = main(["predict", "--hours", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "MAPE" in out

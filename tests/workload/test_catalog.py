@@ -1,0 +1,62 @@
+"""Tests for Table 1 videos and catalog construction."""
+
+import pytest
+
+from repro.workload import (
+    TABLE1_VIDEOS,
+    chunk_level_catalog,
+    file_level_catalog,
+    top_videos,
+)
+
+
+class TestTable1:
+    def test_twelve_videos(self):
+        assert len(TABLE1_VIDEOS) == 12
+
+    def test_chunk_counts_match_table1(self):
+        expected = [5, 7, 8, 4, 9, 5, 2, 8, 2, 4, 4, 7]
+        assert [v.num_chunks(100.0) for v in TABLE1_VIDEOS] == expected
+
+    def test_total_views_column(self):
+        assert TABLE1_VIDEOS[0].total_views == 14144021
+        assert TABLE1_VIDEOS[-1].total_views == 368432
+
+    def test_top_videos(self):
+        assert len(top_videos(10)) == 10
+        assert top_videos(1)[0].video_id == "dNCWe_6HAM8"
+
+    def test_top_videos_bounds(self):
+        with pytest.raises(ValueError):
+            top_videos(0)
+        with pytest.raises(ValueError):
+            top_videos(13)
+
+
+class TestCatalogs:
+    def test_chunk_level_default_matches_paper(self):
+        # |C| = 54 for the top-10 videos at 100 MB (Section 6).
+        cat = chunk_level_catalog(top_videos(10))
+        assert cat.num_items == 54
+        assert cat.sizes is None
+
+    def test_chunk_level_smaller_chunks(self):
+        # Appendix D: 25 MB -> 199 chunks, 50 MB -> 103 chunks (top 10).
+        assert chunk_level_catalog(top_videos(10), chunk_mb=25.0).num_items == 199
+        assert chunk_level_catalog(top_videos(10), chunk_mb=50.0).num_items == 103
+
+    def test_chunk_ids_unique(self):
+        cat = chunk_level_catalog(TABLE1_VIDEOS)
+        assert len(set(cat.items)) == len(cat.items)
+
+    def test_item_of_video_round_trip(self):
+        cat = chunk_level_catalog(top_videos(3))
+        total = sum(len(chunks) for chunks in cat.item_of_video.values())
+        assert total == cat.num_items
+
+    def test_file_level_heterogeneous(self):
+        cat = file_level_catalog(top_videos(10))
+        assert cat.num_items == 10
+        assert cat.sizes is not None
+        assert cat.sizes["dNCWe_6HAM8"] == pytest.approx(450.8789)
+        assert cat.item_of_video["dNCWe_6HAM8"] == ("dNCWe_6HAM8",)

@@ -1,0 +1,134 @@
+"""Tests for request-matrix construction and perturbation."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidProblemError
+from repro.workload import (
+    build_demand,
+    chunk_level_catalog,
+    edge_node_shares,
+    file_level_catalog,
+    perturb_demand,
+    top_videos,
+    total_chunk_rate,
+    zipf_demand,
+    zipf_popularity,
+)
+
+
+class TestShares:
+    def test_shares_sum_to_one(self):
+        rng = np.random.default_rng(0)
+        shares = edge_node_shares(["a", "b", "c"], ["v1", "v2"], rng)
+        for w in shares.values():
+            assert w.sum() == pytest.approx(1.0)
+            assert len(w) == 3
+
+    def test_no_edge_nodes_rejected(self):
+        with pytest.raises(InvalidProblemError):
+            edge_node_shares([], ["v1"], np.random.default_rng(0))
+
+
+class TestBuildDemand:
+    def test_chunk_expansion(self):
+        videos = top_videos(2)  # 5 + 7 chunks
+        cat = chunk_level_catalog(videos)
+        rng = np.random.default_rng(1)
+        shares = edge_node_shares(["e1", "e2"], [v.video_id for v in videos], rng)
+        rates = {videos[0].video_id: 10.0, videos[1].video_id: 4.0}
+        demand = build_demand(rates, cat, ["e1", "e2"], shares)
+        # every chunk of video 0 sees total rate 10 across edge nodes
+        for chunk in cat.item_of_video[videos[0].video_id]:
+            total = sum(r for (i, _s), r in demand.items() if i == chunk)
+            assert total == pytest.approx(10.0)
+
+    def test_file_level_one_item_per_video(self):
+        videos = top_videos(3)
+        cat = file_level_catalog(videos)
+        rng = np.random.default_rng(1)
+        shares = edge_node_shares(["e1"], [v.video_id for v in videos], rng)
+        demand = build_demand({v.video_id: 2.0 for v in videos}, cat, ["e1"], shares)
+        assert len(demand) == 3
+
+    def test_unknown_video_rejected(self):
+        cat = file_level_catalog(top_videos(2))
+        with pytest.raises(InvalidProblemError):
+            build_demand({"nope": 1.0}, cat, ["e1"], {"nope": np.array([1.0])})
+
+    def test_share_length_mismatch_rejected(self):
+        videos = top_videos(1)
+        cat = file_level_catalog(videos)
+        with pytest.raises(InvalidProblemError):
+            build_demand(
+                {videos[0].video_id: 1.0},
+                cat,
+                ["e1", "e2"],
+                {videos[0].video_id: np.array([1.0])},
+            )
+
+    def test_total_chunk_rate_matches_paper(self):
+        """Top-10 totals / 100h -> ~1,949,666.52 chunks/hour (Section 6)."""
+        videos = top_videos(10)
+        cat = chunk_level_catalog(videos)
+        rates = {v.video_id: v.total_views / 100.0 for v in videos}
+        assert total_chunk_rate(rates, cat) == pytest.approx(1949666.52, rel=1e-6)
+
+
+class TestPerturbDemand:
+    def test_zero_sigma_is_identity(self):
+        demand = {("a", 1): 2.0, ("b", 2): 3.0}
+        out = perturb_demand(demand, 0.0, np.random.default_rng(0))
+        assert out == pytest.approx(demand)
+
+    def test_rates_stay_positive(self):
+        demand = {("a", 1): 1.0}
+        rng = np.random.default_rng(0)
+        for _ in range(100):
+            out = perturb_demand(demand, 5.0, rng)
+            assert out[("a", 1)] > 0
+
+    def test_negative_sigma_rejected(self):
+        with pytest.raises(InvalidProblemError):
+            perturb_demand({}, -1.0, np.random.default_rng(0))
+
+    def test_relative_scale(self):
+        demand = {("a", 1): 100.0}
+        rng = np.random.default_rng(42)
+        samples = [
+            perturb_demand(demand, 0.1, rng)[("a", 1)] for _ in range(300)
+        ]
+        rel_err = np.std(np.array(samples) - 100.0) / 100.0
+        assert rel_err == pytest.approx(0.1, rel=0.25)
+
+
+class TestZipf:
+    def test_popularity_normalized_and_decreasing(self):
+        p = zipf_popularity(10, alpha=1.0)
+        assert p.sum() == pytest.approx(1.0)
+        assert all(p[k] >= p[k + 1] for k in range(9))
+
+    def test_alpha_zero_uniform(self):
+        p = zipf_popularity(4, alpha=0.0)
+        assert p == pytest.approx(np.full(4, 0.25))
+
+    def test_invalid_args(self):
+        with pytest.raises(InvalidProblemError):
+            zipf_popularity(0)
+        with pytest.raises(InvalidProblemError):
+            zipf_popularity(3, alpha=-1)
+
+    def test_zipf_demand_total(self):
+        demand = zipf_demand(
+            [f"i{k}" for k in range(5)],
+            ["e1", "e2"],
+            total_rate=100.0,
+            rng=np.random.default_rng(0),
+        )
+        assert sum(demand.values()) == pytest.approx(100.0)
+
+    def test_zipf_demand_validation(self):
+        with pytest.raises(InvalidProblemError):
+            zipf_demand(["i"], ["e"], total_rate=0.0)
+        with pytest.raises(InvalidProblemError):
+            zipf_demand(["i"], [], total_rate=1.0)

@@ -1,0 +1,85 @@
+"""Tests for workload statistics helpers."""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidProblemError
+from repro.workload import TraceConfig, synthesize_trace, zipf_popularity
+from repro.workload.statistics import (
+    autocorrelation,
+    demand_concentration,
+    fit_zipf_exponent,
+    peak_to_mean_ratio,
+    per_node_demand,
+    summarize_trace,
+)
+
+
+class TestZipfFit:
+    def test_recovers_known_exponent(self):
+        for alpha in (0.5, 0.8, 1.2):
+            pop = zipf_popularity(200, alpha=alpha)
+            assert fit_zipf_exponent(pop) == pytest.approx(alpha, abs=0.05)
+
+    def test_uniform_is_zero(self):
+        assert fit_zipf_exponent(np.ones(50)) == pytest.approx(0.0, abs=1e-9)
+
+    def test_too_few_values(self):
+        with pytest.raises(InvalidProblemError):
+            fit_zipf_exponent(np.array([1.0]))
+
+    def test_zero_entries_ignored(self):
+        pop = np.array([8.0, 4.0, 2.0, 1.0, 0.0, 0.0])
+        assert fit_zipf_exponent(pop) > 0
+
+
+class TestTemporalStats:
+    def test_peak_to_mean_constant_series(self):
+        assert peak_to_mean_ratio(np.full(24, 5.0)) == pytest.approx(1.0)
+
+    def test_peak_to_mean_spiky(self):
+        series = np.ones(10)
+        series[3] = 11.0
+        assert peak_to_mean_ratio(series) == pytest.approx(11.0 / 2.0)
+
+    def test_peak_to_mean_invalid(self):
+        with pytest.raises(InvalidProblemError):
+            peak_to_mean_ratio(np.array([]))
+
+    def test_autocorrelation_periodic(self):
+        t = np.arange(200)
+        series = np.sin(2 * np.pi * t / 24.0)
+        assert autocorrelation(series, 24) == pytest.approx(1.0, abs=0.05)
+        assert autocorrelation(series, 12) == pytest.approx(-1.0, abs=0.05)
+
+    def test_autocorrelation_bad_lag(self):
+        with pytest.raises(InvalidProblemError):
+            autocorrelation(np.ones(5), 0)
+        with pytest.raises(InvalidProblemError):
+            autocorrelation(np.ones(5), 5)
+
+
+class TestSummaries:
+    def test_summarize_trace(self):
+        trace = synthesize_trace(config=TraceConfig(seed=0))
+        summary = summarize_trace(trace)
+        assert summary.num_videos == 12
+        assert summary.num_hours == 650
+        assert summary.total_views > 0
+        assert summary.zipf_alpha > 0.3  # Table 1 is clearly skewed
+        assert summary.peak_to_mean > 1.0
+        assert summary.diurnal_autocorrelation > 0.0
+
+    def test_demand_concentration(self):
+        demand = {("a", k): rate for k, rate in enumerate([90.0] + [1.0] * 9)}
+        assert demand_concentration(demand, 0.1) == pytest.approx(90 / 99)
+
+    def test_demand_concentration_validation(self):
+        with pytest.raises(InvalidProblemError):
+            demand_concentration({}, 0.1)
+        with pytest.raises(InvalidProblemError):
+            demand_concentration({("a", 1): 1.0}, 0.0)
+
+    def test_per_node_demand(self):
+        demand = {("a", "x"): 2.0, ("b", "x"): 3.0, ("a", "y"): 1.0}
+        assert per_node_demand(demand) == pytest.approx({"x": 5.0, "y": 1.0})

@@ -1,0 +1,77 @@
+"""Tests for the synthetic view trace."""
+
+import numpy as np
+import pytest
+
+from repro.workload import (
+    TABLE1_VIDEOS,
+    TraceConfig,
+    split_train_eval,
+    synthesize_trace,
+)
+
+
+class TestSynthesizeTrace:
+    def test_shape(self):
+        cfg = TraceConfig(eval_hours=50, train_hours=100, seed=3)
+        trace = synthesize_trace(config=cfg)
+        assert trace.views.shape == (150, 12)
+        assert trace.num_hours == 150
+
+    def test_eval_totals_match_table1(self):
+        cfg = TraceConfig(seed=7)
+        trace = synthesize_trace(config=cfg)
+        _, eval_trace = split_train_eval(trace, cfg)
+        for video in TABLE1_VIDEOS:
+            assert eval_trace.total_views(video.video_id) == pytest.approx(
+                video.total_views, rel=1e-9
+            )
+
+    def test_all_views_positive(self):
+        trace = synthesize_trace(config=TraceConfig(seed=1))
+        assert (trace.views > 0).all()
+
+    def test_seed_reproducible(self):
+        a = synthesize_trace(config=TraceConfig(seed=5))
+        b = synthesize_trace(config=TraceConfig(seed=5))
+        assert np.array_equal(a.views, b.views)
+
+    def test_different_seeds_differ(self):
+        a = synthesize_trace(config=TraceConfig(seed=5))
+        b = synthesize_trace(config=TraceConfig(seed=6))
+        assert not np.array_equal(a.views, b.views)
+
+    def test_diurnal_signal_present(self):
+        """Autocorrelation at lag 24 should clearly beat lag 11."""
+        cfg = TraceConfig(seed=2, noise_sigma=0.02)
+        trace = synthesize_trace(config=cfg)
+        x = trace.series(TABLE1_VIDEOS[0].video_id)
+        x = (x - x.mean()) / x.std()
+
+        def autocorr(lag):
+            return float(np.mean(x[:-lag] * x[lag:]))
+
+        assert autocorr(24) > autocorr(11) + 0.1
+
+    def test_series_unknown_video(self):
+        trace = synthesize_trace(config=TraceConfig(seed=1))
+        with pytest.raises(KeyError):
+            trace.series("nope")
+
+    def test_rates_at(self):
+        trace = synthesize_trace(config=TraceConfig(seed=1))
+        rates = trace.rates_at(0)
+        assert len(rates) == 12
+        assert all(r > 0 for r in rates.values())
+
+    def test_window(self):
+        trace = synthesize_trace(config=TraceConfig(seed=1))
+        window = trace.window(10, 20)
+        assert window.num_hours == 10
+        assert np.array_equal(window.views, trace.views[10:20])
+
+    def test_bad_shape_rejected(self):
+        from repro.workload.trace import ViewTrace
+
+        with pytest.raises(ValueError):
+            ViewTrace(videos=TABLE1_VIDEOS, views=np.zeros((10, 3)))
