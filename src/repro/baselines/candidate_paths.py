@@ -24,6 +24,7 @@ from __future__ import annotations
 
 from collections.abc import Hashable
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.core.evaluation import path_cost
 from repro.core.placement import extract_serving_paths, optimize_placement_lp
@@ -33,6 +34,9 @@ from repro.exceptions import InfeasibleError, InvalidProblemError
 from repro.flow.decomposition import PathFlow
 from repro.flow.lp import LPBuilder
 from repro.graph.shortest_paths import k_shortest_paths
+
+if TYPE_CHECKING:
+    from repro.core.context import SolverContext
 
 Node = Hashable
 
@@ -71,11 +75,18 @@ class CandidatePathModel:
     )
 
     @classmethod
-    def build(cls, problem: ProblemInstance, k: int) -> "CandidatePathModel":
+    def build(
+        cls,
+        problem: ProblemInstance,
+        k: int,
+        *,
+        context: "SolverContext | None" = None,
+    ) -> "CandidatePathModel":
         if k < 1:
             raise InvalidProblemError("k must be >= 1")
         server = origin_server(problem)
         graph = problem.network.graph
+        link_cost = problem.network.cost if context is None else context.link_cost
         model = cls(k=k, server=server)
         requesters = sorted({s for (_i, s) in problem.demand}, key=repr)
         for s in requesters:
@@ -90,9 +101,7 @@ class CandidatePathModel:
             for p in model.paths[s]:
                 suffix_costs = [0.0] * len(p)
                 for m in range(len(p) - 2, -1, -1):
-                    suffix_costs[m] = suffix_costs[m + 1] + problem.network.cost(
-                        p[m], p[m + 1]
-                    )
+                    suffix_costs[m] = suffix_costs[m + 1] + link_cost(p[m], p[m + 1])
                 for m, v in enumerate(p):
                     cost, _ = model.serving.get((v, s), (float("inf"), ()))
                     if suffix_costs[m] < cost:
@@ -245,19 +254,24 @@ def candidate_path_baseline(
     problem: ProblemInstance,
     *,
     k: int = 10,
+    context: "SolverContext | None" = None,
 ) -> Solution:
     """The benchmark of [3]: k-shortest-path MinCost-SR + restricted RNR.
 
     ``k=1`` gives the paper's 'SP + RNR' variant, ``k=10`` its recommended
     'k shortest paths' configuration.
     """
-    model = CandidatePathModel.build(problem, k)
+    model = CandidatePathModel.build(problem, k, context=context)
     placement = _restricted_placement_lp(problem, model)
     routing = _restricted_rnr_routing(problem, model, placement)
     return Solution(placement, routing)
 
 
-def shortest_path_baseline(problem: ProblemInstance) -> Solution:
+def shortest_path_baseline(
+    problem: ProblemInstance,
+    *,
+    context: "SolverContext | None" = None,
+) -> Solution:
     """The benchmark of [38] ('SP'): placement on fixed shortest paths.
 
     Requests travel the single least-cost server->requester path; placement
@@ -266,15 +280,15 @@ def shortest_path_baseline(problem: ProblemInstance) -> Solution:
     heterogeneous sizes it reproduces [38]'s equal-swap rounding (which can
     overfill caches).
     """
-    model = CandidatePathModel.build(problem, 1)
+    model = CandidatePathModel.build(problem, 1, context=context)
     sp_routing = Routing()
     for (item, s), _rate in problem.demand.items():
         path = model.paths[s][0]
         sp_routing.paths[(item, s)] = [PathFlow(path=path, amount=1.0)]
     if problem.is_homogeneous():
-        placement = optimize_placement_lp(problem, sp_routing)
+        placement = optimize_placement_lp(problem, sp_routing, context=context)
     else:
-        placement = _hetero_sp_placement(problem, sp_routing)
+        placement = _hetero_sp_placement(problem, sp_routing, context=context)
     routing = Routing()
     for (item, s), _rate in problem.demand.items():
         path = model.paths[s][0]
@@ -287,9 +301,14 @@ def shortest_path_baseline(problem: ProblemInstance) -> Solution:
     return Solution(placement, routing)
 
 
-def _hetero_sp_placement(problem: ProblemInstance, sp_routing: Routing) -> Placement:
+def _hetero_sp_placement(
+    problem: ProblemInstance,
+    sp_routing: Routing,
+    *,
+    context: "SolverContext | None" = None,
+) -> Placement:
     """[38]'s placement with heterogeneous sizes: LP + naive equal-swap round."""
-    paths = extract_serving_paths(problem, sp_routing)
+    paths = extract_serving_paths(problem, sp_routing, context=context)
     cache_nodes = [
         v
         for v in problem.network.cache_nodes()

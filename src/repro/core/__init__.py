@@ -11,6 +11,7 @@ from repro.core.femtocaching import (
     femtocaching_problem,
 )
 from repro.core.alternating import AlternatingResult, alternating_optimization
+from repro.core.context import RequesterBlock, SolverContext
 from repro.core.evaluation import (
     FeasibilityReport,
     cache_hit_rate,
@@ -85,6 +86,8 @@ __all__ = [
     "summarize",
     "route_to_nearest_replica",
     "ShortestPathCache",
+    "SolverContext",
+    "RequesterBlock",
     "RNRCostSaving",
     "greedy_rnr_placement",
     "pipage_round",

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 import logging
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.core.pipage import pipage_round
 from repro.core.problem import Item, Node, ProblemInstance
@@ -30,6 +31,9 @@ from repro.core.solution import Placement, Solution
 from repro.core.submodular import local_search_swap
 from repro.exceptions import InfeasibleError
 from repro.flow.lp import LPBuilder
+
+if TYPE_CHECKING:
+    from repro.core.context import SolverContext
 
 logger = logging.getLogger(__name__)
 
@@ -50,7 +54,12 @@ class Algorithm1Result:
     fractional_placement: dict[tuple[Node, Item], float]
 
 
-def algorithm1(problem: ProblemInstance, *, polish: bool = True) -> Algorithm1Result:
+def algorithm1(
+    problem: ProblemInstance,
+    *,
+    polish: bool = True,
+    context: "SolverContext | None" = None,
+) -> Algorithm1Result:
     """Run Algorithm 1 on an instance with (assumed) unlimited link capacities.
 
     Link capacities are ignored by design — the paper's premise is the
@@ -62,8 +71,16 @@ def algorithm1(problem: ProblemInstance, *, polish: bool = True) -> Algorithm1Re
     LP (7) has many degenerate optima whose rounded solutions lack cross-node
     coordination; the polish recovers it while only ever increasing F_RNR,
     so Theorem 4.4's (1 - 1/e) guarantee is preserved.
+
+    Pass a :class:`~repro.core.context.SolverContext` to take every pairwise
+    cost from the dense distance matrix (shared with the polish and the RNR
+    routing step) instead of running memoized Dijkstras on demand.
     """
-    sp = ShortestPathCache(problem)
+    if context is not None:
+        distance = context.distance
+    else:
+        sp = ShortestPathCache(problem)
+        distance = sp.distance
     cache_nodes = [
         v for v in problem.network.cache_nodes() if problem.network.cache_capacity(v) > 0
     ]
@@ -71,14 +88,17 @@ def algorithm1(problem: ProblemInstance, *, polish: bool = True) -> Algorithm1Re
 
     # w_max: upper bound over pairwise least costs (computed from candidate
     # sources, which are the only nodes whose costs enter the objective).
-    w_max = 1.0
     candidate_sources = set(cache_nodes)
     for item in requested_items:
         candidate_sources |= problem.pinned_holders(item)
-    for v in candidate_sources:
-        dist, _ = sp.from_node(v)
-        if dist:
-            w_max = max(w_max, max(dist.values()))
+    if context is not None:
+        w_max = context.finite_max_from(candidate_sources) if candidate_sources else 1.0
+    else:
+        w_max = 1.0
+        for v in candidate_sources:
+            dist, _ = sp.from_node(v)
+            if dist:
+                w_max = max(w_max, max(dist.values()))
 
     lp = LPBuilder(sense="max")
     for v in cache_nodes:
@@ -91,7 +111,7 @@ def algorithm1(problem: ProblemInstance, *, polish: bool = True) -> Algorithm1Re
     for (item, s), rate in problem.demand.items():
         sources = []
         for v in set(cache_nodes) | problem.pinned_holders(item):
-            if sp.distance(v, s) < float("inf"):
+            if distance(v, s) < float("inf"):
                 sources.append(v)
         if not sources:
             raise InfeasibleError(f"request {(item, s)!r} has no eligible source")
@@ -104,7 +124,7 @@ def algorithm1(problem: ProblemInstance, *, polish: bool = True) -> Algorithm1Re
             lp.add_variable(r_key, lb=0.0, ub=1.0)
             lp.add_variable(z_key, lb=0.0, ub=1.0)
             lp.add_objective_terms({z_key: rate * w_max})
-            coef = (w_max - sp.distance(v, s)) / w_max
+            coef = (w_max - distance(v, s)) / w_max
             if (v, item) in problem.pinned:
                 # x_vi == 1 permanently: z <= 1 - r + coef.
                 lp.add_le({z_key: 1.0, r_key: 1.0}, 1.0 + coef)
@@ -153,7 +173,7 @@ def algorithm1(problem: ProblemInstance, *, polish: bool = True) -> Algorithm1Re
                 x_value = 1.0
             else:
                 x_value = fractional.get((v, item), 0.0)
-            w = sp.distance(v, s)
+            w = distance(v, s)
             expected = x_value * w + (1.0 - x_value) * w_max
             if expected < best_cost:
                 best_v, best_cost = v, expected
@@ -164,7 +184,7 @@ def algorithm1(problem: ProblemInstance, *, polish: bool = True) -> Algorithm1Re
     for (item, s), rate in problem.demand.items():
         v = r_hat[(item, s)]
         key = (v, item)
-        weights[key] = weights.get(key, 0.0) + rate * (w_max - sp.distance(v, s))
+        weights[key] = weights.get(key, 0.0) + rate * (w_max - distance(v, s))
 
     capacities = {v: problem.network.cache_capacity(v) for v in cache_nodes}
     rounded = pipage_round(
@@ -172,8 +192,19 @@ def algorithm1(problem: ProblemInstance, *, polish: bool = True) -> Algorithm1Re
     )
     placement = Placement(rounded)
     if polish:
-        placement = local_search_swap(problem, placement, sp_cache=sp, max_sweeps=12)
-    routing = route_to_nearest_replica(problem, placement, sp_cache=sp)
+        placement = local_search_swap(
+            problem,
+            placement,
+            sp_cache=None if context is not None else sp,
+            max_sweeps=12,
+            context=context,
+        )
+    routing = route_to_nearest_replica(
+        problem,
+        placement,
+        sp_cache=None if context is not None else sp,
+        context=context,
+    )
     return Algorithm1Result(
         solution=Solution(placement, routing),
         lp_objective=lp_solution.objective,

@@ -1,0 +1,170 @@
+"""Shared solver context: index maps + a dense all-pairs distance matrix.
+
+Every Section 4 solver consumes the same instance-level structure — the
+least costs ``w_{v->s}`` between cache nodes and requesters, the per-item
+requester lists with their rates, and the bound ``w_max``.  The seed code
+recomputed (or dict-looked-up) these inside inner loops through
+:class:`~repro.core.rnr.ShortestPathCache`.  A :class:`SolverContext`
+materializes them once per instance:
+
+- a dense ``float64`` distance matrix over the graph's nodes
+  (:mod:`repro.graph.distance_matrix`), indexed by integer node ids;
+- per-item requester index arrays and rate vectors, aligned with
+  :meth:`ProblemInstance.requesters_of` order so vectorized reductions are
+  deterministic and comparable with the dict-based code path;
+- precomputed per-request baseline serving costs over pinned holders;
+- an edge-cost dict for O(1) link-cost lookups (serving-path suffix sums);
+- a lazy :class:`ShortestPathCache` for actual path reconstruction, which
+  numpy cannot replace.
+
+The context is an optional argument everywhere (``context=None`` keeps the
+dict-based fallback), so callers can cross-check both paths.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.problem import Item, Node, ProblemInstance
+from repro.core.rnr import ShortestPathCache
+from repro.graph.distance_matrix import DistanceMatrix, build_distance_matrix
+
+Edge = tuple[Node, Node]
+
+
+@dataclass(frozen=True)
+class RequesterBlock:
+    """Requesters of one item as parallel arrays (deterministic order)."""
+
+    #: Requester nodes, sorted like :meth:`ProblemInstance.requesters_of`.
+    nodes: tuple[Node, ...]
+    #: Column indices of ``nodes`` in the distance matrix.
+    idx: np.ndarray
+    #: Request rates ``lambda_{(i, s)}`` aligned with ``nodes``.
+    rates: np.ndarray
+
+    @property
+    def size(self) -> int:
+        return len(self.nodes)
+
+
+class SolverContext:
+    """Dense per-instance solver state shared across algorithms."""
+
+    def __init__(
+        self,
+        problem: ProblemInstance,
+        *,
+        dm: DistanceMatrix | None = None,
+        use_scipy: bool = True,
+    ) -> None:
+        self.problem = problem
+        graph = problem.network.graph
+        self.dm = dm or build_distance_matrix(graph, use_scipy=use_scipy)
+        self.nodes: tuple[Node, ...] = self.dm.nodes
+        self.node_index: dict[Node, int] = self.dm.index
+        self.items: tuple[Item, ...] = problem.catalog
+        self.item_index: dict[Item, int] = {i: k for k, i in enumerate(self.items)}
+        #: Paper bound on pairwise costs (max finite entry, floored at 1.0).
+        self.w_max: float = self.dm.w_max()
+        self._requesters: dict[Item, RequesterBlock] = {}
+        self._edge_costs: dict[Edge, float] = problem.network.costs()
+        self._sp: ShortestPathCache | None = None
+
+    @classmethod
+    def from_problem(
+        cls, problem: ProblemInstance, *, use_scipy: bool = True
+    ) -> "SolverContext":
+        return cls(problem, use_scipy=use_scipy)
+
+    # ------------------------------------------------------------------
+    # Distances
+    # ------------------------------------------------------------------
+
+    def distance(self, source: Node, target: Node) -> float:
+        """Least cost ``source -> target`` (``inf`` if unreachable)."""
+        return float(self.dm.matrix[self.node_index[source], self.node_index[target]])
+
+    def distances_from(self, source: Node) -> np.ndarray:
+        """Row of distances from ``source`` (read-only array view)."""
+        return self.dm.matrix[self.node_index[source]]
+
+    def reachable(self, source: Node, target: Node) -> bool:
+        return np.isfinite(
+            self.dm.matrix[self.node_index[source], self.node_index[target]]
+        )
+
+    def finite_max_from(self, sources) -> float:
+        """Max finite distance out of ``sources``, floored at 1.0.
+
+        Matches Algorithm 1's ``w_max`` over candidate sources.
+        """
+        rows = self.dm.matrix[[self.node_index[v] for v in sources]]
+        finite = rows[np.isfinite(rows)]
+        top = float(finite.max()) if finite.size else 0.0
+        return top if top > 0 else 1.0
+
+    # ------------------------------------------------------------------
+    # Demand structure
+    # ------------------------------------------------------------------
+
+    def requesters(self, item: Item) -> RequesterBlock:
+        """Requesters of ``item`` with matrix column indices and rates."""
+        block = self._requesters.get(item)
+        if block is None:
+            nodes = tuple(self.problem.requesters_of(item))
+            idx = np.fromiter(
+                (self.node_index[s] for s in nodes), dtype=np.intp, count=len(nodes)
+            )
+            rates = np.fromiter(
+                (self.problem.demand[(item, s)] for s in nodes),
+                dtype=np.float64,
+                count=len(nodes),
+            )
+            block = RequesterBlock(nodes=nodes, idx=idx, rates=rates)
+            self._requesters[item] = block
+        return block
+
+    def baseline_costs(self, item: Item, *, cap: float | None = None) -> np.ndarray:
+        """Per-requester serving cost from pinned holders, capped at ``cap``.
+
+        This is F_RNR's empty-placement baseline: ``min(cap,
+        min_{pinned holder h} w_{h->s})`` for each requester ``s`` of the
+        item; ``cap`` defaults to the context's ``w_max``.  Returns a fresh
+        writable copy each call.
+        """
+        cap = self.w_max if cap is None else cap
+        block = self.requesters(item)
+        best = np.full(block.size, cap, dtype=np.float64)
+        for holder in sorted(self.problem.pinned_holders(item), key=repr):
+            np.minimum(
+                best, self.dm.matrix[self.node_index[holder], block.idx], out=best
+            )
+        np.minimum(best, cap, out=best)
+        return best
+
+    # ------------------------------------------------------------------
+    # Paths and link costs
+    # ------------------------------------------------------------------
+
+    @property
+    def sp(self) -> ShortestPathCache:
+        """Lazy dict-based cache used only for path reconstruction."""
+        if self._sp is None:
+            self._sp = ShortestPathCache(self.problem)
+        return self._sp
+
+    def path(self, source: Node, target: Node) -> tuple[Node, ...]:
+        return self.sp.path(source, target)
+
+    def link_cost(self, u: Node, v: Node) -> float:
+        """Routing cost ``w_uv`` of a single link (precomputed dict)."""
+        return self._edge_costs[(u, v)]
+
+    def __repr__(self) -> str:
+        return (
+            f"SolverContext(|V|={len(self.nodes)}, |C|={len(self.items)}, "
+            f"w_max={self.w_max:.4g})"
+        )

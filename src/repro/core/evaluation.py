@@ -73,11 +73,20 @@ def congestion(
     *,
     demand: dict[Request, float] | None = None,
 ) -> float:
-    """Maximum load-to-capacity ratio over all links (0 if all uncapacitated)."""
+    """Maximum load-to-capacity ratio over all links (0 if all uncapacitated).
+
+    A zero-capacity link (possible when callers mutate edge attributes
+    directly) reports ``inf`` congestion under positive load and 0 under no
+    load, instead of raising :class:`ZeroDivisionError`.
+    """
     worst = 0.0
     for (u, v), load in link_loads(problem, routing, demand=demand).items():
         cap = problem.network.capacity(u, v)
         if math.isinf(cap):
+            continue
+        if cap <= 0:
+            if load > _EPS:
+                return math.inf
             continue
         worst = max(worst, load / cap)
     return worst
@@ -213,7 +222,14 @@ def path_stretch(
 
     demand = problem.demand if demand is None else demand
     sp = ShortestPathCache(problem)
-    candidates_base = set(problem.network.cache_nodes())
+    # Only nodes that could actually hold a copy enter the floor: caches
+    # with strictly positive capacity (zero-capacity nodes would understate
+    # the floor and overstate stretch).  Pinned holders stay regardless.
+    candidates_base = {
+        v
+        for v in problem.network.cache_nodes()
+        if problem.network.cache_capacity(v) > 0
+    }
     total_weight = 0.0
     weighted = 0.0
     for request, rate in demand.items():
@@ -242,11 +258,19 @@ def utilization_profile(
     *,
     demand: dict[Request, float] | None = None,
 ) -> dict[Edge, float]:
-    """Per-link load-to-capacity ratios (capacitated links only)."""
+    """Per-link load-to-capacity ratios (capacitated links only).
+
+    Zero-capacity links report ``inf`` utilization under positive load and
+    0.0 under no load (mirroring :func:`congestion`).
+    """
     profile: dict[Edge, float] = {}
     for (u, v), load in link_loads(problem, routing, demand=demand).items():
         cap = problem.network.capacity(u, v)
-        if not math.isinf(cap):
+        if math.isinf(cap):
+            continue
+        if cap <= 0:
+            profile[(u, v)] = math.inf if load > _EPS else 0.0
+        else:
             profile[(u, v)] = load / cap
     return profile
 

@@ -23,11 +23,15 @@ import heapq
 import itertools
 from collections.abc import Hashable
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.core.pipage import pipage_round
 from repro.core.problem import Item, ProblemInstance
 from repro.core.solution import Placement, Routing
 from repro.flow.lp import LPBuilder
+
+if TYPE_CHECKING:
+    from repro.core.context import SolverContext
 
 Node = Hashable
 
@@ -45,9 +49,18 @@ class ServingPath:
     suffix_cost: tuple[float, ...]
 
 
-def extract_serving_paths(problem: ProblemInstance, routing: Routing) -> list[ServingPath]:
-    """Turn a routing into rated serving paths (rate = lambda * fraction)."""
-    network = problem.network
+def extract_serving_paths(
+    problem: ProblemInstance,
+    routing: Routing,
+    *,
+    context: "SolverContext | None" = None,
+) -> list[ServingPath]:
+    """Turn a routing into rated serving paths (rate = lambda * fraction).
+
+    With ``context``, link costs come from its precomputed edge-cost dict
+    instead of per-edge graph attribute lookups.
+    """
+    link_cost = problem.network.cost if context is None else context.link_cost
     out: list[ServingPath] = []
     for (item, s), rate in problem.demand.items():
         for pf in routing.paths.get((item, s), []):
@@ -56,7 +69,7 @@ def extract_serving_paths(problem: ProblemInstance, routing: Routing) -> list[Se
             length = len(pf.path)
             suffix = [0.0] * length
             for m in range(length - 2, -1, -1):
-                suffix[m] = suffix[m + 1] + network.cost(pf.path[m], pf.path[m + 1])
+                suffix[m] = suffix[m + 1] + link_cost(pf.path[m], pf.path[m + 1])
             out.append(
                 ServingPath(
                     item=item,
@@ -120,9 +133,11 @@ def placement_saving(
 def optimize_placement_lp(
     problem: ProblemInstance,
     routing: Routing,
+    *,
+    context: "SolverContext | None" = None,
 ) -> Placement:
     """(1-1/e)-approximate placement via the LP surrogate (15) + pipage."""
-    paths = extract_serving_paths(problem, routing)
+    paths = extract_serving_paths(problem, routing, context=context)
     cache_nodes = [
         v for v in problem.network.cache_nodes() if problem.network.cache_capacity(v) > 0
     ]
@@ -233,9 +248,11 @@ def optimize_placement_lp(
 def optimize_placement_greedy(
     problem: ProblemInstance,
     routing: Routing,
+    *,
+    context: "SolverContext | None" = None,
 ) -> Placement:
     """1/(1+p)-approximate placement by lazy greedy (Theorem 5.2, Lemma 5.3)."""
-    paths = extract_serving_paths(problem, routing)
+    paths = extract_serving_paths(problem, routing, context=context)
     cache_nodes = [
         v for v in problem.network.cache_nodes() if problem.network.cache_capacity(v) > 0
     ]
@@ -300,12 +317,13 @@ def optimize_placement(
     routing: Routing,
     *,
     method: str = "auto",
+    context: "SolverContext | None" = None,
 ) -> Placement:
     """Dispatch: pipage LP for homogeneous catalogs, greedy otherwise."""
     if method == "auto":
         method = "pipage" if problem.is_homogeneous() else "greedy"
     if method == "pipage":
-        return optimize_placement_lp(problem, routing)
+        return optimize_placement_lp(problem, routing, context=context)
     if method == "greedy":
-        return optimize_placement_greedy(problem, routing)
+        return optimize_placement_greedy(problem, routing, context=context)
     raise ValueError(f"unknown placement method {method!r}")

@@ -14,12 +14,16 @@ policy of the benchmark in [3] once restricted to candidate paths.
 from __future__ import annotations
 
 from collections.abc import Hashable
+from typing import TYPE_CHECKING
 
 from repro.core.problem import ProblemInstance
 from repro.core.solution import Placement, Routing
 from repro.exceptions import InfeasibleError
 from repro.flow.decomposition import PathFlow
 from repro.graph.shortest_paths import reconstruct_path, single_source_dijkstra
+
+if TYPE_CHECKING:  # avoid a module cycle; context imports ShortestPathCache
+    from repro.core.context import SolverContext
 
 Node = Hashable
 
@@ -54,13 +58,22 @@ def route_to_nearest_replica(
     placement: Placement,
     *,
     sp_cache: ShortestPathCache | None = None,
+    context: "SolverContext | None" = None,
 ) -> Routing:
     """RNR routing for every request under the given placement.
 
-    Raises :class:`InfeasibleError` if some request cannot be fully covered
-    by reachable holders (including pinned contents).
+    With a :class:`~repro.core.context.SolverContext`, holder distances come
+    from the dense all-pairs matrix (O(1) per lookup, no Dijkstra per
+    holder); paths are still reconstructed through the context's lazy
+    shortest-path cache.  Raises :class:`InfeasibleError` if some request
+    cannot be fully covered by reachable holders (including pinned
+    contents).
     """
-    sp = sp_cache or ShortestPathCache(problem)
+    if context is not None:
+        dist_fn, sp = context.distance, context.sp
+    else:
+        sp = sp_cache or ShortestPathCache(problem)
+        dist_fn = sp.distance
     routing = Routing()
     for (item, requester), _rate in problem.demand.items():
         fractions: dict[Node, float] = {}
@@ -70,7 +83,7 @@ def route_to_nearest_replica(
             fractions[holder] = 1.0
         candidates = sorted(
             (
-                (sp.distance(holder, requester), repr(holder), holder)
+                (dist_fn(holder, requester), repr(holder), holder)
                 for holder in fractions
             ),
         )

@@ -12,6 +12,11 @@ nowhere).  The paper proves it monotone and submodular, so
 
 The implementation keeps, per request, the current least cost over holders,
 which makes marginal gains O(#requests-for-item) and enables lazy greedy.
+With a :class:`~repro.core.context.SolverContext` the per-request state
+lives in numpy arrays aligned with the context's per-item requester axis,
+so marginal gains and updates are single vectorized reductions over the
+dense distance matrix instead of per-pair dict lookups.  Both paths compute
+the same function; tests cross-check them on random instances.
 """
 
 from __future__ import annotations
@@ -19,10 +24,16 @@ from __future__ import annotations
 import heapq
 import itertools
 from collections.abc import Hashable
+from typing import TYPE_CHECKING
+
+import numpy as np
 
 from repro.core.problem import Item, ProblemInstance
 from repro.core.rnr import ShortestPathCache
 from repro.core.solution import Placement
+
+if TYPE_CHECKING:  # context imports ShortestPathCache; avoid the cycle
+    from repro.core.context import SolverContext
 
 Node = Hashable
 
@@ -33,6 +44,10 @@ class RNRCostSaving:
     The function value is reported relative to the pinned-only placement:
     ``value() == F_RNR(X) - F_RNR(empty)``, which shifts by a constant and
     therefore changes nothing for maximization.
+
+    Pass ``context`` to evaluate against the dense distance matrix (the
+    fast path); without it the dict-based :class:`ShortestPathCache` is
+    used, as in the seed implementation.
     """
 
     def __init__(
@@ -41,8 +56,21 @@ class RNRCostSaving:
         *,
         sp_cache: ShortestPathCache | None = None,
         w_max: float | None = None,
+        context: "SolverContext | None" = None,
     ) -> None:
         self._problem = problem
+        self._ctx = context
+        self._value = 0.0
+        self._selected: set[tuple[Node, Item]] = set()
+        if context is not None:
+            self._sp = None
+            self.w_max = context.w_max if w_max is None else w_max
+            #: Current best (least) serving cost per requester, per item.
+            self._best_arr: dict[Item, np.ndarray] = {}
+            for item in sorted({i for (i, _s) in problem.demand}, key=repr):
+                self._best_arr[item] = context.baseline_costs(item, cap=self.w_max)
+            self._baseline_arr = {i: b.copy() for i, b in self._best_arr.items()}
+            return
         self._sp = sp_cache or ShortestPathCache(problem)
         if w_max is None:
             w_max = 0.0
@@ -61,8 +89,6 @@ class RNRCostSaving:
                 best = min(best, self._sp.distance(holder, s))
             self._best[(item, s)] = best
         self._baseline = dict(self._best)
-        self._value = 0.0
-        self._selected: set[tuple[Node, Item]] = set()
 
     # ------------------------------------------------------------------
 
@@ -76,6 +102,13 @@ class RNRCostSaving:
 
     def serving_cost(self) -> float:
         """Expected RNR routing cost of the current selection."""
+        if self._ctx is not None:
+            return float(
+                sum(
+                    self._ctx.requesters(item).rates @ best
+                    for item, best in self._best_arr.items()
+                )
+            )
         return sum(
             rate * self._best[req] for req, rate in self._problem.demand.items()
         )
@@ -84,6 +117,15 @@ class RNRCostSaving:
         """Gain of adding ``(node, item)`` on top of the current selection."""
         if (node, item) in self._selected:
             return 0.0
+        if self._ctx is not None:
+            best = self._best_arr.get(item)
+            if best is None or best.size == 0:
+                return 0.0
+            block = self._ctx.requesters(item)
+            d = self._ctx.dm.matrix[self._ctx.node_index[node], block.idx]
+            diff = best - d
+            np.clip(diff, 0.0, None, out=diff)
+            return float(diff @ block.rates)
         gain = 0.0
         for s in self._problem.requesters_of(item):
             rate = self._problem.demand[(item, s)]
@@ -95,6 +137,19 @@ class RNRCostSaving:
 
     def add(self, node: Node, item: Item) -> float:
         """Add ``(node, item)`` to the selection; returns the realized gain."""
+        if self._ctx is not None:
+            gain = 0.0
+            best = self._best_arr.get(item)
+            if best is not None and best.size:
+                block = self._ctx.requesters(item)
+                d = self._ctx.dm.matrix[self._ctx.node_index[node], block.idx]
+                diff = best - d
+                np.clip(diff, 0.0, None, out=diff)
+                gain = float(diff @ block.rates)
+                np.minimum(best, d, out=best)
+            self._selected.add((node, item))
+            self._value += gain
+            return gain
         gain = 0.0
         for s in self._problem.requesters_of(item):
             d = self._sp.distance(node, s)
@@ -108,6 +163,20 @@ class RNRCostSaving:
 
     def evaluate(self, entries: frozenset[tuple[Node, Item]]) -> float:
         """Value of an arbitrary selection (non-incremental, for tests)."""
+        if self._ctx is not None:
+            total = 0.0
+            for item, baseline in self._baseline_arr.items():
+                block = self._ctx.requesters(item)
+                best = baseline.copy()
+                for (v, i) in entries:
+                    if i == item:
+                        np.minimum(
+                            best,
+                            self._ctx.dm.matrix[self._ctx.node_index[v], block.idx],
+                            out=best,
+                        )
+                total += float(block.rates @ (baseline - best))
+            return total
         total = 0.0
         for (item, s), rate in self._problem.demand.items():
             best = self._baseline[(item, s)]
@@ -124,6 +193,7 @@ def local_search_swap(
     *,
     sp_cache: ShortestPathCache | None = None,
     max_sweeps: int = 4,
+    context: "SolverContext | None" = None,
 ) -> Placement:
     """1-swap local search on F_RNR: replace a cached item when profitable.
 
@@ -134,7 +204,12 @@ def local_search_swap(
     F_RNR never decreases, so polishing the output of Algorithm 1 preserves
     its (1 - 1/e) guarantee while recovering the cross-node coordination
     that per-node pipage rounding cannot express.
+
+    With ``context`` the per-requester best/second-best serving costs are
+    computed as vectorized reductions over the dense distance matrix.
     """
+    if context is not None:
+        return _local_search_swap_ctx(problem, placement, context, max_sweeps)
     sp = sp_cache or ShortestPathCache(problem)
     placement = placement.copy()
     items = sorted({i for (i, _s) in problem.demand}, key=repr)
@@ -222,18 +297,149 @@ def local_search_swap(
     return placement
 
 
+def _local_search_swap_ctx(
+    problem: ProblemInstance,
+    placement: Placement,
+    ctx: "SolverContext",
+    max_sweeps: int,
+) -> Placement:
+    """Dense-matrix implementation of :func:`local_search_swap`.
+
+    Same move structure as the dict path; the per-requester best/second
+    serving costs per item come from one ``(#holders, #requesters)`` matrix
+    slice and a partial sort, and eviction losses / insertion gains are
+    masked dot products.  On exact distance ties the chosen best holder may
+    differ from the dict path (both are valid), which can only change which
+    of two equal-loss moves is taken.
+    """
+    placement = placement.copy()
+    items = sorted({i for (i, _s) in problem.demand}, key=repr)
+    cache_nodes = [
+        v
+        for v in problem.network.cache_nodes()
+        if problem.network.cache_capacity(v) > 0
+    ]
+    w_max = ctx.w_max
+    matrix = ctx.dm.matrix
+    nidx = ctx.node_index
+
+    def holder_stats(item: Item) -> dict:
+        holders = sorted(
+            {v for v in placement.holders(item) if placement[(v, item)] >= 0.5}
+            | problem.pinned_holders(item),
+            key=repr,
+        )
+        block = ctx.requesters(item)
+        n = block.size
+        if n == 0:
+            empty = np.zeros(0, dtype=np.float64)
+            return {
+                "holders": holders,
+                "block": block,
+                "best": empty,
+                "second": empty,
+                "best_pos": np.zeros(0, dtype=np.intp),
+            }
+        rows = [matrix[nidx[h], block.idx] for h in holders]
+        rows.append(np.full(n, w_max, dtype=np.float64))  # sentinel: w_max cap
+        stack = np.vstack(rows)
+        best_pos = np.argmin(stack, axis=0)
+        if stack.shape[0] >= 2:
+            part = np.partition(stack, 1, axis=0)
+            best, second = part[0].copy(), part[1].copy()
+        else:
+            best = stack[0].copy()
+            second = best.copy()
+        np.minimum(best, w_max, out=best)
+        np.minimum(second, w_max, out=second)
+        return {
+            "holders": holders,
+            "block": block,
+            "best": best,
+            "second": second,
+            "best_pos": best_pos,
+        }
+
+    for _ in range(max_sweeps):
+        improved = False
+        stats_cache: dict[Item, dict] = {}
+
+        def stats_of(item: Item) -> dict:
+            if item not in stats_cache:
+                stats_cache[item] = holder_stats(item)
+            return stats_cache[item]
+
+        for v in cache_nodes:
+            capacity = problem.network.cache_capacity(v)
+            cached = sorted(
+                (i for i in placement.items_at(v) if (v, i) not in problem.pinned),
+                key=repr,
+            )
+            spare = capacity - placement.used_capacity(v, problem)
+            removal_loss: dict[Item, float] = {}
+            for i in cached:
+                st = stats_of(i)
+                loss = 0.0
+                if st["block"].size and v in st["holders"]:
+                    vpos = st["holders"].index(v)
+                    mask = st["best_pos"] == vpos
+                    if mask.any():
+                        loss = float(
+                            st["block"].rates[mask]
+                            @ (st["second"][mask] - st["best"][mask])
+                        )
+                removal_loss[i] = loss
+            addition_gain: dict[Item, float] = {}
+            for j in items:
+                if (v, j) in placement or (v, j) in problem.pinned:
+                    continue
+                st = stats_of(j)
+                gain = 0.0
+                if st["block"].size:
+                    diff = st["best"] - matrix[nidx[v], st["block"].idx]
+                    np.clip(diff, 0.0, None, out=diff)
+                    gain = float(diff @ st["block"].rates)
+                addition_gain[j] = gain
+            best_move, best_delta = None, 1e-9
+            for j, gain in addition_gain.items():
+                if gain <= 0:
+                    continue
+                if problem.size_of(j) <= spare + 1e-12:
+                    if gain > best_delta:
+                        best_move, best_delta = (None, j), gain
+                for i in cached:
+                    if problem.size_of(j) <= spare + problem.size_of(i) + 1e-12:
+                        delta = gain - removal_loss[i]
+                        if delta > best_delta:
+                            best_move, best_delta = (i, j), delta
+            if best_move is not None:
+                evict, insert = best_move
+                if evict is not None:
+                    placement[(v, evict)] = 0.0
+                    stats_cache.pop(evict, None)
+                placement[(v, insert)] = 1.0
+                stats_cache.pop(insert, None)
+                improved = True
+        if not improved:
+            break
+    return placement
+
+
 def greedy_rnr_placement(
     problem: ProblemInstance,
     *,
     sp_cache: ShortestPathCache | None = None,
+    context: "SolverContext | None" = None,
 ) -> Placement:
     """Lazy-greedy maximization of F_RNR under cache capacities.
 
     Handles both the homogeneous model (matroid constraint; 1/2-approx) and
     heterogeneous item sizes (p-independence; 1/(1+p)-approx, Theorem 5.2).
-    Pinned contents are part of the baseline and never selected.
+    Pinned contents are part of the baseline and never selected.  Pass
+    ``context`` to run every marginal-gain evaluation against the dense
+    distance matrix.
     """
-    saving = RNRCostSaving(problem, sp_cache=sp_cache)
+    saving = RNRCostSaving(problem, sp_cache=sp_cache, context=context)
     remaining = {
         v: problem.network.cache_capacity(v) for v in problem.network.cache_nodes()
     }
@@ -247,7 +453,6 @@ def greedy_rnr_placement(
             if gain > 0:
                 heapq.heappush(heap, (-gain, next(counter), v, i))
     placement = Placement()
-    stale_bound: dict[tuple[Node, Item], float] = {}
     while heap:
         neg_gain, _, v, i = heapq.heappop(heap)
         if (v, i) in saving.selected:

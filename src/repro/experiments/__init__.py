@@ -23,6 +23,7 @@ from repro.experiments.runner import (
     RunRecord,
     aggregate,
     evaluate_algorithm,
+    monte_carlo_seeds,
     run_monte_carlo,
 )
 from repro.experiments.sweeps import SWEEPABLE, sweep_parameter
@@ -51,6 +52,7 @@ __all__ = [
     "Aggregate",
     "evaluate_algorithm",
     "run_monte_carlo",
+    "monte_carlo_seeds",
     "aggregate",
     "format_aggregates",
     "format_sweep",

@@ -6,14 +6,26 @@ always evaluated against the *true* demand — the paper's light/dark bar
 protocol.  The runner repeats scenarios over seeds and aggregates the
 metrics the paper plots: routing cost, congestion, max cache occupancy,
 and execution time (Tables 3-4).
+
+The paper's protocol averages 100 independent runs; :func:`run_monte_carlo`
+can execute them across processes (``parallel=True``).  Per-run seeds are
+materialized up front (optionally via ``numpy.random.SeedSequence.spawn``,
+see :class:`MonteCarloConfig`), every run is fully determined by its seed,
+and records are collected in run-major order — so the parallel mode is
+bit-identical to serial execution in everything except wall-clock timings.
 """
 
 from __future__ import annotations
 
+import logging
+import pickle
 import statistics
 import time
-from collections.abc import Callable, Iterable, Mapping
+from collections.abc import Callable, Iterable, Mapping, Sequence
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
+
+import numpy as np
 
 from repro.core.evaluation import (
     congestion,
@@ -26,6 +38,8 @@ from repro.experiments.config import MonteCarloConfig, ScenarioConfig
 from repro.experiments.scenarios import EdgeCachingScenario, build_scenario
 
 Algorithm = Callable[[EdgeCachingScenario], Solution]
+
+logger = logging.getLogger(__name__)
 
 
 @dataclass
@@ -74,21 +88,84 @@ def evaluate_algorithm(
     )
 
 
+def monte_carlo_seeds(monte_carlo: MonteCarloConfig) -> list[int]:
+    """Materialize the per-run scenario seeds of a Monte Carlo protocol.
+
+    With ``spawn_seeds`` the seeds come from
+    ``numpy.random.SeedSequence(base_seed).spawn(n_runs)`` (independent
+    streams); otherwise they are the legacy ``base_seed + run`` offsets.
+    Either way the full list is derived up front, so serial and parallel
+    execution see exactly the same seeds in the same order.
+    """
+    if monte_carlo.spawn_seeds:
+        root = np.random.SeedSequence(monte_carlo.base_seed)
+        return [
+            int(child.generate_state(1, dtype=np.uint32)[0])
+            for child in root.spawn(monte_carlo.n_runs)
+        ]
+    return [monte_carlo.base_seed + run for run in range(monte_carlo.n_runs)]
+
+
+def _evaluate_run(
+    task: tuple[
+        ScenarioConfig,
+        Sequence[tuple[str, Algorithm]],
+        Callable[[ScenarioConfig], EdgeCachingScenario],
+    ],
+) -> list[RunRecord]:
+    """One Monte Carlo run: build the scenario, score every algorithm.
+
+    Module-level so :class:`ProcessPoolExecutor` can pickle it; the scenario
+    is built inside the worker so only the (small) config crosses the
+    process boundary.
+    """
+    run_config, named_algorithms, builder = task
+    scenario = builder(run_config)
+    return [
+        evaluate_algorithm(name, algorithm, scenario)
+        for name, algorithm in named_algorithms
+    ]
+
+
 def run_monte_carlo(
     config: ScenarioConfig,
     algorithms: Mapping[str, Algorithm],
     monte_carlo: MonteCarloConfig,
     *,
     scenario_builder: Callable[[ScenarioConfig], EdgeCachingScenario] | None = None,
+    parallel: bool = False,
+    max_workers: int | None = None,
 ) -> list[RunRecord]:
-    """Repeat every algorithm over seeded scenario instances."""
+    """Repeat every algorithm over seeded scenario instances.
+
+    ``parallel=True`` distributes runs over a ``ProcessPoolExecutor``
+    (``max_workers`` processes; default: one per CPU).  Runs are
+    independent — each is rebuilt in its worker from its materialized seed —
+    and records come back in run-major, algorithm-insertion order, so
+    results match serial execution bit-for-bit except for the measured
+    ``seconds``.  Algorithms and the scenario builder must be picklable
+    (module-level callables); if they are not, the runner logs a warning
+    and falls back to serial execution.
+    """
     builder = scenario_builder or build_scenario
+    tasks = [
+        (replace(config, seed=seed), tuple(algorithms.items()), builder)
+        for seed in monte_carlo_seeds(monte_carlo)
+    ]
+    if parallel and len(tasks) > 1:
+        try:
+            with ProcessPoolExecutor(max_workers=max_workers) as pool:
+                per_run = list(pool.map(_evaluate_run, tasks))
+            return [record for run_records in per_run for record in run_records]
+        except (pickle.PicklingError, AttributeError, TypeError) as exc:
+            logger.warning(
+                "parallel Monte Carlo needs picklable algorithms/builder "
+                "(%s); falling back to serial execution",
+                exc,
+            )
     records: list[RunRecord] = []
-    for run in range(monte_carlo.n_runs):
-        run_config = replace(config, seed=monte_carlo.base_seed + run)
-        scenario = builder(run_config)
-        for name, algorithm in algorithms.items():
-            records.append(evaluate_algorithm(name, algorithm, scenario))
+    for task in tasks:
+        records.extend(_evaluate_run(task))
     return records
 
 

@@ -1,5 +1,6 @@
 """Graph substrate: cache-network model, shortest paths, and topologies."""
 
+from repro.graph.distance_matrix import DistanceMatrix, build_distance_matrix
 from repro.graph.network import CacheNetwork
 from repro.graph.shortest_paths import (
     all_pairs_least_costs,
@@ -22,6 +23,8 @@ from repro.graph.topologies import (
 
 __all__ = [
     "CacheNetwork",
+    "DistanceMatrix",
+    "build_distance_matrix",
     "single_source_dijkstra",
     "all_pairs_least_costs",
     "reconstruct_path",

@@ -1,0 +1,153 @@
+"""Dense all-pairs distance matrices for solver hot paths.
+
+The Section 4 machinery (F_RNR greedy, local search, RNR routing, the [3]
+candidate-path baseline) consumes the same structure over and over: the
+least routing cost ``w_{v->s}`` for every (cache node, requester) pair.
+:func:`all_pairs_least_costs` materializes that as nested dicts, which is
+convenient but slow to index from inner loops.  This module builds the same
+information once as a dense ``float64`` matrix with integer node indices so
+numpy can take over the per-request arithmetic.
+
+``scipy.sparse.csgraph.dijkstra`` is used when scipy is importable (it is a
+baked-in dependency of the experiment stack); otherwise the pure-python
+Dijkstra of :mod:`repro.graph.shortest_paths` fills the matrix row by row.
+Both produce ``math.inf`` for unreachable pairs.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Hashable, Sequence
+from dataclasses import dataclass, field
+
+import networkx as nx
+import numpy as np
+
+from repro.exceptions import InvalidNetworkError
+from repro.graph.network import COST
+from repro.graph.shortest_paths import single_source_dijkstra
+
+try:  # scipy ships with the experiment stack but stays optional.
+    from scipy.sparse.csgraph import csgraph_from_dense
+    from scipy.sparse.csgraph import dijkstra as _csgraph_dijkstra
+
+    HAVE_SCIPY = True
+except ImportError:  # pragma: no cover - exercised only without scipy
+    HAVE_SCIPY = False
+
+Node = Hashable
+
+
+@dataclass(frozen=True)
+class DistanceMatrix:
+    """All-pairs least costs as a dense matrix plus node index maps.
+
+    ``matrix[i, j]`` is the least cost of a ``nodes[i] -> nodes[j]`` path
+    (``math.inf`` when unreachable).  Row/column order follows ``nodes``,
+    which preserves the graph's node insertion order so results are
+    deterministic and comparable with the dict-based API.
+    """
+
+    nodes: tuple[Node, ...]
+    matrix: np.ndarray
+    index: dict[Node, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.index:
+            object.__setattr__(
+                self, "index", {v: k for k, v in enumerate(self.nodes)}
+            )
+
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __contains__(self, node: Node) -> bool:
+        return node in self.index
+
+    def distance(self, source: Node, target: Node) -> float:
+        """Least cost ``source -> target`` (``inf`` if unreachable)."""
+        return float(self.matrix[self.index[source], self.index[target]])
+
+    def row(self, source: Node) -> np.ndarray:
+        """Distances from ``source`` to every node (read-only view)."""
+        return self.matrix[self.index[source]]
+
+    def column(self, target: Node) -> np.ndarray:
+        """Distances from every node to ``target`` (read-only view)."""
+        return self.matrix[:, self.index[target]]
+
+    def w_max(self) -> float:
+        """Maximum finite pairwise cost, floored at 1.0 (paper convention)."""
+        finite = self.matrix[np.isfinite(self.matrix)]
+        if finite.size == 0:
+            return 1.0
+        top = float(finite.max())
+        return top if top > 0 else 1.0
+
+    def to_dict(self) -> dict[Node, dict[Node, float]]:
+        """Nested-dict view matching :func:`all_pairs_least_costs` (no infs)."""
+        out: dict[Node, dict[Node, float]] = {}
+        for i, u in enumerate(self.nodes):
+            row = self.matrix[i]
+            out[u] = {
+                v: float(row[j])
+                for j, v in enumerate(self.nodes)
+                if math.isfinite(row[j])
+            }
+        return out
+
+
+def _dense_adjacency(
+    graph: nx.DiGraph,
+    nodes: Sequence[Node],
+    index: dict[Node, int],
+    weight: str,
+) -> np.ndarray:
+    adj = np.full((len(nodes), len(nodes)), math.inf, dtype=np.float64)
+    for u, v, data in graph.edges(data=True):
+        w = float(data.get(weight, 1.0))
+        if w < 0:
+            raise InvalidNetworkError(f"negative weight on ({u!r}, {v!r})")
+        i, j = index[u], index[v]
+        if w < adj[i, j]:
+            adj[i, j] = w
+    return adj
+
+
+def build_distance_matrix(
+    graph: nx.DiGraph,
+    *,
+    weight: str = COST,
+    nodes: Sequence[Node] | None = None,
+    use_scipy: bool = True,
+) -> DistanceMatrix:
+    """Build the dense all-pairs least-cost matrix of a directed graph.
+
+    ``nodes`` fixes the row/column order (defaults to graph insertion
+    order).  Zero-cost edges are handled correctly in both backends: the
+    scipy path goes through ``csgraph_from_dense`` with an ``inf`` null
+    value, so ``0.0`` is a real edge, not a missing one.
+    """
+    node_list: tuple[Node, ...] = tuple(graph.nodes if nodes is None else nodes)
+    index = {v: k for k, v in enumerate(node_list)}
+    n = len(node_list)
+    if n == 0:
+        return DistanceMatrix(nodes=(), matrix=np.zeros((0, 0), dtype=np.float64))
+    if use_scipy and HAVE_SCIPY:
+        adj = _dense_adjacency(graph, node_list, index, weight)
+        np.fill_diagonal(adj, 0.0)
+        csgraph = csgraph_from_dense(adj, null_value=math.inf)
+        matrix = _csgraph_dijkstra(csgraph, directed=True)
+        np.fill_diagonal(matrix, 0.0)
+    else:
+        matrix = np.full((n, n), math.inf, dtype=np.float64)
+        for i, v in enumerate(node_list):
+            dist, _ = single_source_dijkstra(graph, v, weight=weight)
+            for target, d in dist.items():
+                j = index.get(target)
+                if j is not None:
+                    matrix[i, j] = d
+    matrix.setflags(write=False)
+    return DistanceMatrix(nodes=node_list, matrix=matrix, index=index)

@@ -128,12 +128,20 @@ def k_shortest_paths(
 
     Returns fewer than ``k`` paths when the graph does not contain that many
     distinct loopless paths. Paths are sorted by increasing cost.
+
+    The spur computations run on a private copy of ``graph``: the caller's
+    graph is never mutated, so its node/edge insertion order — which
+    iteration-order-dependent code like :func:`all_pairs_least_costs`,
+    topology dumps, and heap tie-breaking silently relies on — is preserved.
+    (The seed implementation removed and re-added nodes/edges of the shared
+    graph, permanently permuting that order.)
     """
     if k <= 0:
         return []
     dist, pred = single_source_dijkstra(graph, source, weight=weight)
     if target not in dist:
         return []
+    work = graph.copy()  # all removals/re-additions happen on the copy
     paths: list[list[Node]] = [reconstruct_path(pred, source, target)]
     # Candidate heap holds (cost, counter, path).
     candidates: list[tuple[float, int, list[Node]]] = []
@@ -148,68 +156,40 @@ def k_shortest_paths(
             removed_nodes: list[tuple[Node, list[tuple[Node, Node, dict]]]] = []
             # Remove edges that would recreate an already-found path.
             for p in paths:
-                if len(p) > i and p[: i + 1] == root and graph.has_edge(p[i], p[i + 1]):
-                    data = dict(graph.edges[p[i], p[i + 1]])
-                    graph.remove_edge(p[i], p[i + 1])
+                if len(p) > i and p[: i + 1] == root and work.has_edge(p[i], p[i + 1]):
+                    data = dict(work.edges[p[i], p[i + 1]])
+                    work.remove_edge(p[i], p[i + 1])
                     removed_edges.append((p[i], p[i + 1], data))
             # Remove root nodes (except the spur) to keep paths loopless.
             for node in root[:-1]:
                 incident = [
                     (u, v, dict(d))
                     for u, v, d in itertools.chain(
-                        graph.in_edges(node, data=True), graph.out_edges(node, data=True)
+                        work.in_edges(node, data=True), work.out_edges(node, data=True)
                     )
                 ]
-                graph.remove_node(node)
+                work.remove_node(node)
                 removed_nodes.append((node, incident))
             try:
-                spur_dist, spur_pred = single_source_dijkstra(graph, spur_node, weight=weight)
+                spur_dist, spur_pred = single_source_dijkstra(work, spur_node, weight=weight)
                 if target in spur_dist:
                     spur_path = reconstruct_path(spur_pred, spur_node, target)
                     total = root[:-1] + spur_path
                     key = tuple(total)
                     if key not in seen:
                         seen.add(key)
-                        cost = path_cost_restored(graph, removed_nodes, removed_edges, total, weight)
+                        # Cost the candidate against the intact input graph.
+                        cost = path_cost(graph, total, weight=weight)
                         heapq.heappush(candidates, (cost, next(counter), total))
             finally:
                 for node, incident in reversed(removed_nodes):
-                    graph.add_node(node)
+                    work.add_node(node)
                     for u, v, d in incident:
-                        graph.add_edge(u, v, **d)
+                        work.add_edge(u, v, **d)
                 for u, v, d in removed_edges:
-                    graph.add_edge(u, v, **d)
+                    work.add_edge(u, v, **d)
         if not candidates:
             break
         _, _, best = heapq.heappop(candidates)
         paths.append(best)
     return paths
-
-
-def path_cost_restored(
-    graph: nx.DiGraph,
-    removed_nodes: list[tuple[Node, list[tuple[Node, Node, dict]]]],
-    removed_edges: list[tuple[Node, Node, dict]],
-    path: list[Node],
-    weight: str,
-) -> float:
-    """Cost of ``path`` accounting for temporarily removed nodes/edges.
-
-    Helper for :func:`k_shortest_paths`: candidate paths are costed while the
-    graph is mutilated, so look edge weights up in the removal records first.
-    """
-    restored: dict[tuple[Node, Node], float] = {}
-    for _, incident in removed_nodes:
-        for u, v, d in incident:
-            restored[(u, v)] = d.get(weight, 1.0)
-    for u, v, d in removed_edges:
-        restored[(u, v)] = d.get(weight, 1.0)
-    total = 0.0
-    for u, v in zip(path[:-1], path[1:]):
-        if graph.has_edge(u, v):
-            total += graph.edges[u, v].get(weight, 1.0)
-        elif (u, v) in restored:
-            total += restored[(u, v)]
-        else:
-            raise InvalidNetworkError(f"candidate path uses unknown link ({u!r}, {v!r})")
-    return total

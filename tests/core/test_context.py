@@ -1,0 +1,174 @@
+"""Property tests: the dense SolverContext path agrees with the dict path.
+
+Every solver accepts ``context=None`` (dict-based ShortestPathCache) or a
+SolverContext (dense distance matrix + vectorized reductions).  These tests
+drive both paths over random seeded instances and demand identical results,
+which is the correctness argument for the vectorization.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    RNRCostSaving,
+    ShortestPathCache,
+    SolverContext,
+    greedy_rnr_placement,
+    route_to_nearest_replica,
+    routing_cost,
+)
+from repro.core.algorithm1 import algorithm1
+from repro.core.submodular import local_search_swap
+from repro.graph import all_pairs_least_costs
+
+from tests.core.conftest import make_line_problem, random_uncapacitated_problem
+
+SEEDS = range(8)
+
+
+@pytest.fixture(params=SEEDS)
+def random_problem(request):
+    return random_uncapacitated_problem(request.param)
+
+
+class TestContextStructure:
+    def test_distances_match_dict_all_pairs(self, random_problem):
+        ctx = SolverContext.from_problem(random_problem)
+        costs, wmax = all_pairs_least_costs(random_problem.network.graph)
+        for u in random_problem.network.nodes:
+            for v in random_problem.network.nodes:
+                assert ctx.distance(u, v) == pytest.approx(
+                    costs[u].get(v, float("inf"))
+                )
+        assert ctx.w_max == pytest.approx(wmax)
+
+    def test_requester_block_aligned_with_problem(self, random_problem):
+        ctx = SolverContext.from_problem(random_problem)
+        for item in random_problem.catalog:
+            block = ctx.requesters(item)
+            expected = tuple(random_problem.requesters_of(item))
+            assert block.nodes == expected
+            assert block.size == len(expected)
+            for s, rate in zip(block.nodes, block.rates):
+                assert rate == random_problem.demand[(item, s)]
+
+    def test_baseline_costs_are_pinned_minima(self, random_problem):
+        ctx = SolverContext.from_problem(random_problem)
+        sp = ShortestPathCache(random_problem)
+        for item in random_problem.catalog:
+            block = ctx.requesters(item)
+            base = ctx.baseline_costs(item)
+            for s, got in zip(block.nodes, base):
+                expected = min(
+                    (
+                        sp.distance(h, s)
+                        for h in random_problem.pinned_holders(item)
+                    ),
+                    default=float("inf"),
+                )
+                assert got == pytest.approx(min(expected, ctx.w_max))
+
+    def test_baseline_costs_returns_fresh_copy(self):
+        prob = make_line_problem(cache_nodes={3: 1})
+        ctx = SolverContext.from_problem(prob)
+        item = prob.catalog[0]
+        first = ctx.baseline_costs(item)
+        first[:] = -1.0
+        assert np.all(ctx.baseline_costs(item) >= 0.0)
+
+    def test_link_cost_matches_network(self, random_problem):
+        ctx = SolverContext.from_problem(random_problem)
+        for (u, v) in random_problem.network.edges:
+            assert ctx.link_cost(u, v) == random_problem.network.cost(u, v)
+
+
+class TestObjectiveEquivalence:
+    def test_marginal_gains_agree(self, random_problem):
+        ctx = SolverContext.from_problem(random_problem)
+        f_dict = RNRCostSaving(random_problem)
+        f_ctx = RNRCostSaving(random_problem, context=ctx)
+        cache_nodes = random_problem.network.cache_nodes()
+        for item in random_problem.catalog:
+            for v in cache_nodes:
+                assert f_ctx.marginal_gain(v, item) == pytest.approx(
+                    f_dict.marginal_gain(v, item)
+                ), (v, item)
+
+    def test_gains_agree_after_adds(self, random_problem):
+        ctx = SolverContext.from_problem(random_problem)
+        f_dict = RNRCostSaving(random_problem)
+        f_ctx = RNRCostSaving(random_problem, context=ctx)
+        cache_nodes = random_problem.network.cache_nodes()
+        # Grow a placement and keep checking gains stay in lockstep.
+        for step, item in enumerate(random_problem.catalog[:2]):
+            v = cache_nodes[step % len(cache_nodes)]
+            f_dict.add(v, item)
+            f_ctx.add(v, item)
+            for other in random_problem.catalog:
+                for w in cache_nodes:
+                    assert f_ctx.marginal_gain(w, other) == pytest.approx(
+                        f_dict.marginal_gain(w, other)
+                    )
+
+    def test_evaluate_agrees(self, random_problem):
+        ctx = SolverContext.from_problem(random_problem)
+        f_dict = RNRCostSaving(random_problem)
+        f_ctx = RNRCostSaving(random_problem, context=ctx)
+        v = random_problem.network.cache_nodes()[0]
+        pairs = [(v, random_problem.catalog[0])]
+        assert f_ctx.evaluate(pairs) == pytest.approx(f_dict.evaluate(pairs))
+
+
+class TestSolverEquivalence:
+    def test_greedy_placement_identical(self, random_problem):
+        ctx = SolverContext.from_problem(random_problem)
+        p_dict = greedy_rnr_placement(random_problem)
+        p_ctx = greedy_rnr_placement(random_problem, context=ctx)
+        assert dict(p_dict.items()) == dict(p_ctx.items())
+
+    def test_rnr_routing_cost_identical(self, random_problem):
+        ctx = SolverContext.from_problem(random_problem)
+        placement = greedy_rnr_placement(random_problem)
+        r_dict = route_to_nearest_replica(random_problem, placement)
+        r_ctx = route_to_nearest_replica(
+            random_problem, placement, context=ctx
+        )
+        assert routing_cost(random_problem, r_ctx) == pytest.approx(
+            routing_cost(random_problem, r_dict)
+        )
+
+    def test_local_search_cost_identical(self, random_problem):
+        ctx = SolverContext.from_problem(random_problem)
+        start = greedy_rnr_placement(random_problem)
+        swapped_dict = local_search_swap(
+            random_problem, start.copy()
+        )
+        swapped_ctx = local_search_swap(
+            random_problem, start.copy(), context=ctx
+        )
+        cost_dict = routing_cost(
+            random_problem,
+            route_to_nearest_replica(random_problem, swapped_dict),
+        )
+        cost_ctx = routing_cost(
+            random_problem,
+            route_to_nearest_replica(random_problem, swapped_ctx),
+        )
+        assert cost_ctx == pytest.approx(cost_dict)
+
+    def test_algorithm1_cost_identical(self, random_problem):
+        ctx = SolverContext.from_problem(random_problem)
+        res_dict = algorithm1(random_problem)
+        res_ctx = algorithm1(random_problem, context=ctx)
+        assert routing_cost(
+            random_problem, res_ctx.solution.routing
+        ) == pytest.approx(routing_cost(random_problem, res_dict.solution.routing))
+
+    def test_scipy_and_python_contexts_agree(self):
+        prob = random_uncapacitated_problem(3)
+        fast = SolverContext.from_problem(prob, use_scipy=True)
+        slow = SolverContext.from_problem(prob, use_scipy=False)
+        np.testing.assert_allclose(fast.dm.matrix, slow.dm.matrix)
+        p_fast = greedy_rnr_placement(prob, context=fast)
+        p_slow = greedy_rnr_placement(prob, context=slow)
+        assert dict(p_fast.items()) == dict(p_slow.items())

@@ -69,6 +69,58 @@ class TestCostAndLoads:
         assert congestion(prob, r) == pytest.approx(2.0)
 
 
+class TestZeroCapacityLinks:
+    """Edge attributes mutated to zero capacity must not divide by zero."""
+
+    @staticmethod
+    def _zero_cap(prob, u, v):
+        # set_link_capacity forbids cap <= 0, so mutate the edge directly —
+        # exactly the scenario the ZeroDivisionError fix guards against.
+        prob.network.graph.edges[u, v]["capacity"] = 0.0
+
+    def test_congestion_inf_when_zero_cap_link_loaded(self):
+        prob = make_line_problem(link_capacity=3.0)
+        self._zero_cap(prob, 1, 2)
+        r = integral_routing_from_origin(prob)  # every path crosses (1, 2)
+        assert congestion(prob, r) == math.inf
+
+    def test_congestion_ignores_unloaded_zero_cap_link(self):
+        prob = make_line_problem(link_capacity=3.0)
+        self._zero_cap(prob, 4, 3)  # reverse link: never used
+        r = integral_routing_from_origin(prob)
+        assert congestion(prob, r) == pytest.approx(2.0)
+
+    def test_utilization_profile_zero_cap_entries(self):
+        from repro.core import utilization_profile
+
+        prob = make_line_problem(link_capacity=3.0)
+        self._zero_cap(prob, 1, 2)
+        self._zero_cap(prob, 4, 3)
+        r = integral_routing_from_origin(prob)
+        # Register the reverse link with zero load (a degenerate flow).
+        item = prob.catalog[0]
+        r.paths[(item, 4)] = r.paths[(item, 4)] + [
+            PathFlow(path=(4, 3), amount=0.0)
+        ]
+        profile = utilization_profile(prob, r)
+        assert profile[(1, 2)] == math.inf  # loaded, no capacity
+        assert profile[(4, 3)] == 0.0  # zero load, no capacity
+        assert profile[(0, 1)] == pytest.approx(2.0)
+
+    def test_path_stretch_ignores_zero_capacity_caches(self):
+        from repro.core import path_stretch
+
+        # Cache at node 3 -> floor for requester 4 is distance(3, 4) = 1,
+        # so origin-served requests look stretched by 4x.
+        prob = make_line_problem(cache_nodes={3: 1})
+        r = integral_routing_from_origin(prob)
+        assert path_stretch(prob, r) == pytest.approx(4.0)
+        # Zero out that cache: it can never hold a copy, so the floor
+        # falls back to the pinned origin and the stretch is exactly 1.
+        prob.network.set_cache_capacity(3, 0.0)
+        assert path_stretch(prob, r) == pytest.approx(1.0)
+
+
 class TestOccupancy:
     def test_max_cache_occupancy(self):
         prob = make_line_problem(cache_nodes={3: 2})

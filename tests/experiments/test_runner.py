@@ -11,10 +11,12 @@ from repro.experiments import (
     evaluate_algorithm,
     format_aggregates,
     format_sweep,
+    monte_carlo_seeds,
     run_monte_carlo,
     write_records_csv,
     write_sweep_csv,
 )
+from repro.experiments.algorithms import greedy, sp
 from repro.experiments.runner import RunRecord
 from repro.experiments.scenarios import build_scenario
 
@@ -90,6 +92,84 @@ class TestRunMonteCarlo:
         agg = aggregate(records)[0]
         assert agg.mean_cost == pytest.approx(12.0)
         assert agg.std_cost == pytest.approx(2.0)
+
+
+class TestSeeds:
+    def test_legacy_seeds_are_offsets(self):
+        mc = MonteCarloConfig(n_runs=4, base_seed=7)
+        assert monte_carlo_seeds(mc) == [7, 8, 9, 10]
+
+    def test_spawn_seeds_deterministic_and_distinct(self):
+        mc = MonteCarloConfig(n_runs=5, base_seed=3, spawn_seeds=True)
+        first = monte_carlo_seeds(mc)
+        assert first == monte_carlo_seeds(mc)
+        assert len(set(first)) == 5
+        assert first != [3, 4, 5, 6, 7]
+
+    def test_spawn_seeds_depend_on_base_seed(self):
+        a = monte_carlo_seeds(MonteCarloConfig(n_runs=3, base_seed=0, spawn_seeds=True))
+        b = monte_carlo_seeds(MonteCarloConfig(n_runs=3, base_seed=1, spawn_seeds=True))
+        assert a != b
+
+    def test_runner_uses_spawned_seeds(self):
+        mc = MonteCarloConfig(n_runs=2, base_seed=5, spawn_seeds=True)
+        records = run_monte_carlo(SMALL, {"origin": origin_only}, mc)
+        assert [r.seed for r in records] == monte_carlo_seeds(mc)
+
+
+class TestParallelRunner:
+    MC = MonteCarloConfig(n_runs=3, base_seed=1)
+
+    def test_parallel_matches_serial_bit_for_bit(self):
+        algorithms = {"greedy": greedy, "sp": sp}
+        serial = run_monte_carlo(SMALL, algorithms, self.MC)
+        parallel = run_monte_carlo(
+            SMALL, algorithms, self.MC, parallel=True, max_workers=2
+        )
+        assert len(serial) == len(parallel) == 6
+        for a, b in zip(serial, parallel):
+            # Identical in everything except wall-clock timing.
+            assert (a.algorithm, a.seed) == (b.algorithm, b.seed)
+            assert a.cost == b.cost
+            assert a.congestion == b.congestion
+            assert a.occupancy == b.occupancy
+            assert a.failed == b.failed
+            assert a.extra == b.extra
+
+    def test_parallel_single_run_stays_serial(self):
+        records = run_monte_carlo(
+            SMALL,
+            {"origin": origin_only},
+            MonteCarloConfig(n_runs=1),
+            parallel=True,
+        )
+        assert len(records) == 1
+
+    def test_unpicklable_algorithm_falls_back_to_serial(self, caplog):
+        local = lambda scenario: origin_only(scenario)  # noqa: E731
+        with caplog.at_level("WARNING", logger="repro.experiments.runner"):
+            records = run_monte_carlo(
+                SMALL,
+                {"origin": local},
+                MonteCarloConfig(n_runs=2),
+                parallel=True,
+            )
+        assert len(records) == 2
+        assert not any(r.failed for r in records)
+        assert any("falling back to serial" in m for m in caplog.messages)
+
+    def test_parallel_records_failures_like_serial(self):
+        serial = run_monte_carlo(SMALL, {"origin": origin_only, "bad": failing}, self.MC)
+        parallel = run_monte_carlo(
+            SMALL,
+            {"origin": origin_only, "bad": failing},
+            self.MC,
+            parallel=True,
+            max_workers=2,
+        )
+        assert [(r.algorithm, r.seed, r.failed) for r in serial] == [
+            (r.algorithm, r.seed, r.failed) for r in parallel
+        ]
 
 
 class TestReporting:

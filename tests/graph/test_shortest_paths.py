@@ -133,6 +133,27 @@ class TestKShortestPaths:
         k_shortest_paths(g, "s", "t", 4)
         assert set(g.edges) == before
 
+    def test_insertion_order_preserved(self):
+        # Regression: Yen's spur loop used to remove and re-add nodes/edges
+        # on the caller's graph, permanently permuting iteration order and
+        # silently changing every downstream order-dependent computation.
+        g = diamond()
+        nodes_before = list(g.nodes)
+        edges_before = list(g.edges)
+        data_before = {e: dict(g.edges[e]) for e in g.edges}
+        k_shortest_paths(g, "s", "t", 4)
+        assert list(g.nodes) == nodes_before
+        assert list(g.edges) == edges_before
+        assert {e: dict(g.edges[e]) for e in g.edges} == data_before
+
+    def test_insertion_order_preserved_on_larger_graph(self):
+        g = abovenet().graph
+        nodes_before = list(g.nodes)
+        edges_before = list(g.edges)
+        k_shortest_paths(g, "LON", "SEA", 6)
+        assert list(g.nodes) == nodes_before
+        assert list(g.edges) == edges_before
+
     @settings(max_examples=20, deadline=None)
     @given(st.integers(min_value=0, max_value=5_000))
     def test_matches_networkx_shortest_simple_paths(self, seed):
