@@ -13,7 +13,6 @@ import time
 
 from repro.core import route_to_nearest_replica, routing_cost
 from repro.core.context import SolverContext
-from repro.core.solution import Solution
 from repro.core.submodular import greedy_rnr_placement
 from repro.experiments import (
     MonteCarloConfig,

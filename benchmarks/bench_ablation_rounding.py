@@ -6,7 +6,7 @@ plain lazy greedy is the cheap alternative.  This bench quantifies each
 stage on the default uncapacitated chunk-level scenario.
 """
 
-from repro.core import route_to_nearest_replica, routing_cost
+from repro.core import route_to_nearest_replica
 from repro.core.algorithm1 import algorithm1
 from repro.core.solution import Solution
 from repro.core.submodular import greedy_rnr_placement, local_search_swap

@@ -26,7 +26,6 @@ from collections.abc import Hashable
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
-from repro.core.evaluation import path_cost
 from repro.core.placement import extract_serving_paths, optimize_placement_lp
 from repro.core.problem import Item, ProblemInstance
 from repro.core.solution import Placement, Routing, Solution

@@ -23,7 +23,7 @@ import numpy as np
 
 from repro.core.evaluation import congestion, routing_cost
 from repro.core.problem import Item, ProblemInstance
-from repro.core.solution import Placement, Routing, Solution
+from repro.core.solution import Placement, Routing
 from repro.exceptions import InfeasibleError
 from repro.flow.decomposition import PathFlow, decompose_single_source_flow
 from repro.flow.mincost import Commodity, min_cost_multicommodity_flow

@@ -9,7 +9,7 @@ selection ``r`` of the paper is implicit: it is the first node of each path.
 
 from __future__ import annotations
 
-from collections.abc import Hashable, Iterable, Mapping
+from collections.abc import Iterable, Mapping
 from dataclasses import dataclass, field
 
 from repro.core.problem import Item, Node, ProblemInstance, Request

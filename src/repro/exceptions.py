@@ -27,6 +27,10 @@ class SolverError(ReproError):
     """An underlying numerical solver failed unexpectedly."""
 
 
+class UnboundedError(SolverError):
+    """The LP objective can be improved without limit (missing bound/capacity)."""
+
+
 class DecompositionError(ReproError):
     """A flow could not be decomposed into paths (conservation violated)."""
 

@@ -15,7 +15,6 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.problem import ProblemInstance, Request, pin_full_catalog
-from repro.core.rnr import ShortestPathCache
 from repro.exceptions import InvalidProblemError
 from repro.experiments.config import PredictionConfig, ScenarioConfig
 from repro.graph import (

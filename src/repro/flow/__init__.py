@@ -1,8 +1,10 @@
 """Flow substrate: LP solving, min-cost flows, decomposition, unsplittable rounding."""
 
-from repro.flow.lp import LPBuilder, LPSolution
+from repro.flow.lp import LPBuilder, LPSolution, MaterializedLP, VariableBlock
 from repro.flow.mincost import (
+    ArcIncidence,
     Commodity,
+    arc_incidence,
     min_cost_multicommodity_flow,
     min_cost_single_source_flow,
 )
@@ -17,6 +19,10 @@ __all__ = [
     "EPS",
     "LPBuilder",
     "LPSolution",
+    "MaterializedLP",
+    "VariableBlock",
+    "ArcIncidence",
+    "arc_incidence",
     "Commodity",
     "min_cost_single_source_flow",
     "min_cost_multicommodity_flow",

@@ -10,17 +10,28 @@ Two building blocks used throughout the paper's algorithms:
 - :func:`min_cost_multicommodity_flow` — MMSFP (Section 4.3.2): one
   single-source flow per *commodity group* (in our use, per content item
   rooted at its virtual source), coupled only through shared link capacities.
+
+Both default to the array assembly path (``assembly="array"``): the node-arc
+incidence of the graph is materialized once as COO index arrays
+(:func:`arc_incidence`, cached per graph object and reused across Algorithm 2
+iterations) and the balance/capacity families are registered through
+:meth:`~repro.flow.lp.LPBuilder.add_eq_batch` /
+:meth:`~repro.flow.lp.LPBuilder.add_le_batch` instead of per-key dict rows.
+``assembly="dict"`` keeps the original keyed assembly; both produce
+bit-identical LPs (see ``tests/core/test_lp_assembly_parity.py``).
 """
 
 from __future__ import annotations
 
 import math
+import weakref
 from collections.abc import Hashable, Mapping
 from dataclasses import dataclass, field
 
 import networkx as nx
+import numpy as np
 
-from repro.exceptions import InfeasibleError, InvalidProblemError
+from repro.exceptions import InvalidProblemError
 from repro.flow.lp import LPBuilder
 from repro.graph.network import CAPACITY, COST
 
@@ -28,6 +39,66 @@ Node = Hashable
 Edge = tuple[Node, Node]
 
 _EPS = 1e-9
+
+
+@dataclass(frozen=True)
+class ArcIncidence:
+    """Node-arc incidence of a digraph as index arrays for LP assembly.
+
+    ``tail_idx[k]`` / ``head_idx[k]`` are the node indices of edge
+    ``edges[k]``; flow conservation at node ``n`` sums ``+f_k`` over edges
+    with ``tail_idx[k] == n`` and ``-f_k`` over edges with
+    ``head_idx[k] == n``.  The structure is topology-only (costs and
+    capacities are read fresh at each solve), so it can be cached per graph
+    and reused across Algorithm 2 iterations.
+    """
+
+    nodes: tuple[Node, ...]
+    edges: tuple[Edge, ...]
+    node_index: dict[Node, int] = field(compare=False)
+    tail_idx: np.ndarray = field(compare=False)
+    head_idx: np.ndarray = field(compare=False)
+
+    @classmethod
+    def from_graph(cls, graph: nx.DiGraph) -> "ArcIncidence":
+        nodes = tuple(graph.nodes)
+        edges = tuple(graph.edges)
+        node_index = {v: k for k, v in enumerate(nodes)}
+        tail_idx = np.fromiter(
+            (node_index[u] for u, _ in edges), dtype=np.intp, count=len(edges)
+        )
+        head_idx = np.fromiter(
+            (node_index[v] for _, v in edges), dtype=np.intp, count=len(edges)
+        )
+        return cls(
+            nodes=nodes,
+            edges=edges,
+            node_index=node_index,
+            tail_idx=tail_idx,
+            head_idx=head_idx,
+        )
+
+
+_INCIDENCE_CACHE: "weakref.WeakKeyDictionary[nx.DiGraph, ArcIncidence]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def arc_incidence(graph: nx.DiGraph) -> ArcIncidence:
+    """Cached :class:`ArcIncidence` of ``graph`` (rebuilt if topology changed)."""
+    cached = _INCIDENCE_CACHE.get(graph)
+    if (
+        cached is not None
+        and len(cached.nodes) == graph.number_of_nodes()
+        and cached.edges == tuple(graph.edges)
+    ):
+        return cached
+    built = ArcIncidence.from_graph(graph)
+    try:
+        _INCIDENCE_CACHE[graph] = built
+    except TypeError:  # pragma: no cover - non-weakrefable graph subclass
+        pass
+    return built
 
 
 @dataclass(frozen=True)
@@ -53,6 +124,22 @@ def _validate(graph: nx.DiGraph, source: Node, demands: Mapping[Node, float]) ->
             raise InvalidProblemError(f"negative demand at {t!r}")
 
 
+def _check_assembly(assembly: str) -> None:
+    if assembly not in ("array", "dict"):
+        raise InvalidProblemError("assembly must be 'array' or 'dict'")
+
+
+def _balance_rhs(
+    inc: ArcIncidence, source: Node, demands: Mapping[Node, float], total: float
+) -> np.ndarray:
+    rhs = np.zeros(len(inc.nodes))
+    for t, d in demands.items():
+        rhs[inc.node_index[t]] = -d
+    src = inc.node_index[source]
+    rhs[src] = total - demands.get(source, 0.0)
+    return rhs
+
+
 def min_cost_single_source_flow(
     graph: nx.DiGraph,
     source: Node,
@@ -60,43 +147,77 @@ def min_cost_single_source_flow(
     *,
     cost_attr: str = COST,
     capacity_attr: str = CAPACITY,
+    assembly: str = "array",
+    incidence: ArcIncidence | None = None,
 ) -> tuple[dict[Edge, float], float]:
     """Cheapest splittable flow shipping ``demands`` from ``source``.
 
     Returns ``(flow, cost)`` where ``flow[(u, v)]`` is the aggregate amount on
     each link (zero entries omitted).  Raises :class:`InfeasibleError` when
-    the demands cannot be routed within link capacities.
+    the demands cannot be routed within link capacities.  ``assembly``
+    selects the LP assembly path (``"array"`` COO batches, ``"dict"`` keyed
+    rows); ``incidence`` lets callers reuse a prebuilt :class:`ArcIncidence`.
     """
+    _check_assembly(assembly)
     _validate(graph, source, demands)
     demands = {t: d for t, d in demands.items() if d > _EPS}
     if not demands:
         return {}, 0.0
-
-    lp = LPBuilder(sense="min")
-    for u, v, data in graph.edges(data=True):
-        lp.add_variable(
-            ("f", u, v),
-            lb=0.0,
-            ub=data.get(capacity_attr, math.inf),
-            cost=data.get(cost_attr, 1.0),
-        )
     total = sum(demands.values())
-    for node in graph.nodes:
-        balance = {}
-        for _, v in graph.out_edges(node):
-            balance[("f", node, v)] = balance.get(("f", node, v), 0.0) + 1.0
-        for u, _ in graph.in_edges(node):
-            balance[("f", u, node)] = balance.get(("f", u, node), 0.0) - 1.0
-        if node == source:
-            rhs = total - demands.get(node, 0.0)
-        else:
-            rhs = -demands.get(node, 0.0)
-        lp.add_eq(balance, rhs)
+
+    if assembly == "dict":
+        lp = LPBuilder(sense="min")
+        for u, v, data in graph.edges(data=True):
+            lp.add_variable(
+                ("f", u, v),
+                lb=0.0,
+                ub=data.get(capacity_attr, math.inf),
+                cost=data.get(cost_attr, 1.0),
+            )
+        for node in graph.nodes:
+            balance = {}
+            for _, v in graph.out_edges(node):
+                balance[("f", node, v)] = balance.get(("f", node, v), 0.0) + 1.0
+            for u, _ in graph.in_edges(node):
+                balance[("f", u, node)] = balance.get(("f", u, node), 0.0) - 1.0
+            if node == source:
+                rhs = total - demands.get(node, 0.0)
+            else:
+                rhs = -demands.get(node, 0.0)
+            lp.add_eq(balance, rhs)
+        solution = lp.solve()
+        flow = {
+            (u, v): value
+            for (_, u, v), value in solution.values.items()
+            if value > _EPS
+        }
+        return flow, solution.objective
+
+    inc = incidence if incidence is not None else arc_incidence(graph)
+    n_edges = len(inc.edges)
+    costs = np.fromiter(
+        (d.get(cost_attr, 1.0) for _, _, d in graph.edges(data=True)),
+        dtype=np.float64,
+        count=n_edges,
+    )
+    caps = np.fromiter(
+        (d.get(capacity_attr, math.inf) for _, _, d in graph.edges(data=True)),
+        dtype=np.float64,
+        count=n_edges,
+    )
+    lp = LPBuilder(sense="min")
+    fb = lp.add_variable_block("f", (n_edges,), lb=0.0, ub=caps, cost=costs)
+    cols = fb.indices()
+    lp.add_eq_batch(
+        np.concatenate([inc.tail_idx, inc.head_idx]),
+        np.concatenate([cols, cols]),
+        np.concatenate([np.ones(n_edges), -np.ones(n_edges)]),
+        _balance_rhs(inc, source, demands, total),
+    )
     solution = lp.solve()
+    values = solution.block("f")
     flow = {
-        (u, v): value
-        for (_, u, v), value in solution.values.items()
-        if value > _EPS
+        inc.edges[k]: float(values[k]) for k in np.flatnonzero(values > _EPS)
     }
     return flow, solution.objective
 
@@ -107,6 +228,7 @@ def min_cost_multicommodity_flow(
     *,
     cost_attr: str = COST,
     capacity_attr: str = CAPACITY,
+    assembly: str = "array",
 ) -> tuple[dict[Hashable, dict[Edge, float]], float]:
     """Cheapest splittable multicommodity flow under shared link capacities.
 
@@ -115,47 +237,102 @@ def min_cost_multicommodity_flow(
     per-requester split is recovered later by path decomposition).  Returns
     ``(flows, cost)`` with ``flows[name][(u, v)]`` the per-commodity loads.
     """
+    _check_assembly(assembly)
     if not commodities:
         return {}, 0.0
     names = [c.name for c in commodities]
     if len(set(names)) != len(names):
         raise InvalidProblemError("commodity names must be unique")
 
-    lp = LPBuilder(sense="min")
-    for commodity in commodities:
-        _validate(graph, commodity.source, commodity.demands)
+    if assembly == "dict":
+        lp = LPBuilder(sense="min")
+        for commodity in commodities:
+            _validate(graph, commodity.source, commodity.demands)
+            for u, v, data in graph.edges(data=True):
+                lp.add_variable(
+                    ("f", commodity.name, u, v),
+                    lb=0.0,
+                    cost=data.get(cost_attr, 1.0),
+                )
+        # Shared capacity constraints.
         for u, v, data in graph.edges(data=True):
-            lp.add_variable(
-                ("f", commodity.name, u, v),
-                lb=0.0,
-                cost=data.get(cost_attr, 1.0),
-            )
-    # Shared capacity constraints.
-    for u, v, data in graph.edges(data=True):
-        cap = data.get(capacity_attr, math.inf)
-        if math.isinf(cap):
-            continue
-        lp.add_le({("f", c.name, u, v): 1.0 for c in commodities}, cap)
+            cap = data.get(capacity_attr, math.inf)
+            if math.isinf(cap):
+                continue
+            lp.add_le({("f", c.name, u, v): 1.0 for c in commodities}, cap)
+        # Per-commodity balance.
+        for commodity in commodities:
+            demands = {t: d for t, d in commodity.demands.items() if d > _EPS}
+            total = sum(demands.values())
+            for node in graph.nodes:
+                balance = {}
+                for _, v in graph.out_edges(node):
+                    key = ("f", commodity.name, node, v)
+                    balance[key] = balance.get(key, 0.0) + 1.0
+                for u, _ in graph.in_edges(node):
+                    key = ("f", commodity.name, u, node)
+                    balance[key] = balance.get(key, 0.0) - 1.0
+                if node == commodity.source:
+                    rhs = total - demands.get(node, 0.0)
+                else:
+                    rhs = -demands.get(node, 0.0)
+                lp.add_eq(balance, rhs)
+        solution = lp.solve()
+        flows: dict[Hashable, dict[Edge, float]] = {c.name: {} for c in commodities}
+        for (_, name, u, v), value in solution.values.items():
+            if value > _EPS:
+                flows[name][(u, v)] = value
+        return flows, solution.objective
+
+    inc = arc_incidence(graph)
+    n_edges = len(inc.edges)
+    n_comm = len(commodities)
+    costs = np.fromiter(
+        (d.get(cost_attr, 1.0) for _, _, d in graph.edges(data=True)),
+        dtype=np.float64,
+        count=n_edges,
+    )
+    caps = np.fromiter(
+        (d.get(capacity_attr, math.inf) for _, _, d in graph.edges(data=True)),
+        dtype=np.float64,
+        count=n_edges,
+    )
+    lp = LPBuilder(sense="min")
+    offsets = np.empty(n_comm, dtype=np.intp)
+    for k, commodity in enumerate(commodities):
+        _validate(graph, commodity.source, commodity.demands)
+        block = lp.add_variable_block(
+            ("f", commodity.name), (n_edges,), lb=0.0, cost=costs
+        )
+        offsets[k] = block.offset
+    # Shared capacity constraints over finitely-capacitated links.
+    finite = np.flatnonzero(np.isfinite(caps))
+    if finite.size:
+        e_rep = np.repeat(finite, n_comm)
+        c_rep = np.tile(np.arange(n_comm, dtype=np.intp), finite.size)
+        lp.add_le_batch(
+            np.repeat(np.arange(finite.size, dtype=np.intp), n_comm),
+            offsets[c_rep] + e_rep,
+            np.ones(e_rep.size),
+            caps[finite],
+        )
     # Per-commodity balance.
-    for commodity in commodities:
+    edge_cols = np.arange(n_edges, dtype=np.intp)
+    ones = np.ones(n_edges)
+    for k, commodity in enumerate(commodities):
         demands = {t: d for t, d in commodity.demands.items() if d > _EPS}
         total = sum(demands.values())
-        for node in graph.nodes:
-            balance = {}
-            for _, v in graph.out_edges(node):
-                key = ("f", commodity.name, node, v)
-                balance[key] = balance.get(key, 0.0) + 1.0
-            for u, _ in graph.in_edges(node):
-                key = ("f", commodity.name, u, node)
-                balance[key] = balance.get(key, 0.0) - 1.0
-            if node == commodity.source:
-                rhs = total - demands.get(node, 0.0)
-            else:
-                rhs = -demands.get(node, 0.0)
-            lp.add_eq(balance, rhs)
+        lp.add_eq_batch(
+            np.concatenate([inc.tail_idx, inc.head_idx]),
+            np.concatenate([offsets[k] + edge_cols, offsets[k] + edge_cols]),
+            np.concatenate([ones, -ones]),
+            _balance_rhs(inc, commodity.source, demands, total),
+        )
     solution = lp.solve()
-    flows: dict[Hashable, dict[Edge, float]] = {c.name: {} for c in commodities}
-    for (_, name, u, v), value in solution.values.items():
-        if value > _EPS:
-            flows[name][(u, v)] = value
+    flows = {}
+    for commodity in commodities:
+        values = solution.block(("f", commodity.name))
+        flows[commodity.name] = {
+            inc.edges[k]: float(values[k]) for k in np.flatnonzero(values > _EPS)
+        }
     return flows, solution.objective

@@ -14,7 +14,7 @@ prediction (whose errors grow with the noise level configured here).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

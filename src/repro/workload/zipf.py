@@ -18,7 +18,7 @@ Node = Hashable
 
 
 def zipf_popularity(num_items: int, alpha: float = 0.8) -> np.ndarray:
-    """Normalized Zipf weights: p_k ~ 1 / (k+1)^alpha."""
+    """Normalized Zipf weights over ranks ``k = 1..num_items``: p_k ~ 1 / k^alpha."""
     if num_items < 1:
         raise InvalidProblemError("need at least one item")
     if alpha < 0:
@@ -40,6 +40,10 @@ def zipf_demand(
 
     Item popularity follows Zipf(alpha); each item's demand is split over the
     edge nodes with Dirichlet weights (randomly, as in Section 6).
+
+    Per-request rates below ``1e-12`` are dropped, so the returned rates can
+    sum to slightly less than ``total_rate`` (long catalog tails produce
+    vanishing rates that would only add LP columns without affecting cost).
     """
     if total_rate <= 0:
         raise InvalidProblemError("total_rate must be positive")

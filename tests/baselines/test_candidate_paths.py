@@ -13,13 +13,12 @@ from repro.baselines import (
 from repro.core import (
     ProblemInstance,
     algorithm1,
-    check_feasibility,
     max_cache_occupancy,
     pin_full_catalog,
     routing_cost,
 )
 from repro.exceptions import InvalidProblemError
-from repro.graph import abovenet, edge_caching_roles, line_topology
+from repro.graph import abovenet, edge_caching_roles
 
 from tests.core.conftest import make_line_problem
 

@@ -7,7 +7,6 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import (
-    Placement,
     algorithm1,
     check_feasibility,
     route_to_nearest_replica,

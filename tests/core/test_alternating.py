@@ -8,7 +8,6 @@ from repro.core import (
     ProblemInstance,
     alternating_optimization,
     check_feasibility,
-    congestion,
     routing_cost,
     solve_fcfr,
 )

@@ -7,11 +7,9 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.core import (
-    algorithm1,
     exact_icir,
     lower_bounds,
     rnr_relaxation_bound,
-    routing_cost,
     solve,
 )
 

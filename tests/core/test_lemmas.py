@@ -9,7 +9,6 @@ stated, independently of Algorithm 1's implementation.
 import math
 
 import numpy as np
-import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 

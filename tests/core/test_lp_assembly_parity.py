@@ -1,0 +1,136 @@
+"""Dict-path vs array-path LP assembly parity across the three LP call sites.
+
+Acceptance criterion for the sparse-assembly fast path: on random instances
+of FC-FR (LP (1)), Algorithm 1's LP (7), and the MSUFP splittable-routing LP,
+the keyed ``assembly="dict"`` and the block/COO ``assembly="array"`` paths
+must produce *identical* solutions — same matrices after canonicalisation,
+bit-identical objectives, and the same placements / flows.
+"""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.core.algorithm1 import algorithm1, assemble_lp7
+from repro.core.context import SolverContext
+from repro.core.fcfr import assemble_fcfr_lp, solve_fcfr
+from repro.flow.mincost import (
+    arc_incidence,
+    min_cost_multicommodity_flow,
+    min_cost_single_source_flow,
+)
+from tests.core.conftest import random_uncapacitated_problem
+from tests.core.test_properties import random_capacitated_problem
+
+FCFR_SEEDS = range(8)
+LP7_SEEDS = range(8)
+MSUFP_SEEDS = range(8)
+
+
+def assert_same_materialized(dict_lp, array_lp):
+    md, ma = dict_lp.materialize(), array_lp.materialize()
+    assert np.array_equal(md.c, ma.c)
+    assert np.array_equal(md.bounds, ma.bounds)
+    for attr in ("a_ub", "a_eq"):
+        ad, aa = getattr(md, attr), getattr(ma, attr)
+        if ad is None:
+            assert aa is None
+        else:
+            assert ad.shape == aa.shape
+            assert (ad != aa).nnz == 0
+    for attr in ("b_ub", "b_eq"):
+        bd, ba = getattr(md, attr), getattr(ma, attr)
+        assert (bd is None) == (ba is None)
+        if bd is not None:
+            assert np.array_equal(bd, ba)
+
+
+@pytest.mark.parametrize("seed", FCFR_SEEDS)
+def test_fcfr_parity(seed):
+    prob = random_capacitated_problem(seed, tightness=3.0)
+    assert_same_materialized(
+        assemble_fcfr_lp(prob, assembly="dict"),
+        assemble_fcfr_lp(prob, assembly="array"),
+    )
+    rd = solve_fcfr(prob, assembly="dict")
+    ra = solve_fcfr(prob, assembly="array")
+    assert rd.cost == ra.cost  # bit-identical, not approx
+    assert dict(rd.solution.placement.items()) == dict(ra.solution.placement.items())
+    assert rd.solution.routing.paths.keys() == ra.solution.routing.paths.keys()
+
+
+def test_fcfr_parity_with_context():
+    prob = random_capacitated_problem(3, tightness=3.0)
+    ctx = SolverContext.from_problem(prob)
+    rd = solve_fcfr(prob, assembly="dict", context=ctx)
+    ra = solve_fcfr(prob, assembly="array", context=ctx)
+    assert rd.cost == ra.cost
+
+
+@pytest.mark.parametrize("seed", LP7_SEEDS)
+def test_lp7_parity(seed):
+    prob = random_uncapacitated_problem(seed)
+    assert_same_materialized(
+        assemble_lp7(prob, assembly="dict"),
+        assemble_lp7(prob, assembly="array"),
+    )
+    rd = algorithm1(prob, assembly="dict", polish=False)
+    ra = algorithm1(prob, assembly="array", polish=False)
+    assert rd.lp_objective == ra.lp_objective
+    assert rd.fractional_placement == ra.fractional_placement
+    assert dict(rd.solution.placement.items()) == dict(ra.solution.placement.items())
+
+
+def test_lp7_parity_with_context():
+    prob = random_uncapacitated_problem(1)
+    ctx = SolverContext.from_problem(prob)
+    rd = algorithm1(prob, assembly="dict", polish=False, context=ctx)
+    ra = algorithm1(prob, assembly="array", polish=False, context=ctx)
+    assert rd.lp_objective == ra.lp_objective
+    assert rd.fractional_placement == ra.fractional_placement
+
+
+def _random_flow_graph(seed: int) -> tuple[nx.DiGraph, dict]:
+    rng = np.random.default_rng(seed)
+    base = seed
+    while True:
+        g = nx.gnp_random_graph(8, 0.4, seed=base, directed=True)
+        base += 10_000
+        if g.number_of_edges() and nx.is_strongly_connected(g):
+            break
+    demands = {}
+    for s in (4, 5, 6, 7):
+        if rng.random() < 0.8:
+            demands[s] = float(rng.integers(1, 6))
+    if not demands:
+        demands[5] = 2.0
+    total = sum(demands.values())
+    for u, v in g.edges:
+        g.edges[u, v]["cost"] = float(rng.integers(1, 10))
+        g.edges[u, v]["capacity"] = float(total) * 2.0
+    return g, demands
+
+
+@pytest.mark.parametrize("seed", MSUFP_SEEDS)
+def test_msufp_routing_lp_parity(seed):
+    graph, demands = _random_flow_graph(seed)
+    fd, cd = min_cost_single_source_flow(graph, 0, demands, assembly="dict")
+    fa, ca = min_cost_single_source_flow(
+        graph, 0, demands, assembly="array", incidence=arc_incidence(graph)
+    )
+    assert cd == ca  # bit-identical
+    assert fd == fa
+
+
+def test_multicommodity_parity():
+    graph, demands = _random_flow_graph(2)
+    from repro.flow.mincost import Commodity
+
+    commodities = [
+        Commodity(name=f"c{s}", source=0, demands={s: d})
+        for s, d in demands.items()
+    ]
+    fd, cd = min_cost_multicommodity_flow(graph, commodities, assembly="dict")
+    fa, ca = min_cost_multicommodity_flow(graph, commodities, assembly="array")
+    assert cd == ca
+    assert fd == fa

@@ -1,10 +1,16 @@
-"""Tests for the sparse LP builder."""
+"""Tests for the sparse LP builder (keyed API, array API, edge cases)."""
 
 import math
 
+import numpy as np
 import pytest
 
-from repro.exceptions import InfeasibleError, SolverError
+from repro.exceptions import (
+    InfeasibleError,
+    InvalidProblemError,
+    SolverError,
+    UnboundedError,
+)
 from repro.flow import LPBuilder
 
 
@@ -100,3 +106,300 @@ class TestLPBuilder:
         lp._ub_rows.append((lp._row({"x": 1.0}), 4.0))
         lp.add_le({"x": 2.0}, 4.0)
         assert lp.solve()["x"] == pytest.approx(2.0)
+
+
+class _DuplicateKeyMapping(dict):
+    """A Mapping whose items() yields the same key twice (for _row tests)."""
+
+    def items(self):
+        for key, coef in super().items():
+            yield key, coef
+            yield key, coef
+
+
+class TestLPBuilderEdgeCases:
+    def test_duplicate_keys_aggregate_in_row(self):
+        lp = LPBuilder("max")
+        lp.add_variable("x", cost=1.0)
+        # items() yields ("x", 1.0) twice -> the row must read 2x <= 4.
+        lp.add_le(_DuplicateKeyMapping({"x": 1.0}), 4.0)
+        assert lp.solve()["x"] == pytest.approx(2.0)
+
+    def test_empty_objective_solves_to_zero(self):
+        lp = LPBuilder("min")
+        lp.add_variable("x", lb=0.0, ub=1.0)
+        lp.add_ge({"x": 1.0}, 0.5)
+        sol = lp.solve()
+        assert sol.objective == 0.0
+        assert 0.5 - 1e-9 <= sol["x"] <= 1.0 + 1e-9
+
+    def test_zero_cost_not_stored_nonzero_is(self):
+        lp = LPBuilder("min")
+        lp.add_variable("x", ub=1.0, cost=0.0)
+        lp.add_variable("y", ub=1.0, cost=2.0)
+        assert lp._objective == {1: 2.0}
+        # A zero cost can still be set explicitly afterwards.
+        lp.set_objective_coefficient("x", -1.0)
+        sol = lp.solve()
+        assert sol.objective == pytest.approx(-1.0)
+        assert sol["x"] == pytest.approx(1.0)
+
+    def test_max_sense_sign_round_trip(self):
+        lp = LPBuilder("max")
+        lp.add_variable("x", ub=4.0, cost=2.5)
+        lp.add_variable("y", ub=1.0, cost=-1.0)
+        sol = lp.solve()
+        # Internally negated twice: the reported optimum is the max itself.
+        assert sol.objective == pytest.approx(10.0)
+        assert sol["y"] == pytest.approx(0.0)
+
+    def test_nan_rhs_raises_invalid_problem(self):
+        for method in ("add_le", "add_ge", "add_eq"):
+            lp = LPBuilder("min")
+            lp.add_variable("x")
+            with pytest.raises(InvalidProblemError):
+                getattr(lp, method)({"x": 1.0}, float("nan"))
+
+    def test_nan_coefficient_raises_invalid_problem(self):
+        lp = LPBuilder("min")
+        lp.add_variable("x")
+        with pytest.raises(InvalidProblemError):
+            lp.add_le({"x": float("nan")}, 1.0)
+
+    def test_ge_infinite_rhs_is_infeasible_not_silent(self):
+        lp = LPBuilder("min")
+        lp.add_variable("x", ub=1.0, cost=1.0)
+        lp.add_ge({"x": 1.0}, math.inf)
+        with pytest.raises(InfeasibleError, match="trivially infeasible"):
+            lp.solve()
+
+    def test_le_minus_infinite_rhs_is_infeasible(self):
+        lp = LPBuilder("min")
+        lp.add_variable("x", ub=1.0, cost=1.0)
+        lp.add_le({"x": 1.0}, -math.inf)
+        with pytest.raises(InfeasibleError, match="trivially infeasible"):
+            lp.solve()
+
+    def test_eq_infinite_rhs_is_infeasible(self):
+        lp = LPBuilder("min")
+        lp.add_variable("x", ub=1.0, cost=1.0)
+        lp.add_eq({"x": 1.0}, math.inf)
+        with pytest.raises(InfeasibleError, match="trivially infeasible"):
+            lp.solve()
+
+    def test_ge_minus_infinite_rhs_skipped(self):
+        lp = LPBuilder("min")
+        lp.add_variable("x", ub=1.0, cost=1.0)
+        lp.add_ge({"x": 1.0}, -math.inf)
+        assert lp.num_constraints == 0
+        assert lp.solve().objective == pytest.approx(0.0)
+
+    def test_nan_bounds_raise(self):
+        lp = LPBuilder("min")
+        with pytest.raises(InvalidProblemError):
+            lp.add_variable("x", lb=float("nan"))
+
+
+class _FakeResult:
+    def __init__(self, status, message="synthetic"):
+        self.status = status
+        self.message = message
+        self.x = np.zeros(1)
+        self.fun = 0.0
+
+
+class TestSolveStatuses:
+    """Regression tests: every non-zero linprog status maps to a clear error."""
+
+    def _builder(self):
+        lp = LPBuilder("min")
+        lp.add_variable("x", ub=1.0, cost=1.0)
+        return lp
+
+    def test_status_1_iteration_limit_is_solver_error(self, monkeypatch):
+        monkeypatch.setattr(
+            "repro.flow.lp.linprog", lambda *a, **k: _FakeResult(1)
+        )
+        with pytest.raises(SolverError, match="status 1"):
+            self._builder().solve()
+
+    def test_status_2_is_infeasible(self, monkeypatch):
+        monkeypatch.setattr(
+            "repro.flow.lp.linprog", lambda *a, **k: _FakeResult(2)
+        )
+        with pytest.raises(InfeasibleError):
+            self._builder().solve()
+
+    def test_status_3_is_unbounded_with_actionable_message(self, monkeypatch):
+        monkeypatch.setattr(
+            "repro.flow.lp.linprog", lambda *a, **k: _FakeResult(3)
+        )
+        with pytest.raises(UnboundedError, match="unbounded"):
+            self._builder().solve()
+
+    def test_status_4_numerical_is_solver_error(self, monkeypatch):
+        monkeypatch.setattr(
+            "repro.flow.lp.linprog", lambda *a, **k: _FakeResult(4)
+        )
+        with pytest.raises(SolverError, match="status 4"):
+            self._builder().solve()
+
+    def test_unbounded_error_is_a_solver_error(self):
+        # Callers that caught SolverError before keep working.
+        assert issubclass(UnboundedError, SolverError)
+        lp = LPBuilder("max")
+        lp.add_variable("x", cost=1.0)
+        with pytest.raises(UnboundedError, match="unbounded"):
+            lp.solve()
+
+
+class TestArrayAPI:
+    def test_batch_vs_dict_hand_checked(self):
+        # min x + 2y  s.t.  x + y >= 4, x <= 3  ->  x=3, y=1, objective 5.
+        keyed = LPBuilder("min")
+        keyed.add_variable(("v", 0), cost=1.0)
+        keyed.add_variable(("v", 1), cost=2.0)
+        keyed.add_ge({("v", 0): 1.0, ("v", 1): 1.0}, 4.0)
+        keyed.add_le({("v", 0): 1.0}, 3.0)
+        ks = keyed.solve()
+
+        batched = LPBuilder("min")
+        block = batched.add_variable_block("v", 2, cost=[1.0, 2.0])
+        batched.add_ge_batch([0, 0], block.flat([0, 1]), [1.0, 1.0], [4.0])
+        batched.add_le_batch([0], [block.flat(0)], [1.0], [3.0])
+        bs = batched.solve()
+
+        assert bs.objective == ks.objective == pytest.approx(5.0)
+        assert bs.values == ks.values
+        assert bs[("v", 0)] == pytest.approx(3.0)
+        assert bs[("v", 1)] == pytest.approx(1.0)
+
+    def test_block_keys_resolve_to_multi_index(self):
+        lp = LPBuilder("min")
+        lp.add_variable_block("x", (2, 3), lb=1.0, cost=1.0)
+        sol = lp.solve()
+        assert set(sol.values) == {("x", i, j) for i in range(2) for j in range(3)}
+        assert sol[("x", 1, 2)] == pytest.approx(1.0)
+        assert sol.block("x").shape == (2, 3)
+        np.testing.assert_allclose(sol.block("x"), 1.0)
+
+    def test_block_bounds_and_cost_broadcast(self):
+        lp = LPBuilder("min")
+        lp.add_variable_block("x", 3, lb=[1.0, 2.0, 3.0], ub=10.0, cost=[1.0, 1.0, -1.0])
+        sol = lp.solve()
+        np.testing.assert_allclose(sol.block("x"), [1.0, 2.0, 10.0])
+
+    def test_flat_vectorized_and_scalar(self):
+        lp = LPBuilder("min")
+        lp.add_variable("pad")  # offset the block
+        block = lp.add_variable_block("x", (2, 4))
+        assert block.flat(1, 3) == 1 + 1 * 4 + 3
+        np.testing.assert_array_equal(
+            block.flat(np.array([0, 1]), np.array([2, 0])), [1 + 2, 1 + 4]
+        )
+        with pytest.raises(ValueError):
+            block.flat(1)
+
+    def test_duplicate_block_name_rejected(self):
+        lp = LPBuilder("min")
+        lp.add_variable_block("x", 2)
+        with pytest.raises(ValueError):
+            lp.add_variable_block("x", 3)
+
+    def test_batch_validation_errors(self):
+        lp = LPBuilder("min")
+        block = lp.add_variable_block("x", 2)
+        with pytest.raises(InvalidProblemError, match="lengths differ"):
+            lp.add_le_batch([0], block.flat([0, 1]), [1.0, 1.0], [1.0])
+        with pytest.raises(InvalidProblemError, match="row index"):
+            lp.add_le_batch([5], [block.flat(0)], [1.0], [1.0])
+        with pytest.raises(InvalidProblemError, match="column index"):
+            lp.add_le_batch([0], [7], [1.0], [1.0])
+        with pytest.raises(InvalidProblemError, match="NaN"):
+            lp.add_le_batch([0], [block.flat(0)], [1.0], [float("nan")])
+        with pytest.raises(InvalidProblemError, match="non-finite"):
+            lp.add_eq_batch([0], [block.flat(0)], [math.inf], [1.0])
+
+    def test_le_batch_drops_vacuous_rows_keeps_rest(self):
+        lp = LPBuilder("max")
+        block = lp.add_variable_block("x", 2, ub=3.0, cost=1.0)
+        lp.add_le_batch(
+            [0, 1, 2],
+            block.flat([0, 1, 0]),
+            [1.0, 1.0, 1.0],
+            [math.inf, 2.0, math.inf],
+        )
+        assert lp.num_constraints == 1
+        sol = lp.solve()
+        assert sol[("x", 1)] == pytest.approx(2.0)
+        assert sol.objective == pytest.approx(5.0)
+
+    def test_le_batch_minus_inf_marks_infeasible(self):
+        lp = LPBuilder("min")
+        block = lp.add_variable_block("x", 1, ub=1.0)
+        lp.add_le_batch([0], [block.flat(0)], [1.0], [-math.inf])
+        with pytest.raises(InfeasibleError, match="trivially infeasible"):
+            lp.solve()
+
+    def test_ge_batch_plus_inf_marks_infeasible(self):
+        lp = LPBuilder("min")
+        block = lp.add_variable_block("x", 1, ub=1.0)
+        lp.add_ge_batch([0], [block.flat(0)], [1.0], [math.inf])
+        with pytest.raises(InfeasibleError, match="trivially infeasible"):
+            lp.solve()
+
+    def test_eq_batch_inf_marks_infeasible(self):
+        lp = LPBuilder("min")
+        block = lp.add_variable_block("x", 1, ub=1.0)
+        lp.add_eq_batch([0], [block.flat(0)], [1.0], [math.inf])
+        with pytest.raises(InfeasibleError, match="trivially infeasible"):
+            lp.solve()
+
+    def test_duplicate_coo_entries_are_summed(self):
+        lp = LPBuilder("max")
+        block = lp.add_variable_block("x", 1, cost=1.0)
+        # x + x <= 4  ->  x <= 2.
+        lp.add_le_batch([0, 0], block.flat([0, 0]), [1.0, 1.0], [4.0])
+        assert lp.solve()[("x", 0)] == pytest.approx(2.0)
+
+    def test_mixed_keyed_and_block_variables(self):
+        lp = LPBuilder("min")
+        lp.add_variable("y", cost=1.0)
+        block = lp.add_variable_block("x", 2, cost=1.0)
+        # y + x0 + x1 >= 3 with all costs 1: any split is optimal at 3.
+        lp.add_ge_batch(
+            [0, 0, 0], [0, block.flat(0), block.flat(1)], [1.0, 1.0, 1.0], [3.0]
+        )
+        sol = lp.solve()
+        assert sol.objective == pytest.approx(3.0)
+
+    def test_nan_block_cost_raises(self):
+        lp = LPBuilder("min")
+        with pytest.raises(InvalidProblemError):
+            lp.add_variable_block("x", 2, cost=[1.0, float("nan")])
+
+    def test_empty_batch_is_noop(self):
+        lp = LPBuilder("min")
+        lp.add_variable_block("x", 2, ub=1.0)
+        lp.add_le_batch([], [], [], [])
+        assert lp.num_constraints == 0
+
+    def test_materialize_canonical_between_apis(self):
+        keyed = LPBuilder("min")
+        keyed.add_variable(("x", 0), ub=2.0, cost=1.0)
+        keyed.add_variable(("x", 1), ub=2.0, cost=3.0)
+        keyed.add_le({("x", 0): 1.0, ("x", 1): 2.0}, 4.0)
+        keyed.add_eq({("x", 0): 1.0, ("x", 1): -1.0}, 0.5)
+
+        batched = LPBuilder("min")
+        block = batched.add_variable_block("x", 2, ub=2.0, cost=[1.0, 3.0])
+        batched.add_le_batch([0, 0], block.flat([0, 1]), [1.0, 2.0], [4.0])
+        batched.add_eq_batch([0, 0], block.flat([0, 1]), [1.0, -1.0], [0.5])
+
+        mk, mb = keyed.materialize(), batched.materialize()
+        assert np.array_equal(mk.c, mb.c)
+        assert np.array_equal(mk.bounds, mb.bounds)
+        assert (mk.a_ub != mb.a_ub).nnz == 0
+        assert np.array_equal(mk.b_ub, mb.b_ub)
+        assert (mk.a_eq != mb.a_eq).nnz == 0
+        assert np.array_equal(mk.b_eq, mb.b_eq)

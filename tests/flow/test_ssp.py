@@ -1,6 +1,5 @@
 """Tests for the successive-shortest-paths min-cost flow engine."""
 
-import math
 
 import networkx as nx
 import pytest

@@ -14,7 +14,6 @@ from repro.core import (
     check_feasibility,
     congestion,
     exact_icir,
-    routing_cost,
     solve,
 )
 from repro.experiments import (
