@@ -8,6 +8,8 @@ python -m repro scenario --topology tinet --edge-nodes 5 --runs 2
 python -m repro online --hours 6 --algorithm alternating
 python -m repro simulate --scale 1e-4 --horizon 2.0
 python -m repro predict --video dNCWe_6HAM8 --hours 8
+python -m repro robustness --topology gadget
+python -m repro robustness --failures single-link --algorithm greedy --repair
 """
 
 from __future__ import annotations
@@ -73,6 +75,36 @@ def _build_parser() -> argparse.ArgumentParser:
     predict.add_argument("--video", default="dNCWe_6HAM8")
     predict.add_argument("--hours", type=int, default=8)
     predict.add_argument("--seed", type=int, default=0)
+
+    robustness = sub.add_parser(
+        "robustness",
+        help="inject failures, recover, and print a survivability report",
+    )
+    robustness.add_argument(
+        "--topology", default="abovenet",
+        choices=("abovenet", "abvt", "tinet", "deltacom", "gadget"),
+        help="'gadget' runs the self-contained 4-node Fig. 9 demo",
+    )
+    robustness.add_argument("--level", default="chunk", choices=("chunk", "file"))
+    robustness.add_argument("--videos", type=int, default=5)
+    robustness.add_argument("--cache", type=float, default=None)
+    robustness.add_argument("--link-fraction", type=float, default=0.0,
+                            help="link capacity fraction; 0 = unlimited")
+    robustness.add_argument("--edge-nodes", type=int, default=None)
+    robustness.add_argument("--seed", type=int, default=0)
+    robustness.add_argument("--algorithm", default="greedy")
+    robustness.add_argument(
+        "--failures", default="single-link",
+        choices=("single-link", "single-node", "random"),
+    )
+    robustness.add_argument("--k", type=int, default=1,
+                            help="links per random scenario")
+    robustness.add_argument("--samples", type=int, default=10,
+                            help="number of random scenarios")
+    robustness.add_argument("--repair", action="store_true",
+                            help="greedily refill residual cache space")
+    robustness.add_argument("--max-scenarios", type=int, default=None,
+                            help="truncate the scenario list (big topologies)")
 
     return parser
 
@@ -287,6 +319,65 @@ def _cmd_predict(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_robustness(args: argparse.Namespace) -> int:
+    from repro.experiments import ScenarioConfig, build_scenario
+    from repro.robustness import (
+        sample_failures,
+        single_link_failures,
+        single_node_failures,
+        survivability_report,
+    )
+
+    if args.topology == "gadget":
+        from repro.robustness.demo import gadget_placement, gadget_problem
+
+        problem = gadget_problem()
+        placement = gadget_placement()
+        origin = "vs"
+        title = "gadget"
+    else:
+        cache = args.cache
+        if cache is None:
+            cache = 12.0 if args.level == "chunk" else 2.0
+        config = ScenarioConfig(
+            topology=args.topology,
+            level=args.level,
+            num_videos=args.videos,
+            cache_capacity=cache,
+            link_capacity_fraction=args.link_fraction or None,
+            num_edge_nodes=args.edge_nodes,
+            seed=args.seed,
+        )
+        scenario = build_scenario(config)
+        problem = scenario.problem
+        placement = _resolve_algorithm(args.algorithm)(scenario).placement
+        origin = scenario.origin
+        title = f"{args.topology} / {args.algorithm}"
+
+    if args.failures == "single-link":
+        scenarios = single_link_failures(problem)
+    elif args.failures == "single-node":
+        scenarios = single_node_failures(problem, exclude=(origin,))
+    else:
+        scenarios = sample_failures(
+            problem,
+            n_scenarios=args.samples,
+            links_per_scenario=args.k,
+            seed=args.seed,
+        )
+    if args.max_scenarios is not None:
+        scenarios = scenarios[: args.max_scenarios]
+
+    report = survivability_report(
+        problem, placement, scenarios, repair=args.repair
+    )
+    print(report.format(
+        title=f"survivability: {title} under {args.failures} failures"
+        f"{' with repair' if args.repair else ''}"
+    ))
+    return 0
+
+
 _COMMANDS = {
     "trace": _cmd_trace,
     "scenario": _cmd_scenario,
@@ -294,6 +385,7 @@ _COMMANDS = {
     "simulate": _cmd_simulate,
     "sweep": _cmd_sweep,
     "predict": _cmd_predict,
+    "robustness": _cmd_robustness,
 }
 
 

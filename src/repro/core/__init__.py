@@ -22,6 +22,7 @@ from repro.core.evaluation import (
     path_stretch,
     routing_cost,
     summarize,
+    unserved_fraction,
     utilization_profile,
 )
 from repro.core.fcfr import FCFRResult, solve_fcfr
@@ -77,6 +78,7 @@ __all__ = [
     "FeasibilityReport",
     "check_feasibility",
     "routing_cost",
+    "unserved_fraction",
     "congestion",
     "link_loads",
     "max_cache_occupancy",

@@ -59,16 +59,27 @@ def route_to_nearest_replica(
     *,
     sp_cache: ShortestPathCache | None = None,
     context: "SolverContext | None" = None,
+    on_unservable: str = "raise",
 ) -> Routing:
     """RNR routing for every request under the given placement.
 
     With a :class:`~repro.core.context.SolverContext`, holder distances come
     from the dense all-pairs matrix (O(1) per lookup, no Dijkstra per
     holder); paths are still reconstructed through the context's lazy
-    shortest-path cache.  Raises :class:`InfeasibleError` if some request
-    cannot be fully covered by reachable holders (including pinned
-    contents).
+    shortest-path cache.
+
+    ``on_unservable`` controls what happens when a request cannot be fully
+    covered by reachable holders (including pinned contents):
+
+    - ``"raise"`` (default): raise :class:`InfeasibleError` — a healthy
+      instance with a pinned origin should always be fully servable;
+    - ``"partial"``: keep whatever fraction the reachable replicas cover and
+      leave the rest unserved (the failure-recovery mode of
+      :mod:`repro.robustness`; use
+      :func:`repro.core.evaluation.unserved_fraction` to quantify the gap).
     """
+    if on_unservable not in ("raise", "partial"):
+        raise ValueError("on_unservable must be 'raise' or 'partial'")
     if context is not None:
         dist_fn, sp = context.distance, context.sp
     else:
@@ -99,7 +110,7 @@ def route_to_nearest_replica(
                 continue
             paths.append(PathFlow(path=sp.path(holder, requester), amount=take))
             remaining -= take
-        if remaining > 1e-6:
+        if remaining > 1e-6 and on_unservable == "raise":
             raise InfeasibleError(
                 f"request {(item, requester)!r} cannot be fully served by RNR "
                 f"(uncovered fraction {remaining:.4g})"

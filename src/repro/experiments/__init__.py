@@ -23,6 +23,7 @@ from repro.experiments.runner import (
     RunRecord,
     aggregate,
     evaluate_algorithm,
+    load_checkpoint,
     monte_carlo_seeds,
     run_monte_carlo,
 )
@@ -52,6 +53,7 @@ __all__ = [
     "Aggregate",
     "evaluate_algorithm",
     "run_monte_carlo",
+    "load_checkpoint",
     "monte_carlo_seeds",
     "aggregate",
     "format_aggregates",

@@ -17,13 +17,21 @@ bit-identical to serial execution in everything except wall-clock timings.
 
 from __future__ import annotations
 
+import dataclasses
+import json
 import logging
 import pickle
 import statistics
 import time
+import traceback
 from collections.abc import Callable, Iterable, Mapping, Sequence
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import (
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    TimeoutError as FutureTimeoutError,
+)
 from dataclasses import dataclass, field, replace
+from pathlib import Path
 
 import numpy as np
 
@@ -40,6 +48,18 @@ from repro.experiments.scenarios import EdgeCachingScenario, build_scenario
 Algorithm = Callable[[EdgeCachingScenario], Solution]
 
 logger = logging.getLogger(__name__)
+
+#: Exceptions an algorithm may raise that mark *its* run as failed instead of
+#: aborting the whole campaign: the package's own errors plus the numerical
+#: exceptions that escape numpy/scipy code paths (``LinAlgError`` is listed
+#: explicitly because it does not derive from ``ValueError`` on all numpy
+#: versions).
+RECOVERABLE_ALGORITHM_ERRORS: tuple[type[BaseException], ...] = (
+    ReproError,
+    ValueError,
+    ArithmeticError,
+    np.linalg.LinAlgError,
+)
 
 
 @dataclass
@@ -65,7 +85,7 @@ def evaluate_algorithm(
     start = time.perf_counter()
     try:
         solution = algorithm(scenario)
-    except ReproError as exc:
+    except RECOVERABLE_ALGORITHM_ERRORS as exc:
         return RunRecord(
             algorithm=name,
             seed=scenario.config.seed,
@@ -74,7 +94,11 @@ def evaluate_algorithm(
             occupancy=float("inf"),
             seconds=time.perf_counter() - start,
             failed=True,
-            extra={"error": str(exc)},
+            extra={
+                "error": str(exc),
+                "error_type": type(exc).__name__,
+                "traceback": traceback.format_exc(),
+            },
         )
     elapsed = time.perf_counter() - start
     problem = scenario.problem  # true demand
@@ -127,6 +151,65 @@ def _evaluate_run(
     ]
 
 
+def _timeout_records(
+    task, reason: str, *, seconds: float
+) -> list[RunRecord]:
+    """Failure records for every algorithm of a run that could not complete."""
+    run_config, named_algorithms, _builder = task
+    return [
+        RunRecord(
+            algorithm=name,
+            seed=run_config.seed,
+            cost=float("inf"),
+            congestion=float("inf"),
+            occupancy=float("inf"),
+            seconds=seconds,
+            failed=True,
+            extra={"error": reason, "error_type": "Timeout"},
+        )
+        for name, _algorithm in named_algorithms
+    ]
+
+
+def _checkpoint_line(run_index: int, seed: int, records: list[RunRecord]) -> str:
+    return json.dumps(
+        {
+            "run": run_index,
+            "seed": seed,
+            "records": [dataclasses.asdict(r) for r in records],
+        },
+        sort_keys=True,
+    )
+
+
+def load_checkpoint(path: str | Path) -> dict[int, list[RunRecord]]:
+    """Completed runs of an interrupted campaign: run index -> records.
+
+    The checkpoint is JSONL — one object per completed run with keys
+    ``run`` (index into the campaign's seed list), ``seed``, and
+    ``records`` (the serialized :class:`RunRecord` list).  Truncated last
+    lines (a run killed mid-write) are skipped with a warning, so resuming
+    after ``kill -9`` just re-executes that run.
+    """
+    completed: dict[int, list[RunRecord]] = {}
+    path = Path(path)
+    if not path.exists():
+        return completed
+    for lineno, line in enumerate(path.read_text().splitlines(), start=1):
+        if not line.strip():
+            continue
+        try:
+            payload = json.loads(line)
+            records = [RunRecord(**r) for r in payload["records"]]
+        except (json.JSONDecodeError, KeyError, TypeError) as exc:
+            logger.warning(
+                "skipping corrupt checkpoint line %d of %s (%s)", lineno, path, exc
+            )
+            continue
+        completed[int(payload["run"])] = records
+    return completed
+
+
 def run_monte_carlo(
     config: ScenarioConfig,
     algorithms: Mapping[str, Algorithm],
@@ -135,6 +218,8 @@ def run_monte_carlo(
     scenario_builder: Callable[[ScenarioConfig], EdgeCachingScenario] | None = None,
     parallel: bool = False,
     max_workers: int | None = None,
+    run_timeout: float | None = None,
+    checkpoint: str | Path | None = None,
 ) -> list[RunRecord]:
     """Repeat every algorithm over seeded scenario instances.
 
@@ -143,30 +228,134 @@ def run_monte_carlo(
     independent — each is rebuilt in its worker from its materialized seed —
     and records come back in run-major, algorithm-insertion order, so
     results match serial execution bit-for-bit except for the measured
-    ``seconds``.  Algorithms and the scenario builder must be picklable
-    (module-level callables); if they are not, the runner logs a warning
-    and falls back to serial execution.
+    ``seconds``.
+
+    Hardening:
+
+    - Algorithms and the scenario builder must be picklable (module-level
+      callables); if submitting them fails, or a run's *result* cannot be
+      pickled back, the affected runs degrade to serial execution with a
+      logged warning instead of raising.
+    - A crashed worker (``BrokenProcessPool``) likewise only degrades the
+      runs that were still in flight: they are re-executed serially, in
+      order, so the campaign still completes with the same records.
+    - ``run_timeout`` (seconds, parallel mode only) bounds how long the
+      runner waits for each run's result; a run that exceeds it is recorded
+      as ``failed=True`` for every algorithm instead of hanging the
+      campaign.  The timed-out worker is abandoned, not killed.
+    - ``checkpoint`` names a JSONL file (see :func:`load_checkpoint`) that
+      receives every completed run as soon as it finishes.  Re-running the
+      same campaign with the same checkpoint path skips completed runs and
+      returns records identical (except measured ``seconds``) to an
+      uninterrupted campaign.
     """
     builder = scenario_builder or build_scenario
     tasks = [
         (replace(config, seed=seed), tuple(algorithms.items()), builder)
         for seed in monte_carlo_seeds(monte_carlo)
     ]
-    if parallel and len(tasks) > 1:
-        try:
-            with ProcessPoolExecutor(max_workers=max_workers) as pool:
-                per_run = list(pool.map(_evaluate_run, tasks))
-            return [record for run_records in per_run for record in run_records]
-        except (pickle.PicklingError, AttributeError, TypeError) as exc:
+    completed: dict[int, list[RunRecord]] = {}
+    checkpoint_file = None
+    if checkpoint is not None:
+        completed = load_checkpoint(checkpoint)
+        stale = [i for i in completed if i >= len(tasks)
+                 or completed[i] and completed[i][0].seed != tasks[i][0].seed]
+        for i in stale:
             logger.warning(
-                "parallel Monte Carlo needs picklable algorithms/builder "
-                "(%s); falling back to serial execution",
-                exc,
+                "checkpoint run %d does not match this campaign's seeds; ignoring", i
             )
-    records: list[RunRecord] = []
-    for task in tasks:
-        records.extend(_evaluate_run(task))
-    return records
+            completed.pop(i)
+        if completed:
+            logger.info(
+                "resuming campaign from checkpoint %s (%d/%d runs done)",
+                checkpoint, len(completed), len(tasks),
+            )
+        checkpoint_file = open(checkpoint, "a", encoding="utf-8")
+
+    def finish_run(index: int, records: list[RunRecord]) -> None:
+        completed[index] = records
+        if checkpoint_file is not None:
+            checkpoint_file.write(
+                _checkpoint_line(index, tasks[index][0].seed, records) + "\n"
+            )
+            checkpoint_file.flush()
+
+    pending = [i for i in range(len(tasks)) if i not in completed]
+    try:
+        serial_retry: list[int] = []
+        if parallel and len(pending) > 1:
+            serial_retry = _run_parallel(
+                tasks, pending, finish_run,
+                max_workers=max_workers, run_timeout=run_timeout,
+            )
+        else:
+            serial_retry = pending
+        for index in serial_retry:
+            finish_run(index, _evaluate_run(tasks[index]))
+    finally:
+        if checkpoint_file is not None:
+            checkpoint_file.close()
+    return [record for index in range(len(tasks)) for record in completed[index]]
+
+
+def _run_parallel(
+    tasks,
+    pending: list[int],
+    finish_run: Callable[[int, list[RunRecord]], None],
+    *,
+    max_workers: int | None,
+    run_timeout: float | None,
+) -> list[int]:
+    """Run ``pending`` task indices in a process pool; return indices that
+    must be retried serially (worker crash / unpicklable payloads)."""
+    serial_retry: list[int] = []
+    pool = ProcessPoolExecutor(max_workers=max_workers)
+    abandoned = False
+    try:
+        futures = {i: pool.submit(_evaluate_run, tasks[i]) for i in pending}
+        for i in pending:
+            try:
+                finish_run(i, futures[i].result(timeout=run_timeout))
+            except FutureTimeoutError:
+                abandoned = True
+                futures[i].cancel()
+                logger.warning(
+                    "run %d (seed %d) exceeded run_timeout=%.3gs; recording "
+                    "it as failed", i, tasks[i][0].seed, run_timeout,
+                )
+                finish_run(
+                    i,
+                    _timeout_records(
+                        tasks[i],
+                        f"run exceeded run_timeout={run_timeout:.6g}s",
+                        seconds=float(run_timeout),
+                    ),
+                )
+            except BrokenExecutor:
+                # Harvest whatever finished before the crash; everything else
+                # (including the run that broke the pool) retries serially.
+                remaining = pending[pending.index(i):]
+                for j in remaining:
+                    try:
+                        finish_run(j, futures[j].result(timeout=0))
+                    except Exception:
+                        serial_retry.append(j)
+                logger.warning(
+                    "process pool broke at run %d (worker crash); re-running "
+                    "%d affected runs serially", i, len(serial_retry),
+                )
+                break
+            except (pickle.PicklingError, AttributeError, TypeError) as exc:
+                logger.warning(
+                    "run %d (seed %d) could not cross the process boundary "
+                    "(%s); falling back to serial execution for it",
+                    i, tasks[i][0].seed, exc,
+                )
+                serial_retry.append(i)
+    finally:
+        # wait=False so an abandoned (timed-out) worker cannot hang shutdown.
+        pool.shutdown(wait=not abandoned, cancel_futures=True)
+    return serial_retry
 
 
 @dataclass

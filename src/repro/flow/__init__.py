@@ -1,6 +1,14 @@
 """Flow substrate: LP solving, min-cost flows, decomposition, unsplittable rounding."""
 
-from repro.flow.lp import LPBuilder, LPSolution, MaterializedLP, VariableBlock
+from repro.flow.lp import (
+    DEFAULT_SOLVE_METHODS,
+    LPBuilder,
+    LPSolution,
+    MaterializedLP,
+    SolveAttempt,
+    SolveReport,
+    VariableBlock,
+)
 from repro.flow.mincost import (
     ArcIncidence,
     Commodity,
@@ -18,6 +26,9 @@ EPS = 1e-9
 __all__ = [
     "EPS",
     "LPBuilder",
+    "DEFAULT_SOLVE_METHODS",
+    "SolveAttempt",
+    "SolveReport",
     "LPSolution",
     "MaterializedLP",
     "VariableBlock",

@@ -26,7 +26,8 @@ inputs to HiGHS and therefore return bit-identical solutions.
 from __future__ import annotations
 
 import math
-from collections.abc import Hashable, Iterable, Mapping
+import time
+from collections.abc import Hashable, Iterable, Mapping, Sequence
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -86,6 +87,51 @@ class MaterializedLP:
     bounds: np.ndarray  # shape (n, 2)
 
 
+#: Fallback chain handed to HiGHS: the default hybrid solver first, then the
+#: dual simplex and interior-point codes explicitly.  A failure of one method
+#: (iteration/time limit, numerical difficulties, an exception inside HiGHS)
+#: moves on to the next; infeasible/unbounded verdicts are terminal.
+DEFAULT_SOLVE_METHODS: tuple[str, ...] = ("highs", "highs-ds", "highs-ipm")
+
+#: Statuses after which trying another method cannot help.
+_TERMINAL_STATUSES = frozenset({0, 2, 3})
+
+
+@dataclass(frozen=True)
+class SolveAttempt:
+    """One ``linprog`` call inside the fallback chain."""
+
+    method: str
+    #: ``linprog`` status (0 ok, 1 limit, 2 infeasible, 3 unbounded,
+    #: 4 numerical); -1 when the call raised instead of returning.
+    status: int
+    message: str
+    seconds: float
+    #: Whether this attempt ran on the row-equilibrated (rescaled) LP.
+    rescaled: bool = False
+
+
+@dataclass(frozen=True)
+class SolveReport:
+    """Structured record of how an LP was (or was not) solved."""
+
+    attempts: tuple[SolveAttempt, ...]
+    #: The method that succeeded (``None`` if every attempt failed).
+    method: str | None
+    #: Whether the successful solve ran on the rescaled LP.
+    rescaled: bool
+    #: Total wall-clock across all attempts.
+    seconds: float
+
+    @property
+    def num_attempts(self) -> int:
+        return len(self.attempts)
+
+    @property
+    def succeeded(self) -> bool:
+        return self.method is not None
+
+
 @dataclass(frozen=True)
 class LPSolution:
     """Optimal solution of an LP: objective value and per-key variable values."""
@@ -95,6 +141,10 @@ class LPSolution:
     #: Per-block value arrays (reshaped to the block's shape); keyed by name.
     block_values: dict[Key, np.ndarray] = field(
         default_factory=dict, compare=False, repr=False
+    )
+    #: How the solve went (fallback attempts, statuses, wall-clock).
+    report: SolveReport | None = field(
+        default=None, compare=False, repr=False
     )
 
     def __getitem__(self, key: Key) -> float:
@@ -488,8 +538,50 @@ class LPBuilder:
                     values[(name, *multi)] = flat_list[k]
         return values, block_values
 
-    def solve(self) -> LPSolution:
-        """Solve the LP with HiGHS; raise on infeasibility or solver failure.
+    @staticmethod
+    def _rescaled(lp: MaterializedLP) -> MaterializedLP:
+        """Row-equilibrated copy of ``lp`` (same feasible set and optimum).
+
+        Each inequality/equality row (and its rhs) is divided by the row's
+        largest absolute coefficient — an exact reformulation that tames the
+        wide coefficient ranges behind most HiGHS "numerical difficulties"
+        failures.  Variable bounds and the objective are untouched, so the
+        solution vector maps back 1:1.
+        """
+
+        def scale(a, b):
+            if a is None:
+                return None, None
+            row_max = np.abs(a).max(axis=1)
+            row_max = np.asarray(row_max.todense()).ravel()
+            factors = np.where(row_max > 0, row_max, 1.0)
+            d = sparse.diags(1.0 / factors).tocsr()
+            return (d @ a).tocsr(), b / factors
+
+        a_ub, b_ub = scale(lp.a_ub, lp.b_ub)
+        a_eq, b_eq = scale(lp.a_eq, lp.b_eq)
+        return MaterializedLP(
+            c=lp.c, a_ub=a_ub, b_ub=b_ub, a_eq=a_eq, b_eq=b_eq, bounds=lp.bounds
+        )
+
+    def solve(
+        self,
+        *,
+        methods: Sequence[str] | None = None,
+        time_limit: float | None = None,
+        rescale_retry: bool = True,
+    ) -> LPSolution:
+        """Solve the LP with a hardened HiGHS fallback chain.
+
+        Methods from ``methods`` (default :data:`DEFAULT_SOLVE_METHODS`:
+        ``highs`` → ``highs-ds`` → ``highs-ipm``) are tried in order, each
+        under the per-attempt ``time_limit`` (seconds; ``None`` = unlimited).
+        An attempt that hits a limit, reports numerical difficulties, or
+        raises inside HiGHS moves on to the next method; infeasible and
+        unbounded verdicts are terminal.  If the whole chain fails and
+        ``rescale_retry`` is on, the chain runs once more on a
+        row-equilibrated (exactly equivalent) LP.  The returned solution
+        carries a :class:`SolveReport` listing every attempt.
 
         Raises
         ------
@@ -499,8 +591,8 @@ class LPBuilder:
         UnboundedError
             The objective can be improved without limit (HiGHS status 3).
         SolverError
-            The LP is empty, or HiGHS failed for another reason
-            (iteration limit, numerical difficulties, ...).
+            The LP is empty, or every attempt of the fallback chain failed
+            (iteration/time limits, numerical difficulties, ...).
         """
         if self._cols == 0:
             raise SolverError("LP has no variables")
@@ -508,16 +600,72 @@ class LPBuilder:
             raise InfeasibleError(
                 f"LP is trivially infeasible: {self._infeasible_reason}"
             )
+        methods = tuple(methods) if methods is not None else DEFAULT_SOLVE_METHODS
+        if not methods:
+            raise SolverError("no solve methods given")
+        options = {} if time_limit is None else {"time_limit": float(time_limit)}
         lp = self.materialize()
-        result = linprog(
-            lp.c,
-            A_ub=lp.a_ub,
-            b_ub=lp.b_ub,
-            A_eq=lp.a_eq,
-            b_eq=lp.b_eq,
-            bounds=lp.bounds,
-            method="highs",
+        attempts: list[SolveAttempt] = []
+        total_start = time.perf_counter()
+
+        def attempt_chain(current: MaterializedLP, rescaled: bool):
+            for method in methods:
+                start = time.perf_counter()
+                try:
+                    result = linprog(
+                        current.c,
+                        A_ub=current.a_ub,
+                        b_ub=current.b_ub,
+                        A_eq=current.a_eq,
+                        b_eq=current.b_eq,
+                        bounds=current.bounds,
+                        method=method,
+                        options=dict(options),
+                    )
+                except Exception as exc:  # a HiGHS crash must not kill the chain
+                    attempts.append(
+                        SolveAttempt(
+                            method=method,
+                            status=-1,
+                            message=f"{type(exc).__name__}: {exc}",
+                            seconds=time.perf_counter() - start,
+                            rescaled=rescaled,
+                        )
+                    )
+                    continue
+                attempts.append(
+                    SolveAttempt(
+                        method=method,
+                        status=int(result.status),
+                        message=str(result.message),
+                        seconds=time.perf_counter() - start,
+                        rescaled=rescaled,
+                    )
+                )
+                if result.status in _TERMINAL_STATUSES:
+                    return result
+            return None
+
+        result = attempt_chain(lp, rescaled=False)
+        rescaled = False
+        if result is None and rescale_retry:
+            result = attempt_chain(self._rescaled(lp), rescaled=True)
+            rescaled = result is not None
+        report = SolveReport(
+            attempts=tuple(attempts),
+            method=attempts[-1].method if result is not None else None,
+            rescaled=rescaled,
+            seconds=time.perf_counter() - total_start,
         )
+        if result is None:
+            trail = "; ".join(
+                f"{a.method}{' (rescaled)' if a.rescaled else ''}: "
+                f"status {a.status} ({a.message})"
+                for a in attempts
+            )
+            raise SolverError(
+                f"LP solver failed after {len(attempts)} attempts: {trail}"
+            )
         if result.status == 2:
             raise InfeasibleError("LP is infeasible")
         if result.status == 3:
@@ -526,14 +674,11 @@ class LPBuilder:
                 "check for a missing capacity constraint or variable bound "
                 f"({result.message})"
             )
-        if result.status != 0:
-            raise SolverError(
-                f"LP solver failed with status {result.status}: {result.message}"
-            )
         sign = 1.0 if self._sense == "min" else -1.0
         values, block_values = self._values_from(result.x)
         return LPSolution(
             objective=sign * float(result.fun),
             values=values,
             block_values=block_values,
+            report=report,
         )

@@ -1,0 +1,59 @@
+"""Failure resilience: fault injection, graceful-degradation recovery, reports.
+
+The subsystem answers "what happens when a link or cache node dies?" for any
+placement produced by the paper's algorithms:
+
+>>> from repro.robustness import single_link_failures, survivability_report
+>>> report = survivability_report(problem, placement, single_link_failures(problem))
+>>> print(report.format())
+
+See :mod:`repro.robustness.faults` for the failure model,
+:mod:`repro.robustness.recovery` for the re-route/repair policies, and
+:mod:`repro.robustness.demo` for a self-contained gadget walkthrough.
+"""
+
+from repro.robustness.faults import (
+    CapacityDegradation,
+    DegradedProblem,
+    FailureScenario,
+    LinkFailure,
+    NodeFailure,
+    apply_failure,
+    k_link_failures,
+    sample_failures,
+    single_link_failures,
+    single_node_failures,
+)
+from repro.robustness.recovery import (
+    RecoveryResult,
+    recover,
+    repair_placement,
+    surviving_placement,
+)
+from repro.robustness.report import (
+    SurvivabilityRecord,
+    SurvivabilityReport,
+    survivability_record,
+    survivability_report,
+)
+
+__all__ = [
+    "LinkFailure",
+    "NodeFailure",
+    "CapacityDegradation",
+    "FailureScenario",
+    "DegradedProblem",
+    "apply_failure",
+    "single_link_failures",
+    "k_link_failures",
+    "single_node_failures",
+    "sample_failures",
+    "RecoveryResult",
+    "recover",
+    "repair_placement",
+    "surviving_placement",
+    "SurvivabilityRecord",
+    "SurvivabilityReport",
+    "survivability_record",
+    "survivability_report",
+]

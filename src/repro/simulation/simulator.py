@@ -49,6 +49,10 @@ class SimulationConfig:
     seed: int = 0
     #: Hard cap on simulated requests (guards against accidental huge rates).
     max_requests: int = 500_000
+    #: With ``True``, requests whose type has no routing (e.g. demand
+    #: stranded by a failure scenario) are skipped and counted in
+    #: :attr:`SimulationReport.unrouted_types` instead of raising.
+    allow_unrouted: bool = False
 
     def __post_init__(self) -> None:
         if self.horizon <= 0:
@@ -73,6 +77,12 @@ class SimulationReport:
     #: Requests whose delivery completed only after the horizon (backlog —
     #: nonzero exactly when some link is overloaded).
     late_deliveries: int = 0
+    #: Request types skipped because they had no (or zero-fraction) routing
+    #: (only with ``SimulationConfig.allow_unrouted``).
+    unrouted_types: int = 0
+    #: Transfers stuck forever on a zero-capacity link (failed-link
+    #: instances whose edge attributes were degraded in place).
+    stalled_transfers: int = 0
 
     @property
     def max_utilization(self) -> float:
@@ -122,11 +132,15 @@ def simulate(
     # --- generate arrivals -------------------------------------------------
     arrivals: list[tuple[float, int, Hashable, tuple[Node, ...]]] = []
     counter = itertools.count()
+    unrouted_types = 0
     for (item, s), rate in problem.demand.items():
         pfs = routing.paths.get((item, s))
-        if not pfs:
+        amounts = np.array([pf.amount for pf in pfs], dtype=float) if pfs else np.zeros(0)
+        if not pfs or amounts.sum() <= 0:
+            if config.allow_unrouted:
+                unrouted_types += 1
+                continue
             raise InvalidProblemError(f"request {(item, s)!r} has no routing")
-        amounts = np.array([pf.amount for pf in pfs], dtype=float)
         probs = amounts / amounts.sum()
         expected = rate * config.horizon
         if expected > config.max_requests:
@@ -163,10 +177,17 @@ def simulate(
     transferred: dict[Edge, float] = {}
     completions: list[tuple[float, float]] = []  # (finish_time, latency)
 
+    stalled = 0
+
     def service_time(edge: Edge, item: Hashable) -> float:
         cap = problem.network.capacity(*edge)
         if math.isinf(cap):
             return 0.0
+        if cap <= 0:
+            # A link degraded to zero capacity (failure instances mutate edge
+            # attributes in place) can never finish a transfer: model it as
+            # an infinite service time instead of a ZeroDivisionError.
+            return math.inf
         return problem.size_of(item) / cap
 
     def enter_link(now: float, transfer: _Transfer) -> None:
@@ -181,7 +202,17 @@ def simulate(
             queue.append(transfer)
 
     def _start_service(now: float, edge: Edge, transfer: _Transfer) -> None:
+        nonlocal stalled
         duration = service_time(edge, transfer.item)
+        if math.isinf(duration):
+            # The transfer stalls forever; the link stays busy to the end of
+            # the horizon and everything queued behind it is never served.
+            stalled += 1
+            busy_until[edge] = math.inf
+            busy_time[edge] = busy_time.get(edge, 0.0) + max(
+                0.0, config.horizon - now
+            )
+            return
         finish = now + duration
         busy_until[edge] = finish
         busy_time[edge] = busy_time.get(edge, 0.0) + duration
@@ -230,4 +261,6 @@ def simulate(
         },
         analytic_loads=analytic,
         late_deliveries=late,
+        unrouted_types=unrouted_types,
+        stalled_transfers=stalled,
     )

@@ -1,0 +1,217 @@
+"""Hardened Monte Carlo runner: numerical failures, checkpoints, crashes.
+
+Worker-crash helpers are module-level (picklable) and crash only inside a
+pool worker (``multiprocessing.parent_process() is not None``), so the
+serial re-execution path the runner falls back to completes normally.
+"""
+
+import json
+import multiprocessing
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.core import Placement, Solution, route_to_nearest_replica
+from repro.experiments import (
+    MonteCarloConfig,
+    ScenarioConfig,
+    evaluate_algorithm,
+    load_checkpoint,
+    run_monte_carlo,
+)
+from repro.experiments.algorithms import greedy, sp
+from repro.experiments.scenarios import build_scenario
+
+SMALL = ScenarioConfig(seed=0, link_capacity_fraction=None)
+
+
+def origin_only(scenario):
+    problem = scenario.problem
+    return Solution(Placement(), route_to_nearest_replica(problem, Placement()))
+
+
+def raises_linalg(scenario):
+    raise np.linalg.LinAlgError("singular projection matrix")
+
+
+def raises_value(scenario):
+    raise ValueError("scipy rejected the input")
+
+
+def raises_zero_division(scenario):
+    return 1 / 0
+
+
+def crash_worker(scenario):
+    if multiprocessing.parent_process() is not None:
+        os._exit(1)  # hard-kill the pool worker; unreachable serially
+    return origin_only(scenario)
+
+
+def sleepy_on_seed_one(scenario):
+    if scenario.config.seed == 1:
+        time.sleep(6.0)
+    return origin_only(scenario)
+
+
+CALLS: list[int] = []
+
+
+def recording(scenario):
+    CALLS.append(scenario.config.seed)
+    return origin_only(scenario)
+
+
+def _strip_seconds(record):
+    return (
+        record.algorithm,
+        record.seed,
+        record.cost,
+        record.congestion,
+        record.occupancy,
+        record.failed,
+        record.extra,
+    )
+
+
+class TestNumericalFailures:
+    @pytest.mark.parametrize(
+        "algorithm, error_type",
+        [
+            (raises_linalg, "LinAlgError"),
+            (raises_value, "ValueError"),
+            (raises_zero_division, "ZeroDivisionError"),
+        ],
+    )
+    def test_recorded_as_failed_with_traceback(self, algorithm, error_type):
+        scenario = build_scenario(SMALL)
+        record = evaluate_algorithm("numerics", algorithm, scenario)
+        assert record.failed
+        assert record.cost == float("inf")
+        assert record.extra["error_type"] == error_type
+        assert error_type in record.extra["traceback"]
+        assert algorithm.__name__ in record.extra["traceback"]
+
+    def test_campaign_survives_numerical_failures(self):
+        records = run_monte_carlo(
+            SMALL,
+            {"bad": raises_linalg, "origin": origin_only},
+            MonteCarloConfig(n_runs=2),
+        )
+        assert [r.failed for r in records] == [True, False, True, False]
+
+
+class TestCheckpoint:
+    MC = MonteCarloConfig(n_runs=4, base_seed=3)
+    ALGORITHMS = {"greedy": greedy, "sp": sp}
+
+    def test_resume_reproduces_uninterrupted_campaign(self, tmp_path, caplog):
+        uninterrupted = run_monte_carlo(SMALL, self.ALGORITHMS, self.MC)
+        path = tmp_path / "campaign.jsonl"
+        run_monte_carlo(SMALL, self.ALGORITHMS, self.MC, checkpoint=path)
+        # Simulate a kill -9 after two runs: drop the last two completed
+        # lines and leave a half-written third.
+        lines = path.read_text().splitlines()
+        assert len(lines) == 4
+        path.write_text("\n".join(lines[:2]) + "\n" + lines[2][: len(lines[2]) // 2])
+        with caplog.at_level("WARNING", logger="repro.experiments.runner"):
+            resumed = run_monte_carlo(
+                SMALL, self.ALGORITHMS, self.MC, checkpoint=path
+            )
+        assert any("corrupt checkpoint line" in m for m in caplog.messages)
+        # Bit-for-bit identical to the uninterrupted campaign, except the
+        # measured wall-clock seconds (per the runner's documented guarantee).
+        assert [_strip_seconds(r) for r in resumed] == [
+            _strip_seconds(r) for r in uninterrupted
+        ]
+        # The checkpoint is now complete: a further resume re-runs nothing.
+        CALLS.clear()
+        run_monte_carlo(SMALL, {"greedy": greedy, "sp": sp}, self.MC, checkpoint=path)
+        again = load_checkpoint(path)
+        assert sorted(again) == [0, 1, 2, 3]
+
+    def test_completed_runs_are_not_reexecuted(self, tmp_path):
+        path = tmp_path / "campaign.jsonl"
+        mc = MonteCarloConfig(n_runs=3, base_seed=20)
+        run_monte_carlo(SMALL, {"rec": recording}, mc, checkpoint=path)
+        lines = path.read_text().splitlines()
+        path.write_text("\n".join(lines[:1]) + "\n")  # only run 0 survived
+        CALLS.clear()
+        run_monte_carlo(SMALL, {"rec": recording}, mc, checkpoint=path)
+        assert CALLS == [21, 22]  # seeds of runs 1 and 2 only
+
+    def test_seed_mismatch_invalidates_checkpoint_entry(self, tmp_path, caplog):
+        path = tmp_path / "campaign.jsonl"
+        mc = MonteCarloConfig(n_runs=2, base_seed=0)
+        run_monte_carlo(SMALL, {"rec": recording}, mc, checkpoint=path)
+        CALLS.clear()
+        other = MonteCarloConfig(n_runs=2, base_seed=100)
+        with caplog.at_level("WARNING", logger="repro.experiments.runner"):
+            records = run_monte_carlo(SMALL, {"rec": recording}, other, checkpoint=path)
+        assert any("does not match" in m for m in caplog.messages)
+        assert CALLS == [100, 101]  # both runs re-executed
+        assert [r.seed for r in records] == [100, 101]
+
+    def test_load_checkpoint_missing_file(self, tmp_path):
+        assert load_checkpoint(tmp_path / "nope.jsonl") == {}
+
+    def test_checkpoint_lines_are_sorted_json(self, tmp_path):
+        path = tmp_path / "campaign.jsonl"
+        run_monte_carlo(
+            SMALL, {"origin": origin_only}, MonteCarloConfig(n_runs=1), checkpoint=path
+        )
+        [line] = path.read_text().splitlines()
+        payload = json.loads(line)
+        assert list(payload) == sorted(payload)
+        assert payload["run"] == 0
+        assert payload["records"][0]["algorithm"] == "origin"
+
+
+class TestWorkerCrash:
+    def test_broken_pool_degrades_to_serial(self, caplog):
+        mc = MonteCarloConfig(n_runs=3, base_seed=5)
+        with caplog.at_level("WARNING", logger="repro.experiments.runner"):
+            records = run_monte_carlo(
+                SMALL, {"crash": crash_worker}, mc, parallel=True, max_workers=2
+            )
+        assert any("process pool broke" in m for m in caplog.messages)
+        # Every affected seed was re-executed serially and completed.
+        assert [r.seed for r in records] == [5, 6, 7]
+        assert not any(r.failed for r in records)
+
+    def test_broken_pool_with_checkpoint_still_resumable(self, tmp_path):
+        path = tmp_path / "campaign.jsonl"
+        mc = MonteCarloConfig(n_runs=2, base_seed=0)
+        records = run_monte_carlo(
+            SMALL,
+            {"crash": crash_worker},
+            mc,
+            parallel=True,
+            max_workers=2,
+            checkpoint=path,
+        )
+        assert not any(r.failed for r in records)
+        assert sorted(load_checkpoint(path)) == [0, 1]
+
+
+class TestRunTimeout:
+    def test_slow_run_recorded_as_timeout(self, caplog):
+        mc = MonteCarloConfig(n_runs=2, base_seed=0)  # seed 1 sleeps 6s
+        with caplog.at_level("WARNING", logger="repro.experiments.runner"):
+            records = run_monte_carlo(
+                SMALL,
+                {"origin": sleepy_on_seed_one},
+                mc,
+                parallel=True,
+                max_workers=2,
+                run_timeout=2.0,
+            )
+        assert any("exceeded run_timeout" in m for m in caplog.messages)
+        ok, timed_out = records
+        assert (ok.seed, ok.failed) == (0, False)
+        assert timed_out.seed == 1
+        assert timed_out.failed
+        assert timed_out.extra["error_type"] == "Timeout"
+        assert "run_timeout" in timed_out.extra["error"]

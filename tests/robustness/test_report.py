@@ -1,0 +1,89 @@
+"""Survivability reporting: records, aggregates, and formatting."""
+
+import pytest
+
+from repro.robustness import (
+    FailureScenario,
+    LinkFailure,
+    apply_failure,
+    recover,
+    single_link_failures,
+    single_node_failures,
+    survivability_record,
+    survivability_report,
+)
+from repro.robustness.demo import gadget_placement, gadget_problem, run_gadget_demo
+
+
+@pytest.fixture(scope="module")
+def gadget_report():
+    return run_gadget_demo(repair=True)
+
+
+class TestRecord:
+    def test_detour_scenario_fields(self):
+        problem = gadget_problem(lam=10.0, eps=0.01, w=5.0)
+        degraded = apply_failure(
+            problem, FailureScenario("f", (LinkFailure("v1", "s"),))
+        )
+        result = recover(degraded, gadget_placement())
+        record = survivability_record(result, healthy_cost=1.0)
+        # item1 detours vs->v2->s (cost 10), item2 stays on v2->s (cost 5).
+        assert record.cost == pytest.approx(10.0 * 10.0 + 0.01 * 5.0)
+        assert record.cost_inflation == pytest.approx(record.cost)
+        assert record.fully_served
+        assert record.unserved_fraction == 0.0
+        assert record.stranded_requests == 0
+        assert record.scenario == "f"
+
+    def test_zero_healthy_cost_inflation(self):
+        problem = gadget_problem()
+        degraded = apply_failure(
+            problem, FailureScenario("f", (LinkFailure("v1", "s"),))
+        )
+        result = recover(degraded, gadget_placement())
+        record = survivability_record(result, healthy_cost=0.0)
+        assert record.cost_inflation == float("inf")
+
+
+class TestReport:
+    def test_gadget_fully_survives_single_faults(self, gadget_report):
+        assert gadget_report.fully_served_scenarios == len(gadget_report.records)
+        assert gadget_report.worst_unserved_fraction == 0.0
+        # Both client links survive every single fault, so inflation >= 1.
+        assert gadget_report.worst_cost_inflation >= 1.0
+
+    def test_inflation_at_least_one_when_fully_served(self):
+        problem = gadget_problem()
+        placement = gadget_placement()
+        scenarios = single_link_failures(problem) + single_node_failures(
+            problem, exclude=("s",)
+        )
+        report = survivability_report(problem, placement, scenarios)
+        for record in report.records:
+            if record.fully_served:
+                assert record.cost_inflation >= 1.0 - 1e-9, record.scenario
+
+    def test_rows_align_with_records(self, gadget_report):
+        rows = gadget_report.rows()
+        assert len(rows) == len(gadget_report.records)
+        for row, record in zip(rows, gadget_report.records):
+            assert row["scenario"] == record.scenario
+            assert row["inflation"] == record.cost_inflation
+            assert row["unserved"] == record.unserved_fraction
+
+    def test_format_is_readable(self, gadget_report):
+        text = gadget_report.format(title="gadget")
+        assert "gadget" in text
+        assert "fully served" in text
+        assert "worst inflation" in text
+        for record in gadget_report.records:
+            assert record.scenario in text
+
+    def test_empty_report_defaults(self):
+        problem = gadget_problem()
+        report = survivability_report(problem, gadget_placement(), [])
+        assert report.records == []
+        assert report.worst_cost_inflation == 1.0
+        assert report.worst_unserved_fraction == 0.0
+        assert report.fully_served_scenarios == 0

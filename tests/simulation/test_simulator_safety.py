@@ -1,0 +1,136 @@
+"""Simulator safety limits: request caps, dead links, stranded routings.
+
+Failure-scenario replays push the simulator outside the healthy envelope:
+links degraded to zero capacity in place, requests whose routing was
+stranded by a failure, and runaway arrival rates.  None of these may
+crash the event loop.
+"""
+
+import math
+
+import pytest
+
+from repro.core import Placement, Routing, route_to_nearest_replica
+from repro.exceptions import InvalidProblemError
+from repro.graph.network import CAPACITY
+from repro.simulation import SimulationConfig, simulate
+
+from tests.core.conftest import make_line_problem
+
+
+def origin_routing(prob) -> Routing:
+    return route_to_nearest_replica(prob, Placement())
+
+
+class TestRequestCap:
+    def test_per_type_expected_arrivals_capped(self):
+        prob = make_line_problem(demand={("item0", 4): 1e9})
+        with pytest.raises(InvalidProblemError, match="scale the instance down"):
+            simulate(
+                prob,
+                origin_routing(prob),
+                SimulationConfig(horizon=1.0, max_requests=100),
+            )
+
+    def test_total_arrivals_capped(self):
+        prob = make_line_problem(
+            demand={("item0", 4): 8.0, ("item1", 4): 8.0}
+        )
+        with pytest.raises(InvalidProblemError, match="max_requests"):
+            simulate(
+                prob,
+                origin_routing(prob),
+                SimulationConfig(horizon=1.0, max_requests=9, seed=0),
+            )
+
+
+class TestZeroCapacityLink:
+    def _dead_link_problem(self):
+        prob = make_line_problem(link_capacity=100.0)
+        # A failure scenario degraded the first hop in place: CacheNetwork
+        # validation would reject cap=0, so mutate the edge attribute the
+        # way capacity-degradation instances do.
+        prob.network.graph.edges[0, 1][CAPACITY] = 0.0
+        return prob
+
+    def test_transfers_stall_instead_of_dividing_by_zero(self):
+        prob = self._dead_link_problem()
+        report = simulate(
+            prob, origin_routing(prob), SimulationConfig(horizon=5.0, seed=1)
+        )
+        assert report.generated > 0
+        assert report.stalled_transfers == 1  # the first transfer wedges the link
+        assert report.delivered < report.generated
+        # The dead link stays busy to the end of the horizon.
+        assert report.utilization[(0, 1)] == pytest.approx(1.0, abs=0.05)
+
+    def test_healthy_links_keep_delivering(self):
+        prob = make_line_problem(
+            num_nodes=3,
+            cache_nodes={1: 1},
+            demand={("item0", 2): 5.0, ("item1", 2): 1.0},
+            link_capacity=100.0,
+        )
+        prob.network.graph.edges[0, 1][CAPACITY] = 0.0
+        routing = route_to_nearest_replica(prob, Placement({(1, "item0"): 1.0}))
+        report = simulate(prob, routing, SimulationConfig(horizon=5.0, seed=2))
+        # item0 is served from the cache beyond the dead link; only item1
+        # (origin-routed across the dead first hop) stalls.
+        assert report.stalled_transfers >= 1
+        assert report.delivered > 0
+
+
+class TestUnroutedRequests:
+    def _stranded(self):
+        prob = make_line_problem()
+        routing = origin_routing(prob)
+        routing.paths[("item1", 4)] = []  # stranded by a failure
+        return prob, routing
+
+    def test_raises_by_default(self):
+        prob, routing = self._stranded()
+        with pytest.raises(InvalidProblemError, match="no routing"):
+            simulate(prob, routing, SimulationConfig(horizon=1.0))
+
+    def test_allow_unrouted_skips_and_counts(self):
+        prob, routing = self._stranded()
+        report = simulate(
+            prob, routing, SimulationConfig(horizon=5.0, seed=3, allow_unrouted=True)
+        )
+        assert report.unrouted_types == 1
+        assert report.generated > 0  # the servable type still runs
+        assert report.delivered == report.generated
+
+    def test_empty_routing_with_allow_unrouted(self):
+        prob = make_line_problem()
+        report = simulate(
+            prob, Routing(), SimulationConfig(horizon=1.0, allow_unrouted=True)
+        )
+        assert report.unrouted_types == len(prob.demand)
+        assert report.generated == report.delivered == 0
+        assert report.mean_latency == 0.0
+        assert report.max_utilization == 0.0
+
+    def test_zero_amount_paths_count_as_unrouted(self):
+        prob = make_line_problem()
+        routing = origin_routing(prob)
+        routing.paths[("item1", 4)] = [
+            type(routing.paths[("item0", 4)][0])(path=(0, 1, 2, 3, 4), amount=0.0)
+        ]
+        report = simulate(
+            prob, routing, SimulationConfig(horizon=2.0, allow_unrouted=True, seed=4)
+        )
+        assert report.unrouted_types == 1
+
+
+class TestStalledAccounting:
+    def test_queue_behind_stalled_link_never_served(self):
+        prob = make_line_problem(link_capacity=100.0)
+        prob.network.graph.edges[0, 1][CAPACITY] = 0.0
+        report = simulate(
+            prob, origin_routing(prob), SimulationConfig(horizon=10.0, seed=5)
+        )
+        # Exactly one transfer occupies the link forever; the rest queue.
+        assert report.stalled_transfers == 1
+        assert report.delivered == 0
+        assert not math.isinf(report.mean_latency)

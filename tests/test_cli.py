@@ -79,6 +79,42 @@ class TestSimulate:
         assert "max link utilization" in out
 
 
+class TestRobustness:
+    def test_gadget_survives_every_single_link_failure(self, capsys):
+        assert main(["robustness", "--topology", "gadget"]) == 0
+        out = capsys.readouterr().out
+        assert "4/4 scenarios fully served" in out
+        assert "link:'v1'--'s'" in out
+
+    def test_node_failures_on_scenario_topology(self, capsys):
+        code = main(
+            [
+                "robustness",
+                "--link-fraction", "0",
+                "--videos", "4",
+                "--failures", "single-node",
+                "--max-scenarios", "2",
+                "--repair",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "worst inflation" in out
+        assert "node:" in out
+
+    def test_random_failures_need_no_extra_flags(self, capsys):
+        code = main(
+            [
+                "robustness",
+                "--topology", "gadget",
+                "--failures", "random",
+                "--samples", "3",
+            ]
+        )
+        assert code == 0
+        assert "worst unserved" in capsys.readouterr().out
+
+
 class TestPredict:
     def test_prediction_table(self, capsys):
         code = main(["predict", "--hours", "3"])
