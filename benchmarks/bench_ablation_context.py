@@ -32,7 +32,7 @@ def _timed(fn):
     return value, time.perf_counter() - start
 
 
-def test_ablation_context_speedup(benchmark, report):
+def test_ablation_context_speedup(benchmark, report, bench_json):
     scenario = build_zipf_scenario(
         topology="deltacom",
         num_items=NUM_ITEMS,
@@ -84,6 +84,16 @@ def test_ablation_context_speedup(benchmark, report):
     by_name = {r["variant"]: r for r in rows}
     dict_row = by_name["dict ShortestPathCache"]
     ctx_row = by_name["dense SolverContext (incl. build)"]
+    bench_json(
+        "ablation_context",
+        {
+            "topology": "deltacom",
+            "num_items": NUM_ITEMS,
+            "rows": rows,
+            "speedup_incl_build": dict_row["seconds"] / ctx_row["seconds"],
+            "costs_identical": ctx_row["cost"] == dict_row["cost"],
+        },
+    )
     # Same optimization, same answer.
     assert ctx_row["cost"] == dict_row["cost"]
     # Acceptance bar: >= 3x even when charging the context for matrix build.
@@ -92,7 +102,7 @@ def test_ablation_context_speedup(benchmark, report):
     )
 
 
-def test_parallel_runner_bit_identical(benchmark, report):
+def test_parallel_runner_bit_identical(benchmark, report, bench_json):
     config = ScenarioConfig(link_capacity_fraction=None, seed=0)
     mc = MonteCarloConfig(n_runs=4, base_seed=3, spawn_seeds=True)
     algorithms = {"greedy": greedy, "sp": sp, "ksp_5": ksp(5)}
@@ -122,6 +132,14 @@ def test_parallel_runner_bit_identical(benchmark, report):
             ["mode", "records", "seconds"],
             title="Monte Carlo runner: serial vs ProcessPoolExecutor (4 workers)",
         ),
+    )
+    bench_json(
+        "parallel_runner",
+        {
+            "n_runs": mc.n_runs,
+            "algorithms": sorted(algorithms),
+            "rows": rows,
+        },
     )
     assert len(serial) == len(parallel)
     for a, b in zip(serial, parallel):

@@ -12,6 +12,7 @@ baseline's cache allocation.
 
 import networkx as nx
 
+from repro.core.context import SolverContext
 from repro.experiments import ScenarioConfig, build_scenario, format_sweep
 from repro.experiments.algorithms import alg1, greedy, sp
 from repro.robustness import apply_failure, single_link_failures, survivability_report
@@ -19,7 +20,7 @@ from repro.robustness import apply_failure, single_link_failures, survivability_
 ALGORITHMS = {"alg1": alg1, "greedy": greedy, "sp": sp}
 
 
-def test_failure_survivability(benchmark, report):
+def test_failure_survivability(benchmark, report, bench_json):
     config = ScenarioConfig(
         seed=0, num_videos=5, link_capacity_fraction=None, num_edge_nodes=5
     )
@@ -39,11 +40,18 @@ def test_failure_survivability(benchmark, report):
         if requesters <= reach:
             survivable.add(fail.name)
 
+    # One parent context serves the whole sweep: every failure scenario
+    # derives its degraded context incrementally instead of rebuilding the
+    # dense matrix and path caches from scratch (see repro.robustness.degraded).
+    context = SolverContext.from_problem(problem)
+
     def run():
         rows = []
         for name, algorithm in ALGORITHMS.items():
             placement = algorithm(scenario).placement
-            surv = survivability_report(problem, placement, scenarios, repair=True)
+            surv = survivability_report(
+                problem, placement, scenarios, repair=True, context=context
+            )
             rows.append(
                 {
                     "algorithm": name,
@@ -77,6 +85,15 @@ def test_failure_survivability(benchmark, report):
             ],
             title="single-link failure survivability (Abovenet, 5 videos, repair on)",
         ),
+    )
+    bench_json(
+        "failure_survivability",
+        {
+            "topology": config.topology,
+            "num_videos": config.num_videos,
+            "scenarios": len(scenarios),
+            "rows": rows,
+        },
     )
     for row in rows:
         # All servable demand is served...

@@ -7,6 +7,7 @@ writes them under ``benchmarks/results/`` for EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
@@ -31,3 +32,21 @@ def report(results_dir):
         print(text)
 
     return _report
+
+
+@pytest.fixture
+def bench_json(results_dir):
+    """Write a machine-readable ``BENCH_<name>.json`` artifact.
+
+    The payload must be JSON-serializable (plain dicts/lists/numbers); CI
+    uploads every ``BENCH_*.json`` under ``benchmarks/results/`` so runs can
+    be compared across commits without scraping the text reports.
+    """
+
+    def _write(name: str, payload) -> Path:
+        path = results_dir / f"BENCH_{name}.json"
+        path.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+        print(f"\n[bench-json] wrote {path}")
+        return path
+
+    return _write

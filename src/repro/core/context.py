@@ -28,7 +28,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.problem import Item, Node, ProblemInstance
-from repro.core.rnr import ShortestPathCache
+from repro.core.rnr import PredecessorPathCache, ShortestPathCache
 from repro.graph.distance_matrix import DistanceMatrix, build_distance_matrix
 
 Edge = tuple[Node, Node]
@@ -70,13 +70,23 @@ class SolverContext:
         #: Paper bound on pairwise costs (max finite entry, floored at 1.0).
         self.w_max: float = self.dm.w_max()
         self._requesters: dict[Item, RequesterBlock] = {}
+        self._pinned_base: dict[Item, np.ndarray] = {}
         self._edge_costs: dict[Edge, float] = problem.network.costs()
         self._sp: ShortestPathCache | None = None
+        self._path_oracle: PredecessorPathCache | None = None
 
     @classmethod
     def from_problem(
         cls, problem: ProblemInstance, *, use_scipy: bool = True
     ) -> "SolverContext":
+        """Build a context, reusing a broadcast distance matrix when one
+        matching the problem's topology is registered (see
+        :mod:`repro.graph.shm`); costless when no broadcast is live."""
+        from repro.graph.shm import lookup_matrix
+
+        dm = lookup_matrix(problem.network.graph)
+        if dm is not None:
+            return cls(problem, dm=dm)
         return cls(problem, use_scipy=use_scipy)
 
     # ------------------------------------------------------------------
@@ -127,6 +137,26 @@ class SolverContext:
             self._requesters[item] = block
         return block
 
+    def pinned_min_costs(self, item: Item) -> np.ndarray:
+        """Per-requester least cost over ``item``'s pinned holders (uncapped).
+
+        ``inf`` where the item is pinned nowhere reachable.  Computed once
+        per item and cached read-only, so repeated :meth:`baseline_costs`
+        calls (every ``RNRCostSaving`` construction, every repair greedy)
+        stop re-sorting holders and re-slicing matrix rows.
+        """
+        base = self._pinned_base.get(item)
+        if base is None:
+            block = self.requesters(item)
+            base = np.full(block.size, np.inf, dtype=np.float64)
+            for holder in sorted(self.problem.pinned_holders(item), key=repr):
+                np.minimum(
+                    base, self.dm.matrix[self.node_index[holder], block.idx], out=base
+                )
+            base.setflags(write=False)
+            self._pinned_base[item] = base
+        return base
+
     def baseline_costs(self, item: Item, *, cap: float | None = None) -> np.ndarray:
         """Per-requester serving cost from pinned holders, capped at ``cap``.
 
@@ -136,14 +166,7 @@ class SolverContext:
         writable copy each call.
         """
         cap = self.w_max if cap is None else cap
-        block = self.requesters(item)
-        best = np.full(block.size, cap, dtype=np.float64)
-        for holder in sorted(self.problem.pinned_holders(item), key=repr):
-            np.minimum(
-                best, self.dm.matrix[self.node_index[holder], block.idx], out=best
-            )
-        np.minimum(best, cap, out=best)
-        return best
+        return np.minimum(self.pinned_min_costs(item), cap)
 
     # ------------------------------------------------------------------
     # Paths and link costs
@@ -155,6 +178,15 @@ class SolverContext:
         if self._sp is None:
             self._sp = ShortestPathCache(self.problem)
         return self._sp
+
+    @property
+    def path_oracle(self) -> PredecessorPathCache:
+        """Lazy scipy predecessor-tree path oracle (requires scipy)."""
+        if self._path_oracle is None:
+            self._path_oracle = PredecessorPathCache(
+                self.problem.network.graph, self.nodes, self.node_index
+            )
+        return self._path_oracle
 
     def path(self, source: Node, target: Node) -> tuple[Node, ...]:
         return self.sp.path(source, target)

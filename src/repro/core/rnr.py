@@ -13,13 +13,18 @@ policy of the benchmark in [3] once restricted to candidate paths.
 
 from __future__ import annotations
 
+import math
 from collections.abc import Hashable
 from typing import TYPE_CHECKING
+
+import numpy as np
 
 from repro.core.problem import ProblemInstance
 from repro.core.solution import Placement, Routing
 from repro.exceptions import InfeasibleError
 from repro.flow.decomposition import PathFlow
+from repro.graph.distance_matrix import HAVE_SCIPY, _dense_adjacency
+from repro.graph.network import COST
 from repro.graph.shortest_paths import reconstruct_path, single_source_dijkstra
 
 if TYPE_CHECKING:  # avoid a module cycle; context imports ShortestPathCache
@@ -53,6 +58,60 @@ class ShortestPathCache:
         return tuple(reconstruct_path(pred, source, target))
 
 
+class PredecessorPathCache:
+    """Path reconstruction from per-source scipy predecessor trees.
+
+    Dense-context RNR only needs actual node paths for holders that serve
+    flow, and a failure sweep asks for paths out of many sources on many
+    degraded graphs.  This oracle runs one
+    ``scipy.sparse.csgraph.dijkstra(..., return_predecessors=True)`` per
+    serving source (memoized) and backtracks the predecessor array, which is
+    far cheaper than a pure-python Dijkstra per source.  Requires scipy;
+    callers fall back to :class:`ShortestPathCache` without it.
+    """
+
+    def __init__(self, graph, nodes: tuple[Node, ...], index: dict[Node, int]) -> None:
+        from scipy.sparse.csgraph import csgraph_from_dense
+
+        self._nodes = nodes
+        adj = _dense_adjacency(graph, nodes, index, COST)
+        np.fill_diagonal(adj, 0.0)
+        self._csgraph = csgraph_from_dense(adj, null_value=math.inf)
+        self._pred: dict[int, np.ndarray] = {}
+        self._paths: dict[tuple[int, int], tuple[Node, ...]] = {}
+
+    def path_by_index(self, source: int, target: int) -> tuple[Node, ...]:
+        """Shortest ``nodes[source] -> nodes[target]`` path as node labels."""
+        cached = self._paths.get((source, target))
+        if cached is not None:
+            return cached
+        pred = self._pred.get(source)
+        if pred is None:
+            from scipy.sparse.csgraph import dijkstra
+
+            _, pred = dijkstra(
+                self._csgraph,
+                directed=True,
+                indices=source,
+                return_predecessors=True,
+            )
+            self._pred[source] = pred
+        hops = [target]
+        j = target
+        while j != source:
+            j = int(pred[j])
+            if j < 0:
+                nodes = self._nodes
+                raise InfeasibleError(
+                    f"{nodes[target]!r} unreachable from {nodes[source]!r}"
+                )
+            hops.append(j)
+        nodes = self._nodes
+        path = tuple(nodes[k] for k in reversed(hops))
+        self._paths[(source, target)] = path
+        return path
+
+
 def route_to_nearest_replica(
     problem: ProblemInstance,
     placement: Placement,
@@ -65,8 +124,10 @@ def route_to_nearest_replica(
 
     With a :class:`~repro.core.context.SolverContext`, holder distances come
     from the dense all-pairs matrix (O(1) per lookup, no Dijkstra per
-    holder); paths are still reconstructed through the context's lazy
-    shortest-path cache.
+    holder) and paths are reconstructed from memoized scipy predecessor
+    trees (:class:`PredecessorPathCache`; the context's dict-based cache
+    without scipy), so serving costs are unchanged while a failure sweep
+    stops paying a pure-python Dijkstra per serving holder.
 
     ``on_unservable`` controls what happens when a request cannot be fully
     covered by reachable holders (including pinned contents):
@@ -81,17 +142,16 @@ def route_to_nearest_replica(
     if on_unservable not in ("raise", "partial"):
         raise ValueError("on_unservable must be 'raise' or 'partial'")
     if context is not None:
-        dist_fn, sp = context.distance, context.sp
-    else:
-        sp = sp_cache or ShortestPathCache(problem)
-        dist_fn = sp.distance
+        return _route_with_context(problem, placement, context, on_unservable)
+    sp = sp_cache or ShortestPathCache(problem)
+    dist_fn = sp.distance
     routing = Routing()
+    item_fractions: dict[Node, dict[Node, float]] = {}
     for (item, requester), _rate in problem.demand.items():
-        fractions: dict[Node, float] = {}
-        for holder in placement.holders(item):
-            fractions[holder] = max(fractions.get(holder, 0.0), placement[(holder, item)])
-        for holder in problem.pinned_holders(item):
-            fractions[holder] = 1.0
+        fractions = item_fractions.get(item)
+        if fractions is None:
+            fractions = _holder_fractions(problem, placement, item)
+            item_fractions[item] = fractions
         candidates = sorted(
             (
                 (dist_fn(holder, requester), repr(holder), holder)
@@ -110,6 +170,82 @@ def route_to_nearest_replica(
                 continue
             paths.append(PathFlow(path=sp.path(holder, requester), amount=take))
             remaining -= take
+        if remaining > 1e-6 and on_unservable == "raise":
+            raise InfeasibleError(
+                f"request {(item, requester)!r} cannot be fully served by RNR "
+                f"(uncovered fraction {remaining:.4g})"
+            )
+        routing.paths[(item, requester)] = paths
+    return routing
+
+
+def _holder_fractions(
+    problem: ProblemInstance, placement: Placement, item
+) -> dict[Node, float]:
+    """Available fraction per holder of ``item`` (pinned copies count 1.0)."""
+    fractions: dict[Node, float] = {}
+    for holder in placement.holders(item):
+        fractions[holder] = max(fractions.get(holder, 0.0), placement[(holder, item)])
+    for holder in problem.pinned_holders(item):
+        fractions[holder] = 1.0
+    return fractions
+
+
+def _route_with_context(
+    problem: ProblemInstance,
+    placement: Placement,
+    context: "SolverContext",
+    on_unservable: str,
+) -> Routing:
+    """Dense-matrix RNR: vectorized candidate ordering, predecessor paths.
+
+    Semantics match the dict-based branch: candidates are served in
+    ``(distance, repr(holder))`` order (holders pre-sorted by ``repr`` plus a
+    stable argsort on matrix distances), unreachable holders are skipped, and
+    the take/remaining arithmetic runs on the same python floats.  Only the
+    path *reconstruction* backend differs — scipy predecessor trees instead
+    of per-source pure-python Dijkstra — which can pick a different (equal
+    cost) shortest path under ties.
+    """
+    matrix = context.dm.matrix
+    nidx = context.node_index
+    oracle = context.path_oracle if HAVE_SCIPY else None
+    routing = Routing()
+    per_item: dict = {}
+    for (item, requester), _rate in problem.demand.items():
+        entry = per_item.get(item)
+        if entry is None:
+            fractions = _holder_fractions(problem, placement, item)
+            holders = sorted(fractions, key=repr)
+            hidx = np.fromiter(
+                (nidx[h] for h in holders), dtype=np.intp, count=len(holders)
+            )
+            # Distances and serve order for every possible requester at
+            # once: one stable argsort per item instead of one per request.
+            dists = matrix[hidx] if holders else np.empty((0, len(nidx)))
+            order = np.argsort(dists, axis=0, kind="stable")
+            entry = (holders, hidx, [fractions[h] for h in holders], dists, order)
+            per_item[item] = entry
+        holders, hidx, fracs, dists, order = entry
+        paths: list[PathFlow] = []
+        remaining = 1.0
+        if holders:
+            r = nidx[requester]
+            dcol = dists[:, r]
+            for k in order[:, r]:
+                if remaining <= _EPS:
+                    break
+                if not math.isfinite(dcol[k]):
+                    continue
+                take = min(fracs[k], remaining)
+                if take <= _EPS:
+                    continue
+                if oracle is not None:
+                    path = oracle.path_by_index(int(hidx[k]), r)
+                else:
+                    path = context.sp.path(holders[k], requester)
+                paths.append(PathFlow(path=path, amount=take))
+                remaining -= take
         if remaining > 1e-6 and on_unservable == "raise":
             raise InfeasibleError(
                 f"request {(item, requester)!r} cannot be fully served by RNR "

@@ -66,9 +66,13 @@ class RNRCostSaving:
             self._sp = None
             self.w_max = context.w_max if w_max is None else w_max
             #: Current best (least) serving cost per requester, per item.
-            self._best_arr: dict[Item, np.ndarray] = {}
-            for item in sorted({i for (i, _s) in problem.demand}, key=repr):
-                self._best_arr[item] = context.baseline_costs(item, cap=self.w_max)
+            #: Catalog (item_index) order — no per-construction repr sort.
+            demand_items = {i for (i, _s) in problem.demand}
+            self._best_arr: dict[Item, np.ndarray] = {
+                item: context.baseline_costs(item, cap=self.w_max)
+                for item in context.items
+                if item in demand_items
+            }
             self._baseline_arr = {i: b.copy() for i, b in self._best_arr.items()}
             return
         self._sp = sp_cache or ShortestPathCache(problem)

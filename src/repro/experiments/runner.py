@@ -32,6 +32,7 @@ from concurrent.futures import (
 )
 from dataclasses import dataclass, field, replace
 from pathlib import Path
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -44,6 +45,17 @@ from repro.core.solution import Solution
 from repro.exceptions import ReproError
 from repro.experiments.config import MonteCarloConfig, ScenarioConfig
 from repro.experiments.scenarios import EdgeCachingScenario, build_scenario
+from repro.graph.shm import (
+    MatrixBroadcast,
+    SharedMatrixHandle,
+    attach_and_register,
+    graph_signature,
+    register_matrix,
+    unregister_matrix,
+)
+
+if TYPE_CHECKING:
+    from repro.core.context import SolverContext
 
 Algorithm = Callable[[EdgeCachingScenario], Solution]
 
@@ -220,6 +232,7 @@ def run_monte_carlo(
     max_workers: int | None = None,
     run_timeout: float | None = None,
     checkpoint: str | Path | None = None,
+    broadcast_context: "SolverContext | None" = None,
 ) -> list[RunRecord]:
     """Repeat every algorithm over seeded scenario instances.
 
@@ -248,6 +261,16 @@ def run_monte_carlo(
       same campaign with the same checkpoint path skips completed runs and
       returns records identical (except measured ``seconds``) to an
       uninterrupted campaign.
+    - ``broadcast_context`` shares a healthy-instance
+      :class:`~repro.core.context.SolverContext`'s distance matrix with
+      every run: the matrix is exported once into shared memory, each pool
+      worker maps it in its initializer, and ``SolverContext.from_problem``
+      reuses it for any scenario whose topology fingerprint matches (see
+      :mod:`repro.graph.shm`).  The per-task pickle payload stays O(1) in
+      the matrix size.  Serial execution (and the serial-retry fallbacks)
+      register the matrix in-process, so serial and parallel runs stay
+      bit-identical.  The segment is always unlinked before returning,
+      including the broken-pool and timeout paths.
     """
     builder = scenario_builder or build_scenario
     tasks = [
@@ -280,6 +303,14 @@ def run_monte_carlo(
             )
             checkpoint_file.flush()
 
+    broadcast: MatrixBroadcast | None = None
+    signature: str | None = None
+    if broadcast_context is not None:
+        signature = graph_signature(broadcast_context.problem.network.graph)
+        broadcast = MatrixBroadcast(broadcast_context.dm, signature)
+        # In-process registration covers serial mode and serial retries.
+        register_matrix(signature, broadcast_context.dm)
+
     pending = [i for i in range(len(tasks)) if i not in completed]
     try:
         serial_retry: list[int] = []
@@ -287,6 +318,7 @@ def run_monte_carlo(
             serial_retry = _run_parallel(
                 tasks, pending, finish_run,
                 max_workers=max_workers, run_timeout=run_timeout,
+                broadcast_handle=None if broadcast is None else broadcast.handle,
             )
         else:
             serial_retry = pending
@@ -295,6 +327,9 @@ def run_monte_carlo(
     finally:
         if checkpoint_file is not None:
             checkpoint_file.close()
+        if broadcast is not None:
+            unregister_matrix(signature)
+            broadcast.close()
     return [record for index in range(len(tasks)) for record in completed[index]]
 
 
@@ -305,11 +340,19 @@ def _run_parallel(
     *,
     max_workers: int | None,
     run_timeout: float | None,
+    broadcast_handle: SharedMatrixHandle | None = None,
 ) -> list[int]:
     """Run ``pending`` task indices in a process pool; return indices that
     must be retried serially (worker crash / unpicklable payloads)."""
     serial_retry: list[int] = []
-    pool = ProcessPoolExecutor(max_workers=max_workers)
+    if broadcast_handle is not None:
+        pool = ProcessPoolExecutor(
+            max_workers=max_workers,
+            initializer=attach_and_register,
+            initargs=(broadcast_handle,),
+        )
+    else:
+        pool = ProcessPoolExecutor(max_workers=max_workers)
     abandoned = False
     try:
         futures = {i: pool.submit(_evaluate_run, tasks[i]) for i in pending}

@@ -600,84 +600,307 @@ class LPBuilder:
             raise InfeasibleError(
                 f"LP is trivially infeasible: {self._infeasible_reason}"
             )
-        methods = tuple(methods) if methods is not None else DEFAULT_SOLVE_METHODS
-        if not methods:
-            raise SolverError("no solve methods given")
-        options = {} if time_limit is None else {"time_limit": float(time_limit)}
-        lp = self.materialize()
-        attempts: list[SolveAttempt] = []
-        total_start = time.perf_counter()
+        x, fun, report = _solve_materialized(
+            self.materialize(),
+            methods=methods,
+            time_limit=time_limit,
+            rescale_retry=rescale_retry,
+        )
+        sign = 1.0 if self._sense == "min" else -1.0
+        values, block_values = self._values_from(x)
+        return LPSolution(
+            objective=sign * fun,
+            values=values,
+            block_values=block_values,
+            report=report,
+        )
 
-        def attempt_chain(current: MaterializedLP, rescaled: bool):
-            for method in methods:
-                start = time.perf_counter()
-                try:
-                    result = linprog(
-                        current.c,
-                        A_ub=current.a_ub,
-                        b_ub=current.b_ub,
-                        A_eq=current.a_eq,
-                        b_eq=current.b_eq,
-                        bounds=current.bounds,
-                        method=method,
-                        options=dict(options),
-                    )
-                except Exception as exc:  # a HiGHS crash must not kill the chain
-                    attempts.append(
-                        SolveAttempt(
-                            method=method,
-                            status=-1,
-                            message=f"{type(exc).__name__}: {exc}",
-                            seconds=time.perf_counter() - start,
-                            rescaled=rescaled,
-                        )
-                    )
-                    continue
+    # ------------------------------------------------------------------
+    # Templates
+    # ------------------------------------------------------------------
+
+    def freeze(self) -> "LPTemplate":
+        """Snapshot this LP as a reusable :class:`LPTemplate`.
+
+        The template owns one materialized copy of the LP; its rhs, variable
+        bounds, and objective can be patched between solves without
+        re-running :meth:`materialize` (the CSR matrices are assembled once
+        and never touched again).  A template solve with untouched arrays is
+        bit-identical to :meth:`solve` on this builder; a patched solve is
+        bit-identical to a fresh assembly producing the same arrays, because
+        :meth:`materialize` is deterministic.  Mutating the builder after
+        ``freeze()`` does not affect existing templates.
+        """
+        if self._cols == 0:
+            raise SolverError("LP has no variables")
+        if self._infeasible_reason is not None:
+            raise InfeasibleError(
+                f"LP is trivially infeasible: {self._infeasible_reason}"
+            )
+        return LPTemplate(
+            lp=self.materialize(),
+            sense=self._sense,
+            index=dict(self._index),
+            blocks=dict(self._blocks),
+        )
+
+
+def _solve_materialized(
+    lp: MaterializedLP,
+    *,
+    methods: Sequence[str] | None = None,
+    time_limit: float | None = None,
+    rescale_retry: bool = True,
+) -> tuple[np.ndarray, float, SolveReport]:
+    """Run the hardened HiGHS fallback chain on assembled arrays.
+
+    Shared by :meth:`LPBuilder.solve` and :meth:`LPTemplate.solve`; returns
+    ``(x, fun, report)`` and raises the same exceptions as
+    :meth:`LPBuilder.solve`.
+    """
+    methods = tuple(methods) if methods is not None else DEFAULT_SOLVE_METHODS
+    if not methods:
+        raise SolverError("no solve methods given")
+    options = {} if time_limit is None else {"time_limit": float(time_limit)}
+    attempts: list[SolveAttempt] = []
+    total_start = time.perf_counter()
+
+    def attempt_chain(current: MaterializedLP, rescaled: bool):
+        for method in methods:
+            start = time.perf_counter()
+            try:
+                result = linprog(
+                    current.c,
+                    A_ub=current.a_ub,
+                    b_ub=current.b_ub,
+                    A_eq=current.a_eq,
+                    b_eq=current.b_eq,
+                    bounds=current.bounds,
+                    method=method,
+                    options=dict(options),
+                )
+            except Exception as exc:  # a HiGHS crash must not kill the chain
                 attempts.append(
                     SolveAttempt(
                         method=method,
-                        status=int(result.status),
-                        message=str(result.message),
+                        status=-1,
+                        message=f"{type(exc).__name__}: {exc}",
                         seconds=time.perf_counter() - start,
                         rescaled=rescaled,
                     )
                 )
-                if result.status in _TERMINAL_STATUSES:
-                    return result
-            return None
+                continue
+            attempts.append(
+                SolveAttempt(
+                    method=method,
+                    status=int(result.status),
+                    message=str(result.message),
+                    seconds=time.perf_counter() - start,
+                    rescaled=rescaled,
+                )
+            )
+            if result.status in _TERMINAL_STATUSES:
+                return result
+        return None
 
-        result = attempt_chain(lp, rescaled=False)
-        rescaled = False
-        if result is None and rescale_retry:
-            result = attempt_chain(self._rescaled(lp), rescaled=True)
-            rescaled = result is not None
-        report = SolveReport(
-            attempts=tuple(attempts),
-            method=attempts[-1].method if result is not None else None,
-            rescaled=rescaled,
-            seconds=time.perf_counter() - total_start,
+    result = attempt_chain(lp, rescaled=False)
+    rescaled = False
+    if result is None and rescale_retry:
+        result = attempt_chain(LPBuilder._rescaled(lp), rescaled=True)
+        rescaled = result is not None
+    report = SolveReport(
+        attempts=tuple(attempts),
+        method=attempts[-1].method if result is not None else None,
+        rescaled=rescaled,
+        seconds=time.perf_counter() - total_start,
+    )
+    if result is None:
+        trail = "; ".join(
+            f"{a.method}{' (rescaled)' if a.rescaled else ''}: "
+            f"status {a.status} ({a.message})"
+            for a in attempts
         )
-        if result is None:
-            trail = "; ".join(
-                f"{a.method}{' (rescaled)' if a.rescaled else ''}: "
-                f"status {a.status} ({a.message})"
-                for a in attempts
-            )
-            raise SolverError(
-                f"LP solver failed after {len(attempts)} attempts: {trail}"
-            )
-        if result.status == 2:
-            raise InfeasibleError("LP is infeasible")
-        if result.status == 3:
-            raise UnboundedError(
-                "LP is unbounded: the objective can improve without limit; "
-                "check for a missing capacity constraint or variable bound "
-                f"({result.message})"
-            )
-        sign = 1.0 if self._sense == "min" else -1.0
-        values, block_values = self._values_from(result.x)
+        raise SolverError(
+            f"LP solver failed after {len(attempts)} attempts: {trail}"
+        )
+    if result.status == 2:
+        raise InfeasibleError("LP is infeasible")
+    if result.status == 3:
+        raise UnboundedError(
+            "LP is unbounded: the objective can improve without limit; "
+            "check for a missing capacity constraint or variable bound "
+            f"({result.message})"
+        )
+    return result.x, float(result.fun), report
+
+
+class LPTemplate:
+    """A frozen LP whose rhs/bounds/objective patch in place between solves.
+
+    Produced by :meth:`LPBuilder.freeze`.  The constraint *structure* (both
+    CSR matrices) is immutable; only
+
+    - inequality/equality right-hand sides (:meth:`set_b_ub` /
+      :meth:`set_b_eq`),
+    - variable bounds (:meth:`set_bounds` / :meth:`set_block_bounds`), and
+    - objective coefficients (:meth:`set_objective` /
+      :meth:`set_block_objective`)
+
+    may change.  Patch rules: a patch must describe the LP a fresh
+    :class:`LPBuilder` assembly *would* have produced — same rows in the
+    same order, same sparsity pattern — so a patched solve stays
+    bit-identical to the from-scratch solve it replaces (``materialize`` is
+    deterministic, and HiGHS sees identical arrays).  Changing which
+    coefficients are zero/nonzero, adding rows, or flipping a bound between
+    finite and infinite in a way a fresh assembly would have *dropped* the
+    row for requires a new builder, not a patch.
+    """
+
+    def __init__(
+        self,
+        *,
+        lp: MaterializedLP,
+        sense: str,
+        index: dict[Key, int],
+        blocks: dict[Key, VariableBlock],
+    ) -> None:
+        self._sense = sense
+        self._index = index
+        self._blocks = blocks
+        self._sign = 1.0 if sense == "min" else -1.0
+        # Writable copies of the patchable arrays; CSR structure is shared.
+        self._c = lp.c.copy()
+        self._b_ub = None if lp.b_ub is None else lp.b_ub.copy()
+        self._b_eq = None if lp.b_eq is None else lp.b_eq.copy()
+        self._bounds = lp.bounds.copy()
+        self._a_ub = lp.a_ub
+        self._a_eq = lp.a_eq
+
+    # -- introspection --------------------------------------------------
+
+    @property
+    def num_variables(self) -> int:
+        return self._bounds.shape[0]
+
+    @property
+    def num_ub_rows(self) -> int:
+        return 0 if self._b_ub is None else int(self._b_ub.size)
+
+    @property
+    def num_eq_rows(self) -> int:
+        return 0 if self._b_eq is None else int(self._b_eq.size)
+
+    def block(self, name: Key) -> VariableBlock:
+        return self._blocks[name]
+
+    def column_of(self, key: Key) -> int:
+        return self._index[key]
+
+    # -- patching -------------------------------------------------------
+
+    def set_b_ub(self, rows, values) -> None:
+        """Patch inequality rhs entries (global ``<=`` row indices).
+
+        Rows added via ``add_ge``/``add_ge_batch`` are stored negated, so
+        patch them with the *negated* bound, exactly as a fresh assembly
+        would store it.
+        """
+        if self._b_ub is None:
+            raise InvalidProblemError("template has no inequality rows")
+        values = np.asarray(values, dtype=np.float64)
+        if np.isnan(values).any():
+            raise InvalidProblemError("rhs patch contains NaN")
+        self._b_ub[rows] = values
+
+    def set_b_eq(self, rows, values) -> None:
+        """Patch equality rhs entries (global ``==`` row indices)."""
+        if self._b_eq is None:
+            raise InvalidProblemError("template has no equality rows")
+        values = np.asarray(values, dtype=np.float64)
+        if not np.isfinite(values).all():
+            raise InvalidProblemError("equality rhs patch must be finite")
+        self._b_eq[rows] = values
+
+    def set_bounds(self, key: Key, *, lb: float | None = None, ub: float | None = None) -> None:
+        """Patch one keyed variable's bounds."""
+        idx = self._index[key]
+        if lb is not None:
+            self._bounds[idx, 0] = float(lb)
+        if ub is not None:
+            self._bounds[idx, 1] = float(ub)
+
+    def set_block_bounds(self, name: Key, *, lb=None, ub=None) -> None:
+        """Patch a variable block's bounds (scalars or block-shaped arrays)."""
+        block = self._blocks[name]
+        sl = slice(block.offset, block.offset + block.size)
+        if lb is not None:
+            arr = np.broadcast_to(np.asarray(lb, dtype=np.float64), block.shape)
+            self._bounds[sl, 0] = arr.ravel()
+        if ub is not None:
+            arr = np.broadcast_to(np.asarray(ub, dtype=np.float64), block.shape)
+            self._bounds[sl, 1] = arr.ravel()
+        if np.isnan(self._bounds[sl]).any():
+            raise InvalidProblemError(f"bounds patch for block {name!r} has NaN")
+
+    def set_objective(self, key: Key, cost: float) -> None:
+        """Patch one keyed variable's objective coefficient."""
+        if math.isnan(cost):
+            raise InvalidProblemError(f"objective patch for {key!r} is NaN")
+        self._c[self._index[key]] = self._sign * float(cost)
+
+    def set_block_objective(self, name: Key, cost) -> None:
+        """Patch a variable block's objective coefficients."""
+        block = self._blocks[name]
+        arr = np.broadcast_to(np.asarray(cost, dtype=np.float64), block.shape).ravel()
+        if np.isnan(arr).any():
+            raise InvalidProblemError(f"objective patch for block {name!r} has NaN")
+        self._c[block.offset : block.offset + block.size] = self._sign * arr
+
+    # -- solving --------------------------------------------------------
+
+    def materialized(self) -> MaterializedLP:
+        """Current patched arrays in :class:`MaterializedLP` form."""
+        return MaterializedLP(
+            c=self._c,
+            a_ub=self._a_ub,
+            b_ub=self._b_ub,
+            a_eq=self._a_eq,
+            b_eq=self._b_eq,
+            bounds=self._bounds,
+        )
+
+    def solve(
+        self,
+        *,
+        methods: Sequence[str] | None = None,
+        time_limit: float | None = None,
+        rescale_retry: bool = True,
+    ) -> LPSolution:
+        """Solve the patched LP (same fallback chain and exceptions as
+        :meth:`LPBuilder.solve`)."""
+        x, fun, report = _solve_materialized(
+            self.materialized(),
+            methods=methods,
+            time_limit=time_limit,
+            rescale_retry=rescale_retry,
+        )
+        values: dict[Key, float] = {
+            key: float(x[idx]) for key, idx in self._index.items()
+        }
+        block_values: dict[Key, np.ndarray] = {}
+        for name, block in self._blocks.items():
+            flat = x[block.offset : block.offset + block.size]
+            block_values[name] = flat.reshape(block.shape).copy()
+            if block.size:
+                index_arrays = np.unravel_index(
+                    np.arange(block.size, dtype=np.intp), block.shape
+                )
+                columns = [a.tolist() for a in index_arrays]
+                flat_list = flat.tolist()
+                for k, multi in enumerate(zip(*columns)):
+                    values[(name, *multi)] = flat_list[k]
         return LPSolution(
-            objective=sign * float(result.fun),
+            objective=self._sign * fun,
             values=values,
             block_values=block_values,
             report=report,

@@ -116,6 +116,118 @@ def _dense_adjacency(
     return adj
 
 
+def _recompute_rows(
+    graph: nx.DiGraph,
+    node_list: Sequence[Node],
+    index: dict[Node, int],
+    weight: str,
+    sources: np.ndarray,
+    use_scipy: bool,
+) -> np.ndarray:
+    """Distance-matrix rows for ``sources`` (indices into ``node_list``).
+
+    Mirrors :func:`build_distance_matrix` exactly — same adjacency
+    construction and the same per-source Dijkstra backends — so recomputed
+    rows are bit-identical to the corresponding rows of a full rebuild.
+    """
+    n = len(node_list)
+    if use_scipy and HAVE_SCIPY:
+        adj = _dense_adjacency(graph, node_list, index, weight)
+        np.fill_diagonal(adj, 0.0)
+        csgraph = csgraph_from_dense(adj, null_value=math.inf)
+        rows = np.atleast_2d(_csgraph_dijkstra(csgraph, directed=True, indices=sources))
+        rows[np.arange(len(sources)), sources] = 0.0
+        return rows
+    rows = np.full((len(sources), n), math.inf, dtype=np.float64)
+    for k, i in enumerate(sources):
+        dist, _ = single_source_dijkstra(graph, node_list[i], weight=weight)
+        for target, d in dist.items():
+            j = index.get(target)
+            if j is not None:
+                rows[k, j] = d
+    return rows
+
+
+def affected_sources(
+    parent: DistanceMatrix,
+    removed_edges: Sequence[tuple[Node, Node, float]],
+) -> np.ndarray:
+    """Boolean mask of rows whose distances may change when edges are removed.
+
+    A source row ``i`` can only change if some removed edge ``(u, v)`` with
+    weight ``w`` lies on a shortest path out of ``i`` in the *parent* matrix,
+    i.e. ``D[i, u] + w + D[v, t] == D[i, t]`` for some target ``t``.  The
+    test is exact in one direction (every row that actually changes is
+    flagged) and conservative in the other (a flagged row may be covered by
+    an equal-cost surviving path — it is recomputed and comes back equal).
+    """
+    d = parent.matrix
+    n = len(parent)
+    affected = np.zeros(n, dtype=bool)
+    for u, v, w in removed_edges:
+        i = parent.index.get(u)
+        j = parent.index.get(v)
+        if i is None or j is None:
+            continue
+        via = d[:, i] + float(w)  # cost source -> u -> (u, v)
+        lhs = via[:, None] + d[j][None, :]
+        affected |= (np.isfinite(lhs) & (lhs == d)).any(axis=1)
+    return affected
+
+
+def repair_distance_matrix(
+    parent: DistanceMatrix,
+    degraded_graph: nx.DiGraph,
+    *,
+    removed_edges: Sequence[tuple[Node, Node, float]],
+    removed_nodes: Sequence[Node] = (),
+    weight: str = COST,
+    use_scipy: bool = True,
+) -> DistanceMatrix:
+    """Incrementally rebuild ``parent`` after edge/node removals.
+
+    ``removed_edges`` lists every directed edge deleted from the parent
+    graph as ``(u, v, weight)`` triples (node removals must list their
+    incident edges too, as :func:`repro.robustness.faults.apply_failure`
+    records them); ``removed_nodes`` lists deleted nodes.  Rows whose
+    shortest paths cannot have used a removed element are copied from the
+    parent; the rest are recomputed on ``degraded_graph`` in one batched
+    sweep.  The result is bit-identical to
+    ``build_distance_matrix(degraded_graph)`` as long as the surviving node
+    order matches the degraded graph's insertion order — callers that cannot
+    guarantee that should fall back to a full rebuild.
+
+    Raises
+    ------
+    InvalidNetworkError
+        ``degraded_graph``'s node order is not the parent order minus
+        ``removed_nodes`` (the repaired matrix would be misindexed).
+    """
+    dead = set(removed_nodes)
+    node_list = tuple(v for v in parent.nodes if v not in dead)
+    if node_list != tuple(degraded_graph.nodes):
+        raise InvalidNetworkError(
+            "degraded graph nodes do not match the parent order minus "
+            "removed nodes; rebuild the distance matrix from scratch"
+        )
+    index = {v: k for k, v in enumerate(node_list)}
+    n = len(node_list)
+    if n == 0:
+        return DistanceMatrix(nodes=(), matrix=np.zeros((0, 0), dtype=np.float64))
+    affected = affected_sources(parent, removed_edges)
+    keep = np.fromiter(
+        (parent.index[v] for v in node_list), dtype=np.intp, count=n
+    )
+    matrix = parent.matrix[np.ix_(keep, keep)].copy()
+    sources = np.flatnonzero(affected[keep])
+    if sources.size:
+        matrix[sources] = _recompute_rows(
+            degraded_graph, node_list, index, weight, sources, use_scipy
+        )
+    matrix.setflags(write=False)
+    return DistanceMatrix(nodes=node_list, matrix=matrix, index=index)
+
+
 def build_distance_matrix(
     graph: nx.DiGraph,
     *,

@@ -12,6 +12,7 @@ See :mod:`repro.robustness.faults` for the failure model,
 :mod:`repro.robustness.demo` for a self-contained gadget walkthrough.
 """
 
+from repro.robustness.degraded import degraded_context
 from repro.robustness.faults import (
     CapacityDegradation,
     DegradedProblem,
@@ -48,6 +49,7 @@ __all__ = [
     "k_link_failures",
     "single_node_failures",
     "sample_failures",
+    "degraded_context",
     "RecoveryResult",
     "recover",
     "repair_placement",

@@ -1,0 +1,77 @@
+"""Derive solver contexts for degraded instances from the healthy parent.
+
+A failure sweep evaluates hundreds of closely related instances: each
+scenario removes a handful of links or nodes from one healthy topology.
+Rebuilding a :class:`~repro.core.context.SolverContext` per scenario runs a
+full all-pairs shortest-path computation every time, although a single link
+removal typically perturbs only the rows whose shortest paths crossed it.
+
+:func:`degraded_context` instead *repairs* the parent's dense distance
+matrix (:func:`repro.graph.distance_matrix.repair_distance_matrix`): rows
+that cannot have used a failed element are copied, the rest are recomputed
+in one batched Dijkstra sweep over the surviving graph.  The derived
+context is bit-identical to ``SolverContext.from_problem(degraded.problem)``
+— parity is asserted in ``tests/robustness/test_degraded_context.py`` — so
+it can be threaded through recovery and reporting without changing any
+result, only the wall-clock.
+
+A derived context is valid exactly when the degraded instance was produced
+by :func:`repro.robustness.faults.apply_failure` from the parent context's
+own problem: the faults must be pure removals or capacity scalings (link
+costs unchanged), and the surviving node order must be the parent order
+minus the failed nodes (``graph.copy()`` + removals preserves insertion
+order, so this holds by construction).  When the node orders cannot be
+matched the function falls back to a full rebuild rather than guessing.
+"""
+
+from __future__ import annotations
+
+from repro.core.context import SolverContext
+from repro.exceptions import InvalidNetworkError
+from repro.graph.distance_matrix import build_distance_matrix, repair_distance_matrix
+from repro.robustness.faults import DegradedProblem
+
+__all__ = ["degraded_context"]
+
+
+def degraded_context(
+    parent: SolverContext,
+    degraded: DegradedProblem,
+    *,
+    use_scipy: bool = True,
+) -> SolverContext:
+    """A :class:`SolverContext` for ``degraded.problem``, derived from ``parent``.
+
+    The parent must be the context of the healthy instance the scenario was
+    applied to.  Capacity-only scenarios (no removed links or nodes) share
+    the parent's distance matrix outright; removals repair it incrementally.
+    Falls back to a fresh :func:`build_distance_matrix` when the surviving
+    node order cannot be aligned with the parent's (never the case for
+    instances produced by :func:`~repro.robustness.faults.apply_failure`).
+    """
+    graph = degraded.problem.network.graph
+    if not degraded.failed_links and not degraded.failed_nodes:
+        # Capacity degradation only: link costs — and therefore every
+        # distance — are untouched, so the parent matrix is the matrix.
+        if parent.dm.nodes == tuple(graph.nodes):
+            return SolverContext(degraded.problem, dm=parent.dm)
+        return SolverContext(
+            degraded.problem,
+            dm=build_distance_matrix(graph, use_scipy=use_scipy),
+        )
+    removed_edges = [
+        (u, v, parent.link_cost(u, v))
+        for (u, v) in sorted(degraded.failed_links, key=repr)
+        if u in parent.node_index and v in parent.node_index
+    ]
+    try:
+        dm = repair_distance_matrix(
+            parent.dm,
+            graph,
+            removed_edges=removed_edges,
+            removed_nodes=tuple(degraded.failed_nodes),
+            use_scipy=use_scipy,
+        )
+    except InvalidNetworkError:
+        dm = build_distance_matrix(graph, use_scipy=use_scipy)
+    return SolverContext(degraded.problem, dm=dm)

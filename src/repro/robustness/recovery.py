@@ -18,16 +18,30 @@ The repair greedy is the failure-time analogue of the paper's
 ``v`` is the demand-weighted serving-cost reduction over ``i``'s requesters,
 with unservable requests charged a penalty above every finite distance so
 restoring service always dominates shaving cost.
+
+Every entry point accepts an optional ``context`` — a
+:class:`~repro.core.context.SolverContext` built *for the degraded
+instance* (usually derived from the healthy parent via
+:func:`repro.robustness.degraded.degraded_context`).  With a context, holder
+distances and repair gains are vectorized reductions over the dense
+distance matrix; without one the dict-based shortest-path cache is used, as
+before.  Both paths compute the same quantities.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+import numpy as np
 
 from repro.core.problem import Item, Node, ProblemInstance, Request
 from repro.core.rnr import ShortestPathCache, route_to_nearest_replica
 from repro.core.solution import Placement, Routing, Solution
 from repro.robustness.faults import DegradedProblem
+
+if TYPE_CHECKING:
+    from repro.core.context import SolverContext
 
 _EPS = 1e-9
 _SERVED_TOL = 1e-6
@@ -100,17 +114,28 @@ def recover(
     *,
     repair: bool = False,
     max_repairs: int | None = None,
+    context: "SolverContext | None" = None,
 ) -> RecoveryResult:
-    """Re-route (and optionally repair) a healthy placement after failures."""
+    """Re-route (and optionally repair) a healthy placement after failures.
+
+    ``context``, when given, must be a solver context *of the degraded
+    instance* (see :func:`repro.robustness.degraded.degraded_context`); it
+    accelerates both the re-routing and the repair greedy without changing
+    their decisions.
+    """
     survivor, dropped = surviving_placement(placement, degraded)
     problem = degraded.problem
-    routing = route_to_nearest_replica(problem, survivor, on_unservable="partial")
+    routing = route_to_nearest_replica(
+        problem, survivor, on_unservable="partial", context=context
+    )
     repaired: list[tuple[Node, Item]] = []
     if repair:
-        repaired = repair_placement(problem, survivor, max_repairs=max_repairs)
+        repaired = repair_placement(
+            problem, survivor, max_repairs=max_repairs, context=context
+        )
         if repaired:
             routing = route_to_nearest_replica(
-                problem, survivor, on_unservable="partial"
+                problem, survivor, on_unservable="partial", context=context
             )
     return RecoveryResult(
         degraded=degraded,
@@ -127,14 +152,21 @@ def repair_placement(
     placement: Placement,
     *,
     max_repairs: int | None = None,
+    context: "SolverContext | None" = None,
 ) -> list[tuple[Node, Item]]:
     """Greedy incremental repair: refill residual cache space in place.
 
     Mutates ``placement`` by inserting whole copies (fraction 1.0) into
     surviving caches with enough residual space, ordered by marginal
     serving-cost saving; returns the inserted ``(node, item)`` entries.
-    Deterministic: ties break on ``repr`` of the candidate.
+    Deterministic: ties break on ``repr`` of the candidate.  With a
+    ``context`` the per-requester serving costs and marginal gains are
+    vectorized over the dense distance matrix (same values, same choices).
     """
+    if context is not None:
+        return _repair_placement_ctx(
+            problem, placement, context, max_repairs=max_repairs
+        )
     sp = ShortestPathCache(problem)
     cache_nodes = sorted(problem.network.cache_nodes(), key=repr)
     residual = {
@@ -218,4 +250,94 @@ def repair_placement(
             d = sp.distance(v, s)
             if d < cost[(item, s)]:
                 cost[(item, s)] = d
+    return repaired
+
+
+def _repair_placement_ctx(
+    problem: ProblemInstance,
+    placement: Placement,
+    ctx: "SolverContext",
+    *,
+    max_repairs: int | None = None,
+) -> list[tuple[Node, Item]]:
+    """Dense-matrix implementation of :func:`repair_placement`.
+
+    Same move structure and tie-breaking as the dict path; per-requester
+    current costs live in one array per item (aligned with the context's
+    requester blocks, which follow the same repr-sorted order as the dict
+    path), and marginal gains are clipped dot products over matrix rows.
+    """
+    matrix = ctx.dm.matrix
+    nidx = ctx.node_index
+    cache_nodes = sorted(problem.network.cache_nodes(), key=repr)
+    residual = {
+        v: problem.network.cache_capacity(v) - placement.used_capacity(v, problem)
+        for v in cache_nodes
+    }
+
+    # Penalty: strictly above every finite distance out of cache/pinned nodes.
+    pinned_nodes = sorted({v for v, _i in problem.pinned}, key=repr)
+    probe = [v for v in (*cache_nodes, *pinned_nodes) if v in nidx]
+    if probe:
+        rows = matrix[[nidx[v] for v in probe]]
+        finite = rows[np.isfinite(rows)]
+        top = float(finite.max()) if finite.size else 0.0
+    else:
+        top = 0.0
+    penalty = 2.0 * (top if top > 0 else 1.0) + 1.0
+
+    items = sorted({i for (i, _s) in problem.demand}, key=repr)
+    cost: dict[Item, np.ndarray] = {}
+    for item in items:
+        block = ctx.requesters(item)
+        best = np.full(block.size, penalty, dtype=np.float64)
+        holders = {
+            v
+            for v in placement.holders(item)
+            if placement[(v, item)] >= 1 - _SERVED_TOL
+        } | problem.pinned_holders(item)
+        for h in holders:
+            np.minimum(best, matrix[nidx[h], block.idx], out=best)
+        cost[item] = best
+
+    def gain(v: Node, item: Item) -> float:
+        best = cost.get(item)
+        if best is None or best.size == 0:
+            return 0.0
+        block = ctx.requesters(item)
+        diff = best - matrix[nidx[v], block.idx]
+        mask = diff > _EPS
+        if not mask.any():
+            return 0.0
+        return float(diff[mask] @ block.rates[mask])
+
+    repaired: list[tuple[Node, Item]] = []
+    budget = max_repairs if max_repairs is not None else len(cache_nodes) * len(
+        problem.catalog
+    )
+    while len(repaired) < budget:
+        best_key: tuple[float, str, Node, Item] | None = None
+        for v in cache_nodes:
+            for item in problem.catalog:
+                if (v, item) in problem.pinned:
+                    continue
+                if placement[(v, item)] >= 1 - _SERVED_TOL:
+                    continue
+                if problem.size_of(item) > residual[v] + _EPS:
+                    continue
+                g = gain(v, item)
+                if g <= _EPS:
+                    continue
+                key = (-g, repr((v, item)), v, item)
+                if best_key is None or key < best_key:
+                    best_key = key
+        if best_key is None:
+            break
+        _, _, v, item = best_key
+        placement[(v, item)] = 1.0
+        residual[v] -= problem.size_of(item)
+        repaired.append((v, item))
+        best = cost.get(item)
+        if best is not None and best.size:
+            np.minimum(best, matrix[nidx[v], ctx.requesters(item).idx], out=best)
     return repaired

@@ -11,13 +11,18 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 from repro.core.evaluation import congestion, routing_cost
 from repro.core.problem import ProblemInstance
 from repro.core.rnr import route_to_nearest_replica
 from repro.core.solution import Placement, Routing
+from repro.robustness.degraded import degraded_context
 from repro.robustness.faults import FailureScenario, apply_failure
 from repro.robustness.recovery import RecoveryResult, recover
+
+if TYPE_CHECKING:
+    from repro.core.context import SolverContext
 
 _SERVED_TOL = 1e-6
 
@@ -127,6 +132,7 @@ def survivability_report(
     *,
     repair: bool = False,
     healthy_routing: Routing | None = None,
+    context: "SolverContext | None" = None,
 ) -> SurvivabilityReport:
     """Evaluate a placement's graceful degradation across ``scenarios``.
 
@@ -134,15 +140,26 @@ def survivability_report(
     policy recovery applies after failure — so on uncapacitated instances
     cost inflation is guaranteed ≥ 1 for every fully-served scenario
     (removing links can only lengthen shortest paths).
+
+    ``context`` is the *healthy* instance's :class:`SolverContext`; when
+    given, each scenario's recovery runs on a context derived from it via
+    :func:`repro.robustness.degraded.degraded_context` (incremental
+    distance-matrix repair) instead of a per-scenario shortest-path cache.
+    Results are identical either way; only the wall-clock changes.
     """
     if healthy_routing is None:
-        healthy_routing = route_to_nearest_replica(problem, placement)
-    healthy_cost = routing_cost(problem, healthy_routing, demand=problem.demand)
-    records = [
-        survivability_record(
-            recover(apply_failure(problem, scenario), placement, repair=repair),
-            healthy_cost=healthy_cost,
+        healthy_routing = route_to_nearest_replica(
+            problem, placement, context=context
         )
-        for scenario in scenarios
-    ]
+    healthy_cost = routing_cost(problem, healthy_routing, demand=problem.demand)
+    records = []
+    for scenario in scenarios:
+        degraded = apply_failure(problem, scenario)
+        ctx = degraded_context(context, degraded) if context is not None else None
+        records.append(
+            survivability_record(
+                recover(degraded, placement, repair=repair, context=ctx),
+                healthy_cost=healthy_cost,
+            )
+        )
     return SurvivabilityReport(healthy_cost=healthy_cost, records=records)

@@ -1,0 +1,156 @@
+"""Solver-level LP templates: MMSFP and FC-FR patched solves vs. fresh ones.
+
+The templates reuse one frozen LP across placements (MMSFP) or capacity
+scenarios (FC-FR).  MMSFP's template LP has extra always-closed columns, so
+its *cost* must match the per-placement assembly exactly while the flow
+split may be a different optimal vertex; FC-FR's template patches pure rhs
+rows, so its solves are asserted bit-identical to fresh assemblies.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    FCFRTemplate,
+    MMSFPTemplate,
+    Placement,
+    ProblemInstance,
+    alternating_optimization,
+    fcfr_capacity_sweep,
+    mmsfp_routing,
+    routing_cost,
+    solve_fcfr,
+)
+from repro.core.submodular import greedy_rnr_placement
+from repro.exceptions import InfeasibleError, InvalidProblemError
+from tests.core.conftest import random_uncapacitated_problem
+
+
+def recapacitated(problem, link_over=None, cache_over=None) -> ProblemInstance:
+    network = problem.network.copy()
+    for (u, v), cap in (link_over or {}).items():
+        network.set_link_capacity(u, v, cap)
+    for v, cap in (cache_over or {}).items():
+        network.set_cache_capacity(v, cap)
+    return ProblemInstance(
+        network=network,
+        catalog=problem.catalog,
+        demand=dict(problem.demand),
+        item_sizes=dict(problem.item_sizes) if problem.item_sizes else None,
+        pinned=frozenset(problem.pinned),
+    )
+
+
+def capacitated_problem(seed: int, slack: float = 2.0) -> ProblemInstance:
+    problem = random_uncapacitated_problem(seed)
+    total = sum(problem.demand.values())
+    rng = np.random.default_rng(seed + 77)
+    for (u, v) in list(problem.network.graph.edges):
+        problem.network.set_link_capacity(
+            u, v, float(total * rng.uniform(slack, 2 * slack))
+        )
+    return problem
+
+
+class TestMMSFPTemplate:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_cost_matches_fresh_assembly(self, seed):
+        problem = random_uncapacitated_problem(seed)
+        template = MMSFPTemplate(problem)
+        for placement in (
+            Placement(),  # origin-only
+            greedy_rnr_placement(problem),
+        ):
+            fresh = mmsfp_routing(problem, placement)
+            patched = template.solve(placement)
+            assert patched.cost == pytest.approx(fresh.cost, rel=1e-9, abs=1e-9)
+            # The returned routing must actually realize that cost.
+            assert routing_cost(problem, patched.routing) == pytest.approx(
+                patched.cost, rel=1e-6
+            )
+
+    def test_repatching_is_stateless(self):
+        problem = random_uncapacitated_problem(1)
+        template = MMSFPTemplate(problem)
+        empty_cost = template.solve(Placement()).cost
+        template.solve(greedy_rnr_placement(problem))
+        assert template.solve(Placement()).cost == empty_cost
+
+    def test_alternating_with_template_matches_cost(self):
+        problem = random_uncapacitated_problem(2)
+        plain = alternating_optimization(problem, integral_routing=False)
+        fast = alternating_optimization(
+            problem, integral_routing=False, lp_template=True
+        )
+        plain_cost = routing_cost(problem, plain.solution.routing)
+        fast_cost = routing_cost(problem, fast.solution.routing)
+        assert fast_cost == pytest.approx(plain_cost, rel=1e-6)
+
+
+class TestFCFRTemplate:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_baseline_solve_bit_identical(self, seed):
+        problem = capacitated_problem(seed)
+        fresh = solve_fcfr(problem)
+        patched = FCFRTemplate(problem).solve()
+        assert patched.cost == fresh.cost
+        assert dict(patched.solution.placement) == dict(fresh.solution.placement)
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_capacity_override_bit_identical(self, seed):
+        problem = capacitated_problem(seed)
+        template = FCFRTemplate(problem)
+        rng = np.random.default_rng(seed)
+        edges = template._meta.link_edges
+        total = sum(problem.demand.values())
+        link_over = {edges[int(rng.integers(len(edges)))]: float(total)}
+        patched = template.solve(link_capacities=link_over)
+        fresh = solve_fcfr(recapacitated(problem, link_over=link_over))
+        assert patched.cost == fresh.cost
+
+    def test_scenarios_do_not_leak(self):
+        problem = capacitated_problem(0)
+        template = FCFRTemplate(problem)
+        baseline = template.solve().cost
+        edges = template._meta.link_edges
+        template.solve(
+            link_capacities={edges[0]: sum(problem.demand.values()) * 0.8}
+        )
+        assert template.solve().cost == baseline
+
+    def test_sweep_matches_per_scenario_solves(self):
+        problem = capacitated_problem(1)
+        total = sum(problem.demand.values())
+        template = FCFRTemplate(problem)
+        edges = template._meta.link_edges
+        scenarios = [
+            {},
+            {"link": {edges[0]: total * 1.2}},
+            {"link": {edges[-1]: total * 0.9}},
+        ]
+        swept = fcfr_capacity_sweep(problem, scenarios)
+        for scenario, result in zip(scenarios, swept):
+            fresh = solve_fcfr(
+                recapacitated(problem, link_over=scenario.get("link"))
+            )
+            assert result.cost == fresh.cost
+
+    def test_override_outside_template_rejected(self):
+        problem = capacitated_problem(2)
+        template = FCFRTemplate(problem)
+        with pytest.raises(InvalidProblemError):
+            template.solve(link_capacities={("nope", "nope2"): 1.0})
+
+    def test_infinite_override_rejected(self):
+        problem = capacitated_problem(2)
+        template = FCFRTemplate(problem)
+        edge = template._meta.link_edges[0]
+        with pytest.raises(InvalidProblemError):
+            template.solve(link_capacities={edge: float("inf")})
+
+    def test_infeasible_scenario_raises(self):
+        problem = capacitated_problem(3)
+        template = FCFRTemplate(problem)
+        squeeze = {e: 0.0 for e in template._meta.link_edges}
+        with pytest.raises(InfeasibleError):
+            template.solve(link_capacities=squeeze)

@@ -1,0 +1,219 @@
+"""LPTemplate parity: patched template solves == fresh-assembly solves.
+
+The freeze/patch contract (see :class:`repro.flow.lp.LPTemplate`) promises
+that a patched template is indistinguishable from re-running the full
+assembly with the new numbers: identical materialized arrays, therefore
+bit-identical HiGHS results.  These tests build 20+ random LP instances,
+freeze one variant, patch it into the other, and compare against a fresh
+:class:`~repro.flow.lp.LPBuilder` — arrays and solutions compared exactly,
+no tolerances.
+"""
+
+import numpy as np
+import pytest
+
+from repro.exceptions import InfeasibleError, InvalidProblemError, SolverError
+from repro.flow.lp import LPBuilder
+
+SEEDS = range(22)
+
+
+def random_instance(seed: int):
+    """A feasible, bounded random LP in two interchangeable parameterizations.
+
+    Variables live in one block with finite [0, ub] bounds; <= rows have
+    non-negative coefficients and non-negative rhs (x = 0 stays feasible for
+    every draw) plus one == row tying a pair of variables together.
+    Returns ``(structure, params_a, params_b)`` where the params share the
+    sparsity pattern and differ only in rhs / bounds / objective.
+    """
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(4, 9))
+    m = int(rng.integers(2, 5))
+    rows = np.repeat(np.arange(m, dtype=np.intp), n)
+    cols = np.tile(np.arange(n, dtype=np.intp), m)
+    data = rng.uniform(0.1, 2.0, size=m * n)
+    eq_pair = rng.choice(n, size=2, replace=False)
+
+    def params(r):
+        return {
+            "c": r.uniform(0.5, 3.0, size=n),
+            "ub": r.uniform(1.0, 4.0, size=n),
+            "b_ub": r.uniform(1.0, 6.0, size=m),
+            "b_eq": float(r.uniform(0.0, 0.5)),
+        }
+
+    structure = {"n": n, "m": m, "rows": rows, "cols": cols, "data": data,
+                 "eq_pair": eq_pair}
+    return structure, params(rng), params(np.random.default_rng(seed + 500))
+
+
+def build(structure, p) -> LPBuilder:
+    lp = LPBuilder(sense="min")
+    block = lp.add_variable_block(
+        "x", (structure["n"],), lb=0.0, ub=p["ub"], cost=p["c"]
+    )
+    lp.add_le_batch(
+        structure["rows"],
+        block.flat(structure["cols"]),
+        structure["data"],
+        p["b_ub"],
+    )
+    i, j = structure["eq_pair"]
+    lp.add_eq_batch(
+        np.zeros(2, dtype=np.intp),
+        block.flat(np.asarray([i, j], dtype=np.intp)),
+        np.asarray([1.0, -1.0]),
+        np.asarray([p["b_eq"]]),
+    )
+    return lp
+
+
+def patch(template, structure, p) -> None:
+    template.set_block_objective("x", p["c"])
+    template.set_block_bounds("x", ub=p["ub"])
+    template.set_b_ub(np.arange(structure["m"], dtype=np.intp), p["b_ub"])
+    template.set_b_eq([0], [p["b_eq"]])
+
+
+class TestFreezeParity:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_unpatched_template_matches_builder(self, seed):
+        structure, pa, _ = random_instance(seed)
+        builder = build(structure, pa)
+        template = builder.freeze()
+        a = builder.solve()
+        b = template.solve()
+        assert a.objective == b.objective
+        assert np.array_equal(a.block("x"), b.block("x"))
+
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_patched_template_matches_fresh_assembly(self, seed):
+        structure, pa, pb = random_instance(seed)
+        template = build(structure, pa).freeze()
+        patch(template, structure, pb)
+        fresh = build(structure, pb)
+        # The patched arrays must equal a fresh materialization exactly...
+        got = template.materialized()
+        want = fresh.materialize()
+        assert np.array_equal(got.c, want.c)
+        assert np.array_equal(got.b_ub, want.b_ub)
+        assert np.array_equal(got.b_eq, want.b_eq)
+        assert np.array_equal(got.bounds, want.bounds)
+        assert np.array_equal(got.a_ub.indptr, want.a_ub.indptr)
+        assert np.array_equal(got.a_ub.indices, want.a_ub.indices)
+        assert np.array_equal(got.a_ub.data, want.a_ub.data)
+        # ...so the solves are bit-identical too.
+        a = fresh.solve()
+        b = template.solve()
+        assert a.objective == b.objective
+        assert np.array_equal(a.block("x"), b.block("x"))
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_repatching_back_restores_original(self, seed):
+        structure, pa, pb = random_instance(seed)
+        builder = build(structure, pa)
+        template = builder.freeze()
+        original = template.solve()
+        patch(template, structure, pb)
+        template.solve()
+        patch(template, structure, pa)
+        again = template.solve()
+        assert again.objective == original.objective
+        assert np.array_equal(again.block("x"), original.block("x"))
+
+    def test_freeze_is_a_snapshot(self):
+        structure, pa, _ = random_instance(0)
+        builder = build(structure, pa)
+        template = builder.freeze()
+        before = template.solve().objective
+        # Mutate the builder after freeze: the template must not notice.
+        builder.add_variable("extra", lb=1.0, ub=1.0)
+        builder.add_objective_terms({"extra": 100.0})
+        assert template.solve().objective == before
+
+
+class TestKeyedPatching:
+    def build_keyed(self):
+        lp = LPBuilder(sense="min")
+        lp.add_variable("a", lb=0.0, ub=2.0)
+        lp.add_variable("b", lb=0.0, ub=2.0)
+        lp.add_objective_terms({"a": 1.0, "b": 2.0})
+        lp.add_ge({"a": 1.0, "b": 1.0}, 1.0)
+        return lp
+
+    def test_ge_rows_patch_negated(self):
+        template = self.build_keyed().freeze()
+        # Fresh assembly of a >= 1.5 constraint stores rhs -1.5.
+        template.set_b_ub([0], [-1.5])
+        fresh = self.build_keyed()
+        fresh_rhs = fresh.materialize().b_ub.copy()
+        solved = template.solve()
+        assert solved.values["a"] + solved.values["b"] >= 1.5 - 1e-9
+        assert fresh_rhs[0] == -1.0  # unpatched baseline for contrast
+
+    def test_set_bounds_and_objective_by_key(self):
+        template = self.build_keyed().freeze()
+        template.set_objective("a", 5.0)
+        template.set_bounds("b", ub=0.25)
+        solved = template.solve()
+        # b is now both cheaper and capped; the >= 1 row forces a >= 0.75.
+        assert solved.values["b"] == pytest.approx(0.25)
+        assert solved.values["a"] == pytest.approx(0.75)
+
+
+class TestGuards:
+    def test_freeze_empty_lp_raises(self):
+        with pytest.raises(SolverError):
+            LPBuilder().freeze()
+
+    def test_freeze_trivially_infeasible_raises(self):
+        lp = LPBuilder()
+        lp.add_variable("x", lb=0.0, ub=1.0)
+        lp.add_le({"x": 1.0}, float("-inf"))  # can never hold
+        with pytest.raises(InfeasibleError):
+            lp.freeze()
+
+    def test_nan_rhs_patch_rejected(self):
+        structure, pa, _ = random_instance(1)
+        template = build(structure, pa).freeze()
+        with pytest.raises(InvalidProblemError):
+            template.set_b_ub([0], [float("nan")])
+
+    def test_nonfinite_eq_patch_rejected(self):
+        structure, pa, _ = random_instance(1)
+        template = build(structure, pa).freeze()
+        with pytest.raises(InvalidProblemError):
+            template.set_b_eq([0], [float("inf")])
+
+    def test_nan_bounds_patch_rejected(self):
+        structure, pa, _ = random_instance(1)
+        template = build(structure, pa).freeze()
+        with pytest.raises(InvalidProblemError):
+            template.set_block_bounds("x", ub=float("nan"))
+
+    def test_nan_objective_patch_rejected(self):
+        structure, pa, _ = random_instance(1)
+        template = build(structure, pa).freeze()
+        with pytest.raises(InvalidProblemError):
+            template.set_objective(("x", 0), float("nan"))
+
+    def test_patch_without_ub_rows_raises(self):
+        lp = LPBuilder()
+        lp.add_variable("x", lb=0.0, ub=1.0)
+        lp.add_eq({"x": 1.0}, 0.5)
+        template = lp.freeze()
+        with pytest.raises(InvalidProblemError):
+            template.set_b_ub([0], [1.0])
+
+
+class TestMaxSense:
+    def test_max_objective_patches_with_user_sign(self):
+        lp = LPBuilder(sense="max")
+        lp.add_variable("x", lb=0.0, ub=3.0)
+        lp.add_objective_terms({"x": 1.0})
+        template = lp.freeze()
+        template.set_objective("x", 2.0)
+        solved = template.solve()
+        assert solved.objective == pytest.approx(6.0)
+        assert solved.values["x"] == pytest.approx(3.0)

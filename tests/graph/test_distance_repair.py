@@ -1,0 +1,206 @@
+"""Parity tests: incremental distance-matrix repair vs. fresh rebuild.
+
+The reuse layer's correctness hinges on :func:`repair_distance_matrix`
+producing *bit-identical* matrices to :func:`build_distance_matrix` on the
+degraded graph — these tests exercise randomized single-link, k-link, and
+node failures (including ones that disconnect the graph) and compare with
+``np.array_equal(..., equal_nan=True)`` style exact checks (inf == inf, no
+tolerances).
+"""
+
+import math
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.exceptions import InvalidNetworkError
+from repro.graph import build_distance_matrix
+from repro.graph.distance_matrix import affected_sources, repair_distance_matrix
+
+
+def random_graph(seed: int, n: int = 12, p: float = 0.3) -> nx.DiGraph:
+    rng = np.random.default_rng(seed)
+    g = nx.DiGraph()
+    g.add_nodes_from(range(n))
+    for u in range(n):
+        for v in range(n):
+            if u != v and rng.random() < p:
+                g.add_edge(u, v, cost=float(rng.uniform(0.5, 10.0)))
+    return g
+
+
+def assert_bit_identical(repaired, fresh):
+    assert repaired.nodes == fresh.nodes
+    assert np.array_equal(repaired.matrix, fresh.matrix), (
+        np.argwhere(~np.isclose(repaired.matrix, fresh.matrix, equal_nan=True))
+    )
+    # w_max is derived from the matrix, but assert it anyway: it feeds the
+    # submodular oracle's saturation cap.
+    assert repaired.w_max() == fresh.w_max()
+
+
+def remove_edges(g: nx.DiGraph, edges):
+    removed = []
+    for (u, v) in edges:
+        removed.append((u, v, float(g[u][v]["cost"])))
+        g.remove_edge(u, v)
+    return removed
+
+
+class TestSingleLink:
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_single_link_bit_identical(self, seed):
+        g = random_graph(seed)
+        parent = build_distance_matrix(g)
+        rng = np.random.default_rng(1000 + seed)
+        edges = list(g.edges)
+        target = edges[int(rng.integers(len(edges)))]
+        degraded = g.copy()
+        removed = remove_edges(degraded, [target])
+        repaired = repair_distance_matrix(parent, degraded, removed_edges=removed)
+        assert_bit_identical(repaired, build_distance_matrix(degraded))
+
+    def test_every_single_link_on_one_topology(self):
+        g = random_graph(3, n=8, p=0.35)
+        parent = build_distance_matrix(g)
+        for target in list(g.edges):
+            degraded = g.copy()
+            removed = remove_edges(degraded, [target])
+            repaired = repair_distance_matrix(
+                parent, degraded, removed_edges=removed
+            )
+            assert_bit_identical(repaired, build_distance_matrix(degraded))
+
+    def test_disconnecting_bridge_goes_inf(self):
+        g = nx.DiGraph()
+        g.add_edge("a", "b", cost=1.0)
+        g.add_edge("b", "c", cost=2.0)
+        g.add_edge("c", "b", cost=2.0)
+        parent = build_distance_matrix(g)
+        degraded = g.copy()
+        removed = remove_edges(degraded, [("a", "b")])
+        repaired = repair_distance_matrix(parent, degraded, removed_edges=removed)
+        fresh = build_distance_matrix(degraded)
+        assert_bit_identical(repaired, fresh)
+        assert repaired.distance("a", "c") == math.inf
+
+
+class TestKLink:
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("k", [2, 3])
+    def test_random_k_link_bit_identical(self, seed, k):
+        g = random_graph(seed, n=14)
+        parent = build_distance_matrix(g)
+        rng = np.random.default_rng(2000 + 10 * seed + k)
+        edges = list(g.edges)
+        picks = rng.choice(len(edges), size=min(k, len(edges)), replace=False)
+        degraded = g.copy()
+        removed = remove_edges(degraded, [edges[int(i)] for i in picks])
+        repaired = repair_distance_matrix(parent, degraded, removed_edges=removed)
+        assert_bit_identical(repaired, build_distance_matrix(degraded))
+
+
+class TestNodeFailure:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_node_removal_bit_identical(self, seed):
+        g = random_graph(seed, n=12)
+        parent = build_distance_matrix(g)
+        rng = np.random.default_rng(3000 + seed)
+        dead = int(rng.integers(g.number_of_nodes()))
+        degraded = g.copy()
+        removed = remove_edges(
+            degraded,
+            [e for e in g.edges if dead in e],
+        )
+        degraded.remove_node(dead)
+        repaired = repair_distance_matrix(
+            parent, degraded, removed_edges=removed, removed_nodes=(dead,)
+        )
+        assert_bit_identical(repaired, build_distance_matrix(degraded))
+
+    def test_articulation_node_disconnects(self):
+        # line a -> m -> b: removing m strands a from b entirely.
+        g = nx.DiGraph()
+        g.add_edge("a", "m", cost=1.0)
+        g.add_edge("m", "b", cost=1.0)
+        g.add_edge("b", "m", cost=1.0)
+        g.add_edge("m", "a", cost=1.0)
+        parent = build_distance_matrix(g)
+        degraded = g.copy()
+        removed = remove_edges(degraded, [e for e in g.edges if "m" in e])
+        degraded.remove_node("m")
+        repaired = repair_distance_matrix(
+            parent, degraded, removed_edges=removed, removed_nodes=("m",)
+        )
+        fresh = build_distance_matrix(degraded)
+        assert_bit_identical(repaired, fresh)
+        assert repaired.distance("a", "b") == math.inf
+
+
+class TestAffectedSources:
+    def test_unflagged_rows_truly_unchanged(self):
+        # The mask is allowed to over-flag, never to under-flag: every row it
+        # leaves out must be identical in a full rebuild.
+        for seed in range(6):
+            g = random_graph(seed, n=10)
+            parent = build_distance_matrix(g)
+            rng = np.random.default_rng(4000 + seed)
+            edges = list(g.edges)
+            target = edges[int(rng.integers(len(edges)))]
+            degraded = g.copy()
+            removed = remove_edges(degraded, [target])
+            mask = affected_sources(parent, removed)
+            fresh = build_distance_matrix(degraded)
+            unflagged = np.flatnonzero(~mask)
+            assert np.array_equal(
+                parent.matrix[unflagged], fresh.matrix[unflagged]
+            )
+
+    def test_edge_off_every_shortest_path_flags_nothing(self):
+        g = nx.DiGraph()
+        g.add_edge("a", "b", cost=1.0)
+        g.add_edge("a", "c", cost=100.0)  # never on a shortest path
+        g.add_edge("b", "c", cost=1.0)
+        parent = build_distance_matrix(g)
+        mask = affected_sources(parent, [("a", "c", 100.0)])
+        assert not mask.any()
+
+
+class TestGuards:
+    def test_node_order_mismatch_raises(self):
+        g = random_graph(0, n=6)
+        parent = build_distance_matrix(g)
+        shuffled = nx.DiGraph()
+        shuffled.add_nodes_from(reversed(list(g.nodes)))
+        shuffled.add_edges_from(g.edges(data=True))
+        with pytest.raises(InvalidNetworkError):
+            repair_distance_matrix(parent, shuffled, removed_edges=[])
+
+    def test_empty_after_removing_everything(self):
+        g = nx.DiGraph()
+        g.add_edge("a", "b", cost=1.0)
+        parent = build_distance_matrix(g)
+        degraded = nx.DiGraph()
+        repaired = repair_distance_matrix(
+            parent,
+            degraded,
+            removed_edges=[("a", "b", 1.0)],
+            removed_nodes=("a", "b"),
+        )
+        assert repaired.matrix.shape == (0, 0)
+
+    def test_pure_dijkstra_backend_matches(self):
+        g = random_graph(5, n=9)
+        parent = build_distance_matrix(g, use_scipy=False)
+        rng = np.random.default_rng(7)
+        edges = list(g.edges)
+        target = edges[int(rng.integers(len(edges)))]
+        degraded = g.copy()
+        removed = remove_edges(degraded, [target])
+        repaired = repair_distance_matrix(
+            parent, degraded, removed_edges=removed, use_scipy=False
+        )
+        assert_bit_identical(
+            repaired, build_distance_matrix(degraded, use_scipy=False)
+        )

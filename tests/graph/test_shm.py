@@ -1,0 +1,125 @@
+"""Shared-memory distance-matrix broadcast: signatures, round-trips, cleanup."""
+
+from pathlib import Path
+
+import networkx as nx
+import numpy as np
+import pickle
+import pytest
+
+from repro.graph import build_distance_matrix, line_topology
+from repro.graph.shm import (
+    MatrixBroadcast,
+    attach_matrix,
+    graph_signature,
+    lookup_matrix,
+    register_matrix,
+    unregister_matrix,
+)
+
+
+def small_graph() -> nx.DiGraph:
+    g = nx.DiGraph()
+    g.add_edge("a", "b", cost=1.5)
+    g.add_edge("b", "c", cost=2.5)
+    g.add_edge("c", "a", cost=0.5)
+    return g
+
+
+def shm_segments() -> set[str]:
+    shm = Path("/dev/shm")
+    if not shm.exists():  # pragma: no cover - non-Linux
+        return set()
+    return {p.name for p in shm.iterdir()}
+
+
+class TestSignature:
+    def test_deterministic(self):
+        assert graph_signature(small_graph()) == graph_signature(small_graph())
+
+    def test_cost_change_changes_signature(self):
+        g = small_graph()
+        h = small_graph()
+        h["a"]["b"]["cost"] = 1.5000000001
+        assert graph_signature(g) != graph_signature(h)
+
+    def test_edge_set_change_changes_signature(self):
+        g = small_graph()
+        h = small_graph()
+        h.add_edge("a", "c", cost=9.0)
+        assert graph_signature(g) != graph_signature(h)
+
+    def test_node_order_change_changes_signature(self):
+        g = small_graph()
+        h = nx.DiGraph()
+        h.add_nodes_from(reversed(list(g.nodes)))
+        h.add_edges_from(g.edges(data=True))
+        assert graph_signature(g) != graph_signature(h)
+
+
+class TestBroadcast:
+    def test_attach_round_trip_bit_identical(self):
+        g = small_graph()
+        dm = build_distance_matrix(g)
+        sig = graph_signature(g)
+        with MatrixBroadcast(dm, sig) as broadcast:
+            attached = attach_matrix(broadcast.handle)
+            assert attached.nodes == dm.nodes
+            assert np.array_equal(attached.matrix, dm.matrix)
+            assert not attached.matrix.flags.writeable
+
+    def test_close_unlinks_segment(self):
+        dm = build_distance_matrix(small_graph())
+        before = shm_segments()
+        broadcast = MatrixBroadcast(dm, "sig")
+        assert shm_segments() - before  # segment exists while open
+        broadcast.close()
+        assert shm_segments() - before == set()
+        broadcast.close()  # idempotent
+
+    def test_handle_pickles_small_and_subquadratic(self):
+        # The per-pool payload is the handle, not the matrix: O(|V|) bytes.
+        sizes = {}
+        for n in (30, 60):
+            net = line_topology(n)
+            dm = build_distance_matrix(net.graph)
+            with MatrixBroadcast(dm, "sig") as broadcast:
+                sizes[n] = len(pickle.dumps(broadcast.handle))
+                assert sizes[n] < dm.matrix.nbytes / 10
+        # Doubling |V| quadruples the matrix but must not quadruple the
+        # handle (node labels grow linearly).
+        assert sizes[60] < 3 * sizes[30]
+
+
+class TestRegistry:
+    def test_lookup_hits_only_matching_graph(self):
+        g = small_graph()
+        dm = build_distance_matrix(g)
+        sig = graph_signature(g)
+        assert lookup_matrix(g) is None  # empty registry: free miss
+        register_matrix(sig, dm)
+        try:
+            assert lookup_matrix(g) is dm
+            other = small_graph()
+            other["a"]["b"]["cost"] = 7.0
+            assert lookup_matrix(other) is None
+        finally:
+            unregister_matrix(sig)
+        assert lookup_matrix(g) is None
+
+    def test_context_from_problem_uses_registry(self):
+        from repro.core.context import SolverContext
+        from tests.core.conftest import random_uncapacitated_problem
+
+        problem = random_uncapacitated_problem(0)
+        dm = build_distance_matrix(problem.network.graph)
+        sig = graph_signature(problem.network.graph)
+        register_matrix(sig, dm)
+        try:
+            ctx = SolverContext.from_problem(problem)
+            assert ctx.dm is dm
+        finally:
+            unregister_matrix(sig)
+        fresh = SolverContext.from_problem(problem)
+        assert fresh.dm is not dm
+        assert np.array_equal(fresh.dm.matrix, dm.matrix)
