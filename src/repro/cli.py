@@ -10,6 +10,7 @@ python -m repro simulate --scale 1e-4 --horizon 2.0
 python -m repro predict --video dNCWe_6HAM8 --hours 8
 python -m repro robustness --topology gadget
 python -m repro robustness --failures single-link --algorithm greedy --repair
+python -m repro robustness --topology deltacom --timeline --horizon 50 --flap-prob 0.2
 """
 
 from __future__ import annotations
@@ -105,6 +106,27 @@ def _build_parser() -> argparse.ArgumentParser:
                             help="greedily refill residual cache space")
     robustness.add_argument("--max-scenarios", type=int, default=None,
                             help="truncate the scenario list (big topologies)")
+    robustness.add_argument(
+        "--timeline", action="store_true",
+        help="replay a discrete-event failure timeline instead of a static sweep",
+    )
+    robustness.add_argument("--horizon", type=float, default=50.0,
+                            help="timeline horizon (time units)")
+    robustness.add_argument("--link-mtbf", type=float, default=80.0)
+    robustness.add_argument("--link-mttr", type=float, default=3.0)
+    robustness.add_argument("--node-mtbf", type=float, default=None,
+                            help="enable node failures with this MTBF")
+    robustness.add_argument("--node-mttr", type=float, default=6.0)
+    robustness.add_argument("--flap-prob", type=float, default=0.2,
+                            help="probability a link failure is a short flap")
+    robustness.add_argument("--detection-delay", type=float, default=0.5,
+                            help="controller delay before reacting to a failure")
+    robustness.add_argument("--backoff", type=float, default=0.25,
+                            help="initial re-check backoff after an absorbed flap")
+    robustness.add_argument("--retries", type=int, default=2,
+                            help="backoff re-checks before forcing re-optimization")
+    robustness.add_argument("--min-dwell", type=float, default=0.0,
+                            help="minimum time between re-optimizations (hysteresis)")
 
     return parser
 
@@ -353,6 +375,47 @@ def _cmd_robustness(args: argparse.Namespace) -> int:
         placement = _resolve_algorithm(args.algorithm)(scenario).placement
         origin = scenario.origin
         title = f"{args.topology} / {args.algorithm}"
+
+    if args.timeline:
+        from repro.core.context import SolverContext
+        from repro.robustness import (
+            RecoveryPolicy,
+            TimelineConfig,
+            generate_timeline,
+            replay_timeline,
+        )
+
+        timeline = generate_timeline(
+            problem,
+            TimelineConfig(
+                horizon=args.horizon,
+                link_mtbf=args.link_mtbf,
+                link_mttr=args.link_mttr,
+                node_mtbf=args.node_mtbf,
+                node_mttr=args.node_mttr,
+                flap_probability=args.flap_prob,
+                exclude_nodes=(origin,),
+            ),
+            seed=args.seed,
+            name=title,
+        )
+        policy = RecoveryPolicy(
+            detection_delay=args.detection_delay,
+            flap_backoff=args.backoff,
+            max_retries=args.retries,
+            min_dwell=args.min_dwell,
+            repair=args.repair,
+        )
+        report = replay_timeline(
+            problem,
+            placement,
+            timeline,
+            policy,
+            context=SolverContext.from_problem(problem),
+        )
+        print(f"timeline: {len(timeline.events)} events over horizon {args.horizon:g}")
+        print(report.format())
+        return 0
 
     if args.failures == "single-link":
         scenarios = single_link_failures(problem)

@@ -18,6 +18,11 @@ from repro.experiments.online import (
     predict_rate_matrix,
     run_online,
 )
+from repro.experiments.failure_timelines import (
+    TimelineAlgorithm,
+    run_timeline_campaign,
+    timeline_rows,
+)
 from repro.experiments.runner import (
     Aggregate,
     RunRecord,
@@ -67,4 +72,7 @@ __all__ = [
     "predict_rate_matrix",
     "sweep_parameter",
     "SWEEPABLE",
+    "TimelineAlgorithm",
+    "run_timeline_campaign",
+    "timeline_rows",
 ]

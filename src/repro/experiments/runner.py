@@ -114,6 +114,11 @@ def evaluate_algorithm(
         )
     elapsed = time.perf_counter() - start
     problem = scenario.problem  # true demand
+    # Algorithms may attach a JSON-serializable ``extra_metrics`` dict to the
+    # returned solution (e.g. the timeline replay summary of
+    # :mod:`repro.experiments.failure_timelines`); it rides along in the
+    # record's ``extra`` so checkpoints and aggregation side-channels see it.
+    extra = getattr(solution, "extra_metrics", None)
     return RunRecord(
         algorithm=name,
         seed=scenario.config.seed,
@@ -121,6 +126,7 @@ def evaluate_algorithm(
         congestion=congestion(problem, solution.routing, demand=problem.demand),
         occupancy=max_cache_occupancy(problem, solution.placement),
         seconds=elapsed,
+        extra=dict(extra) if extra else {},
     )
 
 

@@ -183,6 +183,7 @@ def repair_distance_matrix(
     removed_nodes: Sequence[Node] = (),
     weight: str = COST,
     use_scipy: bool = True,
+    sources: Sequence[Node] | None = None,
 ) -> DistanceMatrix:
     """Incrementally rebuild ``parent`` after edge/node removals.
 
@@ -196,6 +197,19 @@ def repair_distance_matrix(
     ``build_distance_matrix(degraded_graph)`` as long as the surviving node
     order matches the degraded graph's insertion order — callers that cannot
     guarantee that should fall back to a full rebuild.
+
+    ``sources`` switches to a **partial** matrix: exactly the listed rows
+    are computed (unconditionally, on the degraded graph — bit-identical to
+    the same rows of a full rebuild) and every other row is ``NaN`` (loudly
+    invalid — reading one is a contract violation, not a stale answer).  On
+    small dense graphs a single popular link already dirties most rows, so
+    an exact repair cannot beat a full rebuild; a caller that provably reads
+    only a few rows (failure recovery reads cache/pinned sources only) names
+    them and pays Dijkstra for that handful.  The affected-row analysis is
+    skipped outright in this mode: it needs the edge-head rows of the parent
+    matrix, which a chained partial parent no longer has.  A partial matrix
+    can parent further partial repairs as long as the requested sources
+    never grow along the chain.
 
     Raises
     ------
@@ -214,15 +228,20 @@ def repair_distance_matrix(
     n = len(node_list)
     if n == 0:
         return DistanceMatrix(nodes=(), matrix=np.zeros((0, 0), dtype=np.float64))
-    affected = affected_sources(parent, removed_edges)
-    keep = np.fromiter(
-        (parent.index[v] for v in node_list), dtype=np.intp, count=n
-    )
-    matrix = parent.matrix[np.ix_(keep, keep)].copy()
-    sources = np.flatnonzero(affected[keep])
-    if sources.size:
-        matrix[sources] = _recompute_rows(
-            degraded_graph, node_list, index, weight, sources, use_scipy
+    if sources is not None:
+        matrix = np.full((n, n), math.nan, dtype=np.float64)
+        wanted = sorted({index[v] for v in sources if v in index})
+        dirty = np.asarray(wanted, dtype=np.intp)
+    else:
+        affected = affected_sources(parent, removed_edges)
+        keep = np.fromiter(
+            (parent.index[v] for v in node_list), dtype=np.intp, count=n
+        )
+        matrix = parent.matrix[np.ix_(keep, keep)].copy()
+        dirty = np.flatnonzero(affected[keep])
+    if dirty.size:
+        matrix[dirty] = _recompute_rows(
+            degraded_graph, node_list, index, weight, dirty, use_scipy
         )
     matrix.setflags(write=False)
     return DistanceMatrix(nodes=node_list, matrix=matrix, index=index)

@@ -7,12 +7,36 @@ placement produced by the paper's algorithms:
 >>> report = survivability_report(problem, placement, single_link_failures(problem))
 >>> print(report.format())
 
+Static sweeps ignore *when* faults happen; the timeline stack adds the time
+axis.  :func:`generate_timeline` draws a seeded discrete-event fault
+sequence, :func:`replay_timeline` runs an online recovery controller through
+it, and :func:`run_chaos` fuzzes the whole pipeline under invariants:
+
+>>> from repro.robustness import TimelineConfig, generate_timeline, replay_timeline
+>>> timeline = generate_timeline(problem, TimelineConfig(horizon=100.0), seed=0)
+>>> print(replay_timeline(problem, placement, timeline).format())
+
 See :mod:`repro.robustness.faults` for the failure model,
-:mod:`repro.robustness.recovery` for the re-route/repair policies, and
+:mod:`repro.robustness.recovery` for the re-route/repair policies,
+:mod:`repro.robustness.timeline` / :mod:`repro.robustness.controller` for
+fault dynamics, :mod:`repro.robustness.chaos` for the invariant harness, and
 :mod:`repro.robustness.demo` for a self-contained gadget walkthrough.
 """
 
-from repro.robustness.degraded import degraded_context
+from repro.robustness.chaos import (
+    ChaosConfig,
+    ChaosReport,
+    InvariantChecker,
+    check_static_parity,
+    run_chaos,
+)
+from repro.robustness.controller import (
+    RecoveryPolicy,
+    TimelineController,
+    TimelineReport,
+    replay_timeline,
+)
+from repro.robustness.degraded import degraded_context, rebuild_context
 from repro.robustness.faults import (
     CapacityDegradation,
     DegradedProblem,
@@ -20,6 +44,7 @@ from repro.robustness.faults import (
     LinkFailure,
     NodeFailure,
     apply_failure,
+    canonical_links,
     k_link_failures,
     sample_failures,
     single_link_failures,
@@ -37,6 +62,14 @@ from repro.robustness.report import (
     survivability_record,
     survivability_report,
 )
+from repro.robustness.timeline import (
+    FailureEvent,
+    FailureTimeline,
+    RepairEvent,
+    TimelineConfig,
+    generate_timeline,
+    timeline_from_scenario,
+)
 
 __all__ = [
     "LinkFailure",
@@ -45,11 +78,28 @@ __all__ = [
     "FailureScenario",
     "DegradedProblem",
     "apply_failure",
+    "canonical_links",
     "single_link_failures",
     "k_link_failures",
     "single_node_failures",
     "sample_failures",
     "degraded_context",
+    "rebuild_context",
+    "FailureEvent",
+    "RepairEvent",
+    "FailureTimeline",
+    "TimelineConfig",
+    "generate_timeline",
+    "timeline_from_scenario",
+    "RecoveryPolicy",
+    "TimelineController",
+    "TimelineReport",
+    "replay_timeline",
+    "ChaosConfig",
+    "ChaosReport",
+    "InvariantChecker",
+    "check_static_parity",
+    "run_chaos",
     "RecoveryResult",
     "recover",
     "repair_placement",

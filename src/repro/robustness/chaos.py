@@ -1,0 +1,503 @@
+"""Chaos harness: fuzz randomized failure campaigns, assert hard invariants.
+
+The timeline controller claims a lot — incremental degraded state that is
+bit-identical to rebuilds, piecewise-exact availability integration,
+policies that never lose track of demand.  This module earns trust in
+those claims the operational way: seeded random campaigns (random
+topologies × random timelines × random policies) replayed with an
+:class:`InvariantChecker` observer that verifies, after *every* event and
+action:
+
+1. **routing feasibility** — every installed path runs over currently-up
+   nodes/links that exist in the degraded graph;
+2. **live replicas only** — every serving source still holds the item
+   (placement entry or pinned) on an up node;
+3. **demand conservation** — no request is over-served, and for every
+   healthy request either its requester is dead (and charged to
+   ``lost_demand``) or ``served + stranded = 1``;
+4. **monotone state** — a repair event never decreases the served rate,
+   and neither does a re-optimization;
+5. **static parity** — a timeline holding one permanent failure at
+   ``t=0`` reproduces the static ``survivability_record`` bit-for-bit.
+
+Everything is derived from ``numpy.random.SeedSequence`` spawns, so a
+failing campaign reproduces from its seed alone.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+import numpy as np
+
+from repro.core.context import SolverContext
+from repro.core.problem import ProblemInstance, pin_full_catalog
+from repro.core.solution import Placement
+from repro.exceptions import InvalidProblemError
+from repro.graph.network import CacheNetwork
+from repro.robustness.controller import (
+    RecoveryPolicy,
+    TimelineController,
+    TimelineReport,
+    replay_timeline,
+)
+from repro.robustness.faults import FailureScenario, canonical_links
+from repro.robustness.report import survivability_report
+from repro.robustness.timeline import (
+    FailureTimeline,
+    RepairEvent,
+    TimelineConfig,
+    generate_timeline,
+    timeline_from_scenario,
+)
+
+_TOL = 1e-6
+
+
+# ----------------------------------------------------------------------
+# Randomized fixtures
+# ----------------------------------------------------------------------
+
+
+def random_problem(
+    rng: np.random.Generator,
+    *,
+    n_nodes: int = 8,
+    n_items: int = 4,
+    extra_edge_fraction: float = 0.5,
+) -> ProblemInstance:
+    """A seeded random connected instance with a pinned origin at ``n0``.
+
+    Random spanning tree plus extra chords (always connected), uniform link
+    costs, uncapacitated links, random integral cache capacities, and random
+    per-(item, node) demand.  Deterministic given the generator state.
+    """
+    if n_nodes < 3:
+        raise InvalidProblemError("random_problem needs at least 3 nodes")
+    nodes = [f"n{k}" for k in range(n_nodes)]
+    links: set[tuple[str, str]] = set()
+    for k in range(1, n_nodes):
+        j = int(rng.integers(0, k))
+        links.add((nodes[min(j, k)], nodes[max(j, k)]))
+    extra = int(extra_edge_fraction * n_nodes)
+    for _ in range(10 * extra):
+        if len(links) >= n_nodes - 1 + extra:
+            break
+        a, b = (int(x) for x in rng.integers(0, n_nodes, size=2))
+        if a != b:
+            links.add((nodes[min(a, b)], nodes[max(a, b)]))
+
+    graph = nx.DiGraph()
+    for u, v in sorted(links):
+        cost = round(float(rng.uniform(1.0, 10.0)), 3)
+        graph.add_edge(u, v, cost=cost, capacity=float("inf"))
+        graph.add_edge(v, u, cost=cost, capacity=float("inf"))
+
+    origin = nodes[0]
+    caches = {origin: 2.0}
+    for v in nodes[1:]:
+        if rng.random() < 0.7:
+            caches[v] = float(rng.integers(1, 4))
+    catalog = tuple(f"i{k}" for k in range(n_items))
+    demand: dict = {}
+    for item in catalog:
+        for v in nodes[1:]:
+            if rng.random() < 0.5:
+                demand[(item, v)] = round(float(rng.uniform(0.5, 5.0)), 3)
+    if not demand:
+        demand[(catalog[0], nodes[-1])] = 1.0
+    return ProblemInstance(
+        network=CacheNetwork(graph, caches),
+        catalog=catalog,
+        demand=demand,
+        pinned=pin_full_catalog(catalog, [origin]),
+    )
+
+
+def random_placement(rng: np.random.Generator, problem: ProblemInstance) -> Placement:
+    """Random integral placement filling each cache up to its capacity."""
+    placement = Placement()
+    items = list(problem.catalog)
+    for v in sorted(problem.network.cache_nodes(), key=repr):
+        residual = problem.network.cache_capacity(v)
+        order = [items[int(j)] for j in rng.permutation(len(items))]
+        for item in order:
+            if (v, item) in problem.pinned:
+                continue
+            size = problem.size_of(item)
+            if size <= residual + _TOL:
+                placement[(v, item)] = 1.0
+                residual -= size
+    return placement
+
+
+# ----------------------------------------------------------------------
+# Invariant checking
+# ----------------------------------------------------------------------
+
+
+class InvariantChecker:
+    """Observer asserting the chaos invariants after every event/action.
+
+    Violations accumulate as human-readable strings in ``violations``; pass
+    ``strict=True`` to raise :class:`AssertionError` on the first one
+    (pinpoints the exact event in a failing seed).
+    """
+
+    def __init__(self, *, strict: bool = False, tol: float = _TOL) -> None:
+        self.strict = strict
+        self.tol = tol
+        self.violations: list[str] = []
+        self._last_served: float | None = None
+
+    def _violate(self, time: float, message: str) -> None:
+        entry = f"t={time:g}: {message}"
+        self.violations.append(entry)
+        if self.strict:
+            raise AssertionError(f"chaos invariant violated at {entry}")
+
+    # -- observer protocol ---------------------------------------------
+
+    def __call__(
+        self, phase: str, time: float, ctl: TimelineController, detail
+    ) -> None:
+        if phase == "end":
+            return
+        served = ctl.served_rate()
+        total = ctl.problem.total_demand
+        scale = max(1.0, total)
+        if served > total + self.tol * scale:
+            self._violate(
+                time, f"conservation: served rate {served:g} exceeds demand {total:g}"
+            )
+        if self._last_served is not None:
+            if phase == "event" and isinstance(detail, RepairEvent):
+                if served < self._last_served - self.tol * scale:
+                    self._violate(
+                        time,
+                        f"monotone: repair {detail.fault.describe()} dropped served "
+                        f"rate {self._last_served:g} -> {served:g}",
+                    )
+            elif phase == "action" and served < self._last_served - self.tol * scale:
+                self._violate(
+                    time,
+                    f"monotone: re-optimization dropped served rate "
+                    f"{self._last_served:g} -> {served:g}",
+                )
+        if phase == "action":
+            self._check_action(time, ctl)
+        self._last_served = served
+
+    def _check_action(self, time: float, ctl: TimelineController) -> None:
+        result = ctl.last_result
+        if result is None:  # pragma: no cover - actions always install one
+            self._violate(time, "action without a recovery result")
+            return
+        problem = result.degraded.problem
+        graph = problem.network.graph
+        record_scenario = result.degraded.scenario.name
+
+        for (item, s), flows in ctl.routing.paths.items():
+            served = 0.0
+            for pf in flows:
+                served += pf.amount
+                for v in pf.path:
+                    if ctl.down_nodes.get(v) or v not in graph:
+                        self._violate(
+                            time,
+                            f"feasibility[{record_scenario}]: path for "
+                            f"({item!r}, {s!r}) crosses down node {v!r}",
+                        )
+                for e in zip(pf.path[:-1], pf.path[1:]):
+                    if ctl.down_links.get(e) or not graph.has_edge(*e):
+                        self._violate(
+                            time,
+                            f"feasibility[{record_scenario}]: path for "
+                            f"({item!r}, {s!r}) crosses down link {e!r}",
+                        )
+                src = pf.source
+                if (
+                    ctl.placement[(src, item)] <= 0
+                    and (src, item) not in problem.pinned
+                ):
+                    self._violate(
+                        time,
+                        f"dead replica[{record_scenario}]: ({item!r}, {s!r}) "
+                        f"served from {src!r} which holds no copy",
+                    )
+            if served > 1.0 + self.tol:
+                self._violate(
+                    time,
+                    f"conservation[{record_scenario}]: ({item!r}, {s!r}) served "
+                    f"{served:g} > 1",
+                )
+
+        lost = result.degraded.lost_demand
+        stranded = result.stranded
+        for request in ctl.problem.demand:
+            _item, s = request
+            if ctl.down_nodes.get(s):
+                if request not in lost:
+                    self._violate(
+                        time,
+                        f"lost-accounting[{record_scenario}]: dead requester "
+                        f"{s!r} not charged to lost_demand",
+                    )
+                continue
+            frac = ctl.routing.served_fraction(request)
+            gap = stranded.get(request, 0.0)
+            if abs(frac + gap - 1.0) > 1e-5:
+                self._violate(
+                    time,
+                    f"conservation[{record_scenario}]: request {request!r} has "
+                    f"served {frac:g} + stranded {gap:g} != 1",
+                )
+        record = ctl.actions[-1].record
+        if not 0.0 <= record.unserved_fraction <= 1.0:
+            self._violate(
+                time,
+                f"range[{record_scenario}]: unserved_fraction "
+                f"{record.unserved_fraction:g} outside [0, 1]",
+            )
+
+
+def check_static_parity(
+    problem: ProblemInstance,
+    placement: Placement,
+    scenario: FailureScenario,
+    *,
+    repair: bool = False,
+    context: SolverContext | None = None,
+) -> bool:
+    """Assert the static-parity invariant for one scenario.
+
+    Replaying ``scenario`` as a single permanent failure at ``t=0`` (default
+    zero-delay policy) must reproduce ``survivability_report``'s record for
+    the same scenario bit-for-bit.  Raises :class:`AssertionError` with the
+    differing fields otherwise; returns ``True`` on success.
+    """
+    static = survivability_report(
+        problem, placement, [scenario], repair=repair, context=context
+    ).records[0]
+    report = replay_timeline(
+        problem,
+        placement.copy(),
+        timeline_from_scenario(scenario),
+        RecoveryPolicy(repair=repair),
+        context=context,
+    )
+    dynamic = report.final_record
+    if dynamic != static:
+        raise AssertionError(
+            f"static parity broken for {scenario.name!r}:\n"
+            f"  timeline: {dynamic}\n  static:   {static}"
+        )
+    return True
+
+
+# ----------------------------------------------------------------------
+# Campaigns
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ChaosConfig:
+    """Fuzzing budget and randomization ranges of a chaos run."""
+
+    campaigns: int = 5
+    seed: int = 0
+    min_nodes: int = 6
+    max_nodes: int = 12
+    n_items: int = 4
+    horizon: float = 60.0
+    #: Regenerate (halving MTBF) until a campaign's timeline has this many events.
+    min_events: int = 40
+    #: Also assert static parity on the first fault of every campaign.
+    static_parity: bool = True
+
+
+@dataclass
+class CampaignResult:
+    """Outcome of one randomized campaign."""
+
+    index: int
+    nodes: int
+    links: int
+    events: int
+    reoptimizations: int
+    availability: float
+    with_context: bool
+    violations: list[str] = field(default_factory=list)
+    static_parity_ok: bool = True
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations and self.static_parity_ok
+
+
+@dataclass
+class ChaosReport:
+    """Aggregate of a chaos run across campaigns."""
+
+    results: list[CampaignResult]
+
+    @property
+    def total_events(self) -> int:
+        return sum(r.events for r in self.results)
+
+    @property
+    def total_violations(self) -> int:
+        return sum(len(r.violations) for r in self.results) + sum(
+            1 for r in self.results if not r.static_parity_ok
+        )
+
+    @property
+    def ok(self) -> bool:
+        return all(r.ok for r in self.results)
+
+    def summary(self) -> dict:
+        return {
+            "campaigns": len(self.results),
+            "total_events": self.total_events,
+            "total_reoptimizations": sum(r.reoptimizations for r in self.results),
+            "total_violations": self.total_violations,
+            "mean_availability": (
+                sum(r.availability for r in self.results) / len(self.results)
+                if self.results
+                else 1.0
+            ),
+        }
+
+    def format(self) -> str:
+        lines = [
+            f"chaos: {len(self.results)} campaigns, {self.total_events} events, "
+            f"{self.total_violations} violations"
+        ]
+        for r in self.results:
+            status = "ok" if r.ok else f"VIOLATIONS={len(r.violations)}"
+            if not r.static_parity_ok:
+                status += " static-parity-FAILED"
+            lines.append(
+                f"  #{r.index}: |V|={r.nodes} |E|={r.links} events={r.events} "
+                f"reopts={r.reoptimizations} avail={r.availability:.4f} "
+                f"ctx={'y' if r.with_context else 'n'} {status}"
+            )
+        return "\n".join(lines)
+
+
+def _random_policy(rng: np.random.Generator) -> RecoveryPolicy:
+    return RecoveryPolicy(
+        detection_delay=round(float(rng.uniform(0.0, 1.0)), 3),
+        flap_backoff=float(rng.choice([0.0, 0.25, 0.5])),
+        max_retries=int(rng.integers(0, 3)),
+        min_dwell=float(rng.choice([0.0, 1.0, 3.0])),
+        repair=bool(rng.random() < 0.5),
+        repair_after=float(rng.choice([0.0, 0.5])),
+    )
+
+
+def _campaign_timeline(
+    rng: np.random.Generator,
+    problem: ProblemInstance,
+    config: ChaosConfig,
+    *,
+    timeline_seed: int,
+) -> tuple[FailureTimeline, TimelineConfig]:
+    links = canonical_links(problem)
+    origin = "n0"
+    exclude = (origin,) if rng.random() < 0.5 else ()
+    srlg: tuple = ()
+    if len(links) >= 3 and rng.random() < 0.5:
+        chosen = rng.choice(len(links), size=int(rng.integers(2, 4)), replace=False)
+        srlg = (tuple(links[int(j)] for j in sorted(chosen)),)
+    link_mtbf = max(1.0, len(links) * config.horizon / max(1, config.min_events))
+    mttr = round(float(rng.uniform(1.0, 5.0)), 3)
+    for _ in range(8):
+        tcfg = TimelineConfig(
+            horizon=config.horizon,
+            link_mtbf=link_mtbf,
+            link_mttr=mttr,
+            node_mtbf=None if rng.random() < 0.4 else 4.0 * link_mtbf,
+            node_mttr=2.0 * mttr,
+            flap_probability=round(float(rng.uniform(0.0, 0.5)), 3),
+            flap_mttr=0.05,
+            srlg_groups=srlg,
+            srlg_mtbf=2.0 * link_mtbf,
+            srlg_mttr=mttr,
+            exclude_nodes=exclude,
+        )
+        timeline = generate_timeline(
+            problem, tcfg, seed=timeline_seed, name=f"chaos:{timeline_seed}"
+        )
+        if len(timeline) >= config.min_events:
+            return timeline, tcfg
+        link_mtbf /= 2.0
+    return timeline, tcfg
+
+
+def run_chaos(
+    config: ChaosConfig = ChaosConfig(), *, raise_on_violation: bool = False
+) -> ChaosReport:
+    """Run seeded randomized campaigns with full invariant checking.
+
+    With ``raise_on_violation`` the first broken invariant raises
+    :class:`AssertionError` naming the campaign and event time; otherwise
+    violations are collected per campaign into the returned report.
+    """
+    results: list[CampaignResult] = []
+    children = np.random.SeedSequence(config.seed).spawn(config.campaigns)
+    for index, child in enumerate(children):
+        rng = np.random.default_rng(child)
+        n_nodes = int(rng.integers(config.min_nodes, config.max_nodes + 1))
+        problem = random_problem(rng, n_nodes=n_nodes, n_items=config.n_items)
+        placement = random_placement(rng, problem)
+        timeline_seed = int(rng.integers(0, 2**31 - 1))
+        timeline, _tcfg = _campaign_timeline(
+            rng, problem, config, timeline_seed=timeline_seed
+        )
+        policy = _random_policy(rng)
+        with_context = bool(rng.random() < 0.7)
+        context = SolverContext.from_problem(problem) if with_context else None
+
+        checker = InvariantChecker(strict=raise_on_violation)
+        report: TimelineReport = replay_timeline(
+            problem,
+            placement.copy(),
+            timeline,
+            policy,
+            context=context,
+            observer=checker,
+        )
+
+        parity_ok = True
+        if config.static_parity and timeline.failures:
+            first = timeline.failures[0].fault
+            scenario = FailureScenario(f"chaos-parity:{index}", (first,))
+            try:
+                check_static_parity(
+                    problem,
+                    placement,
+                    scenario,
+                    repair=policy.repair,
+                    context=context,
+                )
+            except AssertionError:
+                parity_ok = False
+                if raise_on_violation:
+                    raise
+
+        results.append(
+            CampaignResult(
+                index=index,
+                nodes=n_nodes,
+                links=len(canonical_links(problem)),
+                events=report.events,
+                reoptimizations=report.reoptimizations,
+                availability=report.availability,
+                with_context=with_context,
+                violations=list(checker.violations),
+                static_parity_ok=parity_ok,
+            )
+        )
+    return ChaosReport(results=results)

@@ -1,0 +1,743 @@
+"""Online recovery controller: replay a failure timeline against a placement.
+
+:func:`replay_timeline` runs a discrete-event simulation of a
+:class:`~repro.robustness.timeline.FailureTimeline` over one healthy
+instance + placement.  Between events the network state is constant, so
+availability, unserved demand, and routing cost integrate exactly as
+piecewise-constant functions of time — no sampling error.
+
+The controller mirrors how an operator's control loop behaves under churn:
+
+- **detection delay** — it notices an event ``detection_delay`` after it
+  happens; until it reacts, the *installed* routing keeps running and any
+  path crossing a down element simply delivers nothing (charged as
+  unserved time);
+- **flap backoff** — on a failure it re-checks with exponential backoff
+  (``flap_backoff * 2^k`` for ``max_retries`` checks) before committing to
+  a re-route; a transient flap that clears in time never triggers
+  re-optimization (counted in ``reroutes_avoided``);
+- **hysteresis** — ``min_dwell`` spaces consecutive re-optimizations;
+  actions landing inside the dwell window are deferred and coalesced;
+- **placement repair** — with ``repair=True`` each re-optimization may
+  greedily refill residual cache space
+  (:func:`~repro.robustness.recovery.repair_placement`), gated on the
+  oldest live outage being at least ``repair_after`` old.
+
+Re-optimization recovers via the *same* code path as the static
+survivability layer — ``apply_failure`` → ``degraded_context`` →
+``recover`` → ``survivability_record`` — so a timeline holding a single
+permanent failure at ``t=0`` reproduces the static record **bit-for-bit**
+(the chaos harness asserts this).  The degraded solver state is maintained
+incrementally: consecutive failures chain ``degraded_context`` child-on-
+child (each step repairs only the distance rows the new faults touched),
+while a repair event invalidates the chain and recomposes the full fault
+set from the healthy root (itself an incremental derivation).  Passing
+``incremental=False`` rebuilds a fresh context per action instead; both
+modes produce identical :class:`TimelineReport`'s, which the parity tests
+and ``benchmarks/bench_failure_timeline.py`` enforce.
+"""
+
+from __future__ import annotations
+
+import heapq
+import time as _time
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from repro.core.evaluation import routing_cost
+from repro.core.problem import Node, ProblemInstance
+from repro.core.rnr import route_to_nearest_replica
+from repro.core.solution import Placement, Routing
+from repro.exceptions import InvalidProblemError
+from repro.robustness.degraded import degraded_context, rebuild_context
+from repro.robustness.faults import (
+    CapacityDegradation,
+    DegradedProblem,
+    FailureScenario,
+    Fault,
+    LinkFailure,
+    NodeFailure,
+    apply_failure,
+)
+from repro.robustness.recovery import recover
+from repro.robustness.report import SurvivabilityRecord, survivability_record
+from repro.robustness.timeline import FailureEvent, FailureTimeline, RepairEvent
+
+if TYPE_CHECKING:
+    from repro.core.context import SolverContext
+
+Edge = tuple[Node, Node]
+
+#: Observer callback: ``observer(phase, time, controller, detail)`` with
+#: phase one of ``"init" | "event" | "action" | "end"``; ``detail`` is the
+#: processed :class:`TimelineEvent` / :class:`TimelineAction` (or ``None``).
+Observer = Callable[[str, float, "TimelineController", object], None]
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """Control-loop knobs of the online recovery controller.
+
+    The zero default for every delay makes the controller react instantly —
+    the configuration under which a single-failure timeline matches the
+    static survivability path exactly.
+    """
+
+    #: Time between an event and the controller noticing it.
+    detection_delay: float = 0.0
+    #: Base backoff before committing a failure to re-route (0 = immediate).
+    flap_backoff: float = 0.0
+    #: Number of backoff re-checks (``flap_backoff * 2^k``, k < max_retries).
+    max_retries: int = 0
+    #: Minimum spacing between re-optimizations (hysteresis).
+    min_dwell: float = 0.0
+    #: Greedily refill residual cache space at re-optimization.
+    repair: bool = False
+    #: Only repair once the oldest live outage is at least this old.
+    repair_after: float = 0.0
+    #: Budget forwarded to :func:`repair_placement`.
+    max_repairs: int | None = None
+
+    def validate(self) -> None:
+        for label, value in (
+            ("detection_delay", self.detection_delay),
+            ("flap_backoff", self.flap_backoff),
+            ("min_dwell", self.min_dwell),
+            ("repair_after", self.repair_after),
+        ):
+            if value < 0:
+                raise InvalidProblemError(f"{label} must be >= 0")
+        if self.max_retries < 0:
+            raise InvalidProblemError("max_retries must be >= 0")
+
+
+@dataclass(frozen=True)
+class TimelineAction:
+    """One committed re-optimization during a replay."""
+
+    #: Simulation time the re-route was installed.
+    time: float
+    #: Time since the earliest event this action responds to.
+    latency: float
+    #: Static-survivability scoring of the recovered state.
+    record: SurvivabilityRecord
+    #: Demand rate served immediately after installation.
+    served_rate: float
+
+
+@dataclass
+class TimelineReport:
+    """Time-weighted outcome of replaying one timeline against a placement.
+
+    Integrals are exact (piecewise-constant integration between events).
+    ``incremental`` and ``wall_seconds`` are excluded from equality so the
+    incremental-vs-rebuild parity tests can compare reports directly.
+    """
+
+    name: str
+    horizon: float
+    healthy_cost: float
+    total_demand: float
+    #: Time-weighted served-demand fraction over the horizon.
+    availability: float
+    #: ``∫ unserved_rate dt`` (demand × time units).
+    unserved_integral: float
+    #: ``∫ cost_rate dt`` of the traffic actually delivered.
+    cost_integral: float
+    #: ``cost_integral / (healthy_cost * horizon)`` — 1.0 means failures were free.
+    cost_inflation_integral: float
+    #: Timeline events processed (state-changing or not).
+    events: int
+    reoptimizations: int
+    #: Failure detections that cleared during backoff (flaps absorbed).
+    reroutes_avoided: int
+    #: Re-optimizations pushed back by the ``min_dwell`` hysteresis.
+    deferrals: int
+    #: Total placement entries installed by repair across all actions.
+    repaired_entries: int
+    actions: list[TimelineAction] = field(default_factory=list)
+    incremental: bool = field(default=True, compare=False)
+    wall_seconds: float = field(default=0.0, compare=False)
+
+    @property
+    def recovery_latencies(self) -> list[float]:
+        return [a.latency for a in self.actions]
+
+    @property
+    def mean_recovery_latency(self) -> float:
+        lat = self.recovery_latencies
+        return sum(lat) / len(lat) if lat else 0.0
+
+    @property
+    def final_record(self) -> SurvivabilityRecord | None:
+        """The last action's record (the static-parity comparison point)."""
+        return self.actions[-1].record if self.actions else None
+
+    def to_json_dict(self) -> dict:
+        """JSON-serializable summary (bench artifacts, RunRecord extras)."""
+        return {
+            "name": self.name,
+            "horizon": self.horizon,
+            "healthy_cost": self.healthy_cost,
+            "availability": self.availability,
+            "unserved_integral": self.unserved_integral,
+            "cost_inflation_integral": self.cost_inflation_integral,
+            "events": self.events,
+            "reoptimizations": self.reoptimizations,
+            "reroutes_avoided": self.reroutes_avoided,
+            "deferrals": self.deferrals,
+            "repaired_entries": self.repaired_entries,
+            "mean_recovery_latency": self.mean_recovery_latency,
+            "wall_seconds": self.wall_seconds,
+        }
+
+    def format(self, *, title: str = "timeline") -> str:
+        from repro.experiments.reporting import format_sweep
+
+        rows = [
+            {
+                "t": a.time,
+                "latency": a.latency,
+                "scenario": a.record.scenario,
+                "cost": a.record.cost,
+                "unserved": a.record.unserved_fraction,
+                "repaired": a.record.repaired_entries,
+            }
+            for a in self.actions
+        ]
+        table = format_sweep(
+            rows,
+            ["t", "latency", "scenario", "cost", "unserved", "repaired"],
+            title=title,
+        )
+        summary = (
+            f"availability {self.availability:.4%} over horizon {self.horizon:g} | "
+            f"{self.events} events, {self.reoptimizations} re-optimizations "
+            f"({self.reroutes_avoided} flaps absorbed, {self.deferrals} deferred) | "
+            f"cost inflation integral {self.cost_inflation_integral:.4g} | "
+            f"mean recovery latency {self.mean_recovery_latency:.4g}"
+        )
+        return f"{table}\n{summary}"
+
+
+class TimelineController:
+    """Discrete-event replay engine (see module docstring for semantics).
+
+    Instances are single-use: construct and call :meth:`run` once.  The
+    public attributes (``placement``, ``routing``, ``down_nodes``,
+    ``down_links``, ``active_faults``, ``last_result``) exist for the chaos
+    harness's invariant observer.
+    """
+
+    def __init__(
+        self,
+        problem: ProblemInstance,
+        placement: Placement,
+        timeline: FailureTimeline,
+        policy: RecoveryPolicy | None = None,
+        *,
+        context: "SolverContext | None" = None,
+        incremental: bool = True,
+        healthy_routing: Routing | None = None,
+        observer: Observer | None = None,
+    ) -> None:
+        self.problem = problem
+        self.timeline = timeline
+        self.policy = policy or RecoveryPolicy()
+        self.policy.validate()
+        self.context = context
+        self.incremental = incremental
+        self.observer = observer
+        self.horizon = timeline.horizon
+
+        if healthy_routing is None:
+            healthy_routing = route_to_nearest_replica(
+                problem, placement, context=context
+            )
+        self.healthy_cost = routing_cost(
+            problem, healthy_routing, demand=problem.demand
+        )
+        self.placement = placement.copy()
+        self.routing = healthy_routing
+        self.last_result = None  # RecoveryResult of the latest action
+
+        # --- element state ------------------------------------------------
+        self.active_faults: dict[Fault, int] = {}
+        self.down_links: dict[Edge, int] = {}
+        self.down_nodes: dict[Node, int] = {}
+        self._active_since: dict[Fault, float] = {}
+        self._composed_faults: set[Fault] = set()
+
+        # --- incremental solver state ------------------------------------
+        self._cur_problem: ProblemInstance = problem
+        self._cur_ctx: "SolverContext | None" = context
+        self._have_degraded = False
+        self._must_recompose = False
+        self._pending_new: list[Fault] = []
+        self._cum_failed_nodes: set[Node] = set()
+        self._cum_failed_links: set[Edge] = set()
+        self._dropped_pending: list[tuple] = []
+
+        # --- control loop -------------------------------------------------
+        #: (time, fault) of effective transitions not yet covered by a re-opt.
+        self._uncovered: list[tuple[float, Fault]] = []
+        self._deferred_scheduled = False
+        self._last_reopt = -float("inf")
+        self._agenda: list[tuple] = []
+        self._seq = 0
+
+        # --- metrics ------------------------------------------------------
+        self._now = 0.0
+        self._served_integral = 0.0
+        self._cost_integral = 0.0
+        self._events_processed = 0
+        self.reoptimizations = 0
+        self.reroutes_avoided = 0
+        self.deferrals = 0
+        self.repaired_entries = 0
+        self.actions: list[TimelineAction] = []
+        self._edge_costs: dict[Edge, float] = problem.network.costs()
+        self._path_costs: dict[tuple, float] = {}
+        self._cur_served, self._cur_cost = self._rates()
+
+    # ------------------------------------------------------------------
+    # Instantaneous state
+    # ------------------------------------------------------------------
+
+    def path_alive(self, path: tuple) -> bool:
+        """True when every node and directed edge of ``path`` is up."""
+        if self.down_nodes:
+            for v in path:
+                if self.down_nodes.get(v):
+                    return False
+        if self.down_links and len(path) > 1:
+            for e in zip(path[:-1], path[1:]):
+                if self.down_links.get(e):
+                    return False
+        return True
+
+    def _path_cost(self, path: tuple) -> float:
+        cost = self._path_costs.get(path)
+        if cost is None:
+            cost = sum(self._edge_costs[e] for e in zip(path[:-1], path[1:]))
+            self._path_costs[path] = cost
+        return cost
+
+    def _rates(self) -> tuple[float, float]:
+        """(served demand rate, delivered-traffic cost rate) right now.
+
+        A path delivers only when it is alive *and* its source still holds
+        the item: a node flap wipes the node's cache, so a stale routing
+        that survives the flap (absorbed before the controller reacted)
+        serves nothing from that source until a re-optimization re-routes.
+        Pinned contents are permanent copies and come back with the node.
+        """
+        served = 0.0
+        cost = 0.0
+        paths = self.routing.paths
+        pinned = self.problem.pinned
+        for (item, s), rate in self.problem.demand.items():
+            if self.down_nodes.get(s):
+                continue
+            for pf in paths.get((item, s), ()):
+                src = pf.source
+                if self.placement[(src, item)] <= 0 and (src, item) not in pinned:
+                    continue
+                if self.path_alive(pf.path):
+                    amount = rate * pf.amount
+                    served += amount
+                    cost += amount * self._path_cost(pf.path)
+        return served, cost
+
+    def served_rate(self) -> float:
+        """Demand rate currently delivered by the installed routing."""
+        return self._cur_served
+
+    # ------------------------------------------------------------------
+    # Event handling
+    # ------------------------------------------------------------------
+
+    def _push_action(self, when: float, payload: tuple) -> None:
+        self._seq += 1
+        heapq.heappush(self._agenda, (when, 1, self._seq, payload))
+
+    def _activate_element(self, fault: Fault, t: float) -> None:
+        if isinstance(fault, LinkFailure):
+            pairs = [(fault.u, fault.v)]
+            if fault.both_directions:
+                pairs.append((fault.v, fault.u))
+            for e in pairs:
+                self.down_links[e] = self.down_links.get(e, 0) + 1
+        elif isinstance(fault, NodeFailure):
+            node = fault.node
+            self.down_nodes[node] = self.down_nodes.get(node, 0) + 1
+            dead = [(v, i) for (v, i) in self.placement if v == node]
+            for key in dead:
+                self.placement[key] = 0.0
+            self._dropped_pending.extend(dead)
+        # CapacityDegradation leaves liveness untouched.
+
+    def _deactivate_element(self, fault: Fault) -> None:
+        if isinstance(fault, LinkFailure):
+            pairs = [(fault.u, fault.v)]
+            if fault.both_directions:
+                pairs.append((fault.v, fault.u))
+            for e in pairs:
+                n = self.down_links.get(e, 0) - 1
+                if n <= 0:
+                    self.down_links.pop(e, None)
+                else:
+                    self.down_links[e] = n
+        elif isinstance(fault, NodeFailure):
+            n = self.down_nodes.get(fault.node, 0) - 1
+            if n <= 0:
+                self.down_nodes.pop(fault.node, None)
+            else:
+                self.down_nodes[fault.node] = n
+
+    def _handle_failure(self, event: FailureEvent) -> None:
+        fault = event.fault
+        n = self.active_faults.get(fault, 0)
+        self.active_faults[fault] = n + 1
+        if n > 0:
+            return  # already down through another process (e.g. SRLG overlap)
+        self._activate_element(fault, event.time)
+        self._active_since[fault] = event.time
+        if fault not in self._composed_faults:
+            self._pending_new.append(fault)
+        self._uncovered.append((event.time, fault))
+        self._push_action(
+            event.time + self.policy.detection_delay, ("check", fault, 0)
+        )
+
+    def _handle_repair(self, event: RepairEvent) -> None:
+        fault = event.fault
+        n = self.active_faults.get(fault, 0)
+        if n <= 0:
+            raise InvalidProblemError(
+                f"timeline {self.timeline.name!r} repairs inactive fault "
+                f"{fault.describe()} at t={event.time:g}"
+            )
+        if n > 1:
+            self.active_faults[fault] = n - 1
+            return  # another process still holds the element down
+        del self.active_faults[fault]
+        self._deactivate_element(fault)
+        self._active_since.pop(fault, None)
+        if fault in self._composed_faults:
+            # The current solver state includes this fault: the incremental
+            # chain is invalid (repairs add elements back) — recompose from
+            # the healthy root at the next action.
+            self._must_recompose = True
+            self._uncovered.append((event.time, fault))
+            self._push_action(
+                event.time + self.policy.detection_delay, ("repair",)
+            )
+        else:
+            # Absorbed flap: it was never routed around, and its fail/repair
+            # pair cancels out — scrub it from the pending ledgers.
+            self._pending_new = [f for f in self._pending_new if f != fault]
+            self._uncovered = [
+                (tt, f) for (tt, f) in self._uncovered if f != fault
+            ]
+
+    def _handle_action(self, payload: tuple) -> None:
+        kind = payload[0]
+        if kind == "check":
+            _, fault, retry = payload
+            if not self.active_faults.get(fault):
+                self.reroutes_avoided += 1
+                return
+            if retry < self.policy.max_retries and self.policy.flap_backoff > 0:
+                self._push_action(
+                    self._now + self.policy.flap_backoff * (2**retry),
+                    ("check", fault, retry + 1),
+                )
+                return
+            self._request_reopt()
+        elif kind in ("repair", "deferred"):
+            self._request_reopt()
+        else:  # pragma: no cover - internal agenda discipline
+            raise InvalidProblemError(f"unknown controller action {kind!r}")
+
+    def _request_reopt(self) -> None:
+        if not self._uncovered:
+            return  # the installed state already reflects every event
+        if self.reoptimizations > 0 and self.policy.min_dwell > 0:
+            earliest = self._last_reopt + self.policy.min_dwell
+            if self._now < earliest:
+                if not self._deferred_scheduled:
+                    self._deferred_scheduled = True
+                    self.deferrals += 1
+                    self._push_action(earliest, ("deferred",))
+                return
+        self._reoptimize()
+
+    # ------------------------------------------------------------------
+    # Re-optimization
+    # ------------------------------------------------------------------
+
+    def _ordered_faults(self, faults) -> tuple[Fault, ...]:
+        """Capacity scalings, then link, then node removals.
+
+        A safe application order for ``apply_failure``: degrading before
+        removing never references a missing link, and node removals absorb
+        whatever incident links survive the explicit link faults.
+        """
+        caps = [f for f in faults if isinstance(f, CapacityDegradation)]
+        links = [f for f in faults if isinstance(f, LinkFailure)]
+        nodes = [f for f in faults if isinstance(f, NodeFailure)]
+        return tuple([*caps, *links, *nodes])
+
+    def _composed_scenario(self, name: str) -> FailureScenario:
+        return FailureScenario(name, self._ordered_faults(self.active_faults))
+
+    def _effective_delta(self, fault: Fault) -> Fault | None:
+        """``fault`` restricted to what still changes the current problem."""
+        graph = self._cur_problem.network.graph
+        if isinstance(fault, LinkFailure):
+            if graph.has_edge(fault.u, fault.v) or (
+                fault.both_directions and graph.has_edge(fault.v, fault.u)
+            ):
+                return fault
+            return None
+        if isinstance(fault, NodeFailure):
+            return fault if fault.node in graph else None
+        if isinstance(fault, CapacityDegradation):
+            if fault.links is None:
+                return fault
+            alive = tuple(e for e in fault.links if graph.has_edge(*e))
+            if not alive:
+                return None
+            return CapacityDegradation(fault.factor, alive)
+        return fault  # pragma: no cover - guarded by the Fault union
+
+    def _row_sources(self, problem: ProblemInstance) -> tuple:
+        """Distance-matrix rows a recovery on ``problem`` can read.
+
+        ``recover`` (RNR + the repair greedy) takes distances out of cache
+        nodes, pinned nodes, and placement holders only — and holders live
+        on cache nodes — so a partial ``degraded_context`` repairing just
+        these rows is exact for the whole re-optimization.  The set only
+        shrinks as elements fail, which keeps chained partial derivations
+        valid (see :func:`repro.graph.distance_matrix.repair_distance_matrix`).
+        """
+        need = set(problem.network.cache_nodes())
+        need.update(v for (v, _i) in problem.pinned)
+        return tuple(need)
+
+    def _derive_state(
+        self, scenario: FailureScenario
+    ) -> tuple[DegradedProblem, "SolverContext | None"]:
+        """The degraded problem + context the next recovery should run on."""
+        use_delta = (
+            self.incremental and self._have_degraded and not self._must_recompose
+        )
+        if use_delta:
+            delta_faults = [
+                f
+                for f in (self._effective_delta(f) for f in self._pending_new)
+                if f is not None
+            ]
+            delta = apply_failure(
+                self._cur_problem,
+                FailureScenario(scenario.name, self._ordered_faults(delta_faults)),
+            )
+            ctx = (
+                degraded_context(
+                    self._cur_ctx, delta, sources=self._row_sources(delta.problem)
+                )
+                if self._cur_ctx is not None
+                else None
+            )
+            self._cum_failed_nodes |= delta.failed_nodes
+            self._cum_failed_links |= delta.failed_links
+            lost = {
+                r: rate
+                for r, rate in self.problem.demand.items()
+                if r[1] in self._cum_failed_nodes
+            }
+            degraded = DegradedProblem(
+                scenario=scenario,
+                problem=delta.problem,
+                failed_nodes=frozenset(self._cum_failed_nodes),
+                failed_links=frozenset(self._cum_failed_links),
+                lost_demand=lost,
+            )
+        else:
+            degraded = apply_failure(self.problem, scenario)
+            if self.context is None:
+                ctx = None
+            elif self.incremental:
+                ctx = degraded_context(
+                    self.context, degraded, sources=self._row_sources(degraded.problem)
+                )
+            else:
+                ctx = rebuild_context(degraded)
+            self._cum_failed_nodes = set(degraded.failed_nodes)
+            self._cum_failed_links = set(degraded.failed_links)
+        return degraded, ctx
+
+    def _reoptimize(self) -> TimelineAction:
+        now = self._now
+        name = (
+            self.timeline.name
+            if self.reoptimizations == 0 and now == 0.0
+            else f"{self.timeline.name}@t={now:g}"
+        )
+        scenario = self._composed_scenario(name)
+        degraded, ctx = self._derive_state(scenario)
+
+        do_repair = self.policy.repair
+        if do_repair and self.policy.repair_after > 0 and self._active_since:
+            oldest = min(self._active_since.values())
+            do_repair = now - oldest >= self.policy.repair_after
+        result = recover(
+            degraded,
+            self.placement,
+            repair=do_repair,
+            max_repairs=self.policy.max_repairs,
+            context=ctx,
+        )
+        # Entries lost at event time (the placement is pre-pruned so repairs
+        # cannot resurrect dead caches); charge them to this action's record.
+        result.dropped = list(self._dropped_pending)
+        record = survivability_record(result, healthy_cost=self.healthy_cost)
+
+        self.placement = result.placement
+        self.routing = result.routing
+        self.last_result = result
+        self._cur_problem = degraded.problem
+        self._cur_ctx = ctx
+        self._have_degraded = True
+        self._composed_faults = set(scenario.faults)
+        self._pending_new = []
+        self._must_recompose = False
+        self._dropped_pending = []
+        trigger = self._uncovered[0][0]
+        self._uncovered = []
+        self._deferred_scheduled = False
+        self._last_reopt = now
+        self.reoptimizations += 1
+        self.repaired_entries += len(result.repaired)
+
+        self._cur_served, self._cur_cost = self._rates()
+        action = TimelineAction(
+            time=now,
+            latency=now - trigger,
+            record=record,
+            served_rate=self._cur_served,
+        )
+        self.actions.append(action)
+        return action
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+
+    def _advance(self, t: float) -> None:
+        t = min(t, self.horizon)
+        if t > self._now:
+            dt = t - self._now
+            self._served_integral += self._cur_served * dt
+            self._cost_integral += self._cur_cost * dt
+            self._now = t
+
+    def _notify(self, phase: str, detail) -> None:
+        if self.observer is not None:
+            self.observer(phase, self._now, self, detail)
+
+    def run(self) -> TimelineReport:
+        start = _time.perf_counter()
+        for event in self.timeline.events:
+            if not 0.0 <= event.time < self.horizon:
+                raise InvalidProblemError(
+                    f"timeline event at t={event.time:g} outside [0, "
+                    f"{self.horizon:g})"
+                )
+            self._seq += 1
+            heapq.heappush(self._agenda, (event.time, 0, self._seq, event))
+        self._notify("init", None)
+
+        while self._agenda:
+            when, prio, _seq, payload = heapq.heappop(self._agenda)
+            if when >= self.horizon:
+                continue  # a scheduled action past the observation window
+            self._advance(when)
+            if prio == 0:
+                if isinstance(payload, FailureEvent):
+                    self._handle_failure(payload)
+                else:
+                    self._handle_repair(payload)
+                self._events_processed += 1
+                self._cur_served, self._cur_cost = self._rates()
+                self._notify("event", payload)
+            else:
+                before = len(self.actions)
+                self._handle_action(payload)
+                if len(self.actions) > before:
+                    self._notify("action", self.actions[-1])
+        self._advance(self.horizon)
+        self._notify("end", None)
+
+        total = self.problem.total_demand
+        denom = total * self.horizon
+        # Clamp float summation noise: per-segment served rate never exceeds
+        # total demand (the chaos conservation invariant), so any overshoot
+        # of the integral is epsilon-level arithmetic, not real service.
+        availability = min(1.0, self._served_integral / denom) if denom > 0 else 1.0
+        unserved = max(0.0, denom - self._served_integral)
+        healthy_denom = self.healthy_cost * self.horizon
+        if healthy_denom > 0:
+            inflation = self._cost_integral / healthy_denom
+        else:
+            inflation = 1.0 if self._cost_integral <= 0 else float("inf")
+        return TimelineReport(
+            name=self.timeline.name,
+            horizon=self.horizon,
+            healthy_cost=self.healthy_cost,
+            total_demand=total,
+            availability=availability,
+            unserved_integral=unserved,
+            cost_integral=self._cost_integral,
+            cost_inflation_integral=inflation,
+            events=self._events_processed,
+            reoptimizations=self.reoptimizations,
+            reroutes_avoided=self.reroutes_avoided,
+            deferrals=self.deferrals,
+            repaired_entries=self.repaired_entries,
+            actions=list(self.actions),
+            incremental=self.incremental,
+            wall_seconds=_time.perf_counter() - start,
+        )
+
+
+def replay_timeline(
+    problem: ProblemInstance,
+    placement: Placement,
+    timeline: FailureTimeline,
+    policy: RecoveryPolicy | None = None,
+    *,
+    context: "SolverContext | None" = None,
+    incremental: bool = True,
+    healthy_routing: Routing | None = None,
+    observer: Observer | None = None,
+) -> TimelineReport:
+    """Replay ``timeline`` against a healthy placement under ``policy``.
+
+    ``context`` is the *healthy* instance's solver context; when given, each
+    action's degraded context is derived incrementally from it (or rebuilt
+    from scratch with ``incremental=False`` — same report, more wall-clock).
+    ``observer`` is invoked after every processed event and action; the
+    chaos harness uses it to assert invariants mid-replay.
+    """
+    return TimelineController(
+        problem,
+        placement,
+        timeline,
+        policy,
+        context=context,
+        incremental=incremental,
+        healthy_routing=healthy_routing,
+        observer=observer,
+    ).run()

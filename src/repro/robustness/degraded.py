@@ -22,16 +22,31 @@ costs unchanged), and the surviving node order must be the parent order
 minus the failed nodes (``graph.copy()`` + removals preserves insertion
 order, so this holds by construction).  When the node orders cannot be
 matched the function falls back to a full rebuild rather than guessing.
+
+**Chaining (failure timelines).**  Because the only requirement is
+"``degraded`` was produced by ``apply_failure`` from the parent's problem",
+a derived context can itself serve as the parent of the next derivation:
+the timeline controller (:mod:`repro.robustness.controller`) composes
+``degraded_context`` child-on-child across consecutive failure events, each
+step repairing only the rows the new faults touched.  The chain is
+*failure-monotone*: repairs add elements back, which ``repair_distance_
+matrix`` cannot express, so a repair event recomposes the surviving fault
+set from the healthy root context instead (:func:`rebuild_context` is the
+from-scratch twin both parity tests compare against).
 """
 
 from __future__ import annotations
+
+from collections.abc import Hashable, Sequence
 
 from repro.core.context import SolverContext
 from repro.exceptions import InvalidNetworkError
 from repro.graph.distance_matrix import build_distance_matrix, repair_distance_matrix
 from repro.robustness.faults import DegradedProblem
 
-__all__ = ["degraded_context"]
+Node = Hashable
+
+__all__ = ["degraded_context", "rebuild_context"]
 
 
 def degraded_context(
@@ -39,6 +54,7 @@ def degraded_context(
     degraded: DegradedProblem,
     *,
     use_scipy: bool = True,
+    sources: "Sequence[Node] | None" = None,
 ) -> SolverContext:
     """A :class:`SolverContext` for ``degraded.problem``, derived from ``parent``.
 
@@ -48,6 +64,15 @@ def degraded_context(
     Falls back to a fresh :func:`build_distance_matrix` when the surviving
     node order cannot be aligned with the parent's (never the case for
     instances produced by :func:`~repro.robustness.faults.apply_failure`).
+
+    ``sources`` opts into a **partial** derivation: only the named rows of
+    the distance matrix are guaranteed valid, other dirtied rows hold
+    ``NaN`` (see :func:`repro.graph.distance_matrix.repair_distance_matrix`).
+    Failure recovery reads distances out of cache, pinned, and placement
+    holder nodes only, so the timeline controller names exactly those and
+    skips recomputing the ~90% of rows a re-optimization never touches.
+    The partial context is only safe for :func:`~repro.robustness.recovery.
+    recover`-style consumers; hand full contexts to anything else.
     """
     graph = degraded.problem.network.graph
     if not degraded.failed_links and not degraded.failed_nodes:
@@ -71,7 +96,20 @@ def degraded_context(
             removed_edges=removed_edges,
             removed_nodes=tuple(degraded.failed_nodes),
             use_scipy=use_scipy,
+            sources=sources,
         )
     except InvalidNetworkError:
         dm = build_distance_matrix(graph, use_scipy=use_scipy)
     return SolverContext(degraded.problem, dm=dm)
+
+
+def rebuild_context(
+    degraded: DegradedProblem, *, use_scipy: bool = True
+) -> SolverContext:
+    """Full-rebuild twin of :func:`degraded_context` (fresh APSP, no reuse).
+
+    The baseline the incremental path is measured — and parity-tested —
+    against: ``degraded_context(parent, degraded)`` must equal
+    ``rebuild_context(degraded)`` bit-for-bit in every derived quantity.
+    """
+    return SolverContext(degraded.problem, use_scipy=use_scipy)

@@ -107,8 +107,12 @@ class DegradedProblem:
         return self.problem.total_demand + sum(self.lost_demand.values())
 
 
-def _canonical_links(problem: ProblemInstance) -> list[Edge]:
-    """Undirected links of the instance, deduplicated and ordered by repr."""
+def canonical_links(problem: ProblemInstance) -> list[Edge]:
+    """Undirected links of the instance, deduplicated and ordered by repr.
+
+    This is the element order every scenario generator and timeline process
+    iterates in, so seeded sampling stays deterministic across platforms.
+    """
     seen: set[frozenset] = set()
     out: list[Edge] = []
     for u, v in sorted(problem.network.edges, key=repr):
@@ -118,6 +122,9 @@ def _canonical_links(problem: ProblemInstance) -> list[Edge]:
         seen.add(key)
         out.append((u, v))
     return out
+
+
+_canonical_links = canonical_links
 
 
 def apply_failure(
@@ -257,16 +264,24 @@ def sample_failures(
     nodes_per_scenario: int = 0,
     exclude_nodes: tuple[Node, ...] = (),
     seed: int = 0,
+    unique: bool = False,
 ) -> list[FailureScenario]:
     """Seeded random failure scenarios (without-replacement per scenario).
 
     Every call with the same arguments yields the same scenarios — samplers
     derive everything from ``numpy.random.default_rng(seed)``.
+
+    Sampling is with replacement *across* scenarios: one seed can emit the
+    same fault set twice (likely on small topologies).  ``unique=True``
+    keeps drawing until ``n_scenarios`` distinct fault sets are collected
+    (raising :class:`InvalidProblemError` when the element pool cannot
+    supply that many); the default preserves the historical duplicated
+    stream bit-for-bit.
     """
     if n_scenarios < 1:
         raise InvalidProblemError("n_scenarios must be >= 1")
     rng = np.random.default_rng(seed)
-    links = _canonical_links(problem)
+    links = canonical_links(problem)
     nodes = [
         v for v in sorted(problem.network.nodes, key=repr)
         if v not in set(exclude_nodes)
@@ -276,7 +291,16 @@ def sample_failures(
     if nodes_per_scenario > len(nodes):
         raise InvalidProblemError("nodes_per_scenario exceeds the node count")
     scenarios: list[FailureScenario] = []
-    for k in range(n_scenarios):
+    seen: set[frozenset] = set()
+    max_attempts = 100 * n_scenarios
+    attempts = 0
+    while len(scenarios) < n_scenarios:
+        if attempts >= max_attempts:
+            raise InvalidProblemError(
+                f"could not sample {n_scenarios} unique scenarios in "
+                f"{max_attempts} attempts (element pool too small?)"
+            )
+        attempts += 1
         faults: list[Fault] = []
         if links_per_scenario:
             chosen = rng.choice(len(links), size=links_per_scenario, replace=False)
@@ -284,5 +308,12 @@ def sample_failures(
         if nodes_per_scenario:
             chosen = rng.choice(len(nodes), size=nodes_per_scenario, replace=False)
             faults.extend(NodeFailure(nodes[j]) for j in sorted(chosen))
-        scenarios.append(FailureScenario(name=f"random:{k}", faults=tuple(faults)))
+        if unique:
+            key = frozenset(faults)
+            if key in seen:
+                continue
+            seen.add(key)
+        scenarios.append(
+            FailureScenario(name=f"random:{len(scenarios)}", faults=tuple(faults))
+        )
     return scenarios

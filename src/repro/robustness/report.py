@@ -9,8 +9,10 @@ congestion the surviving links absorb.  Costs are normalized against the
 
 from __future__ import annotations
 
+import json
+import math
 from collections.abc import Sequence
-from dataclasses import dataclass
+from dataclasses import asdict, dataclass
 from typing import TYPE_CHECKING
 
 from repro.core.evaluation import congestion, routing_cost
@@ -25,6 +27,19 @@ if TYPE_CHECKING:
     from repro.core.context import SolverContext
 
 _SERVED_TOL = 1e-6
+
+
+def _json_float(value):
+    """Make one record field strict-JSON safe (non-finite floats → strings)."""
+    if isinstance(value, float) and not math.isfinite(value):
+        return repr(value)  # "inf" / "-inf" / "nan"
+    return value
+
+
+def _from_json_float(value):
+    if isinstance(value, str) and value in ("inf", "-inf", "nan"):
+        return float(value)
+    return value
 
 
 @dataclass(frozen=True)
@@ -81,6 +96,8 @@ class SurvivabilityReport:
                 "inflation": r.cost_inflation,
                 "unserved": r.unserved_fraction,
                 "congestion": r.congestion,
+                "stranded": r.stranded_requests,
+                "dropped": r.dropped_entries,
                 "repaired": r.repaired_entries,
             }
             for r in self.records
@@ -91,7 +108,16 @@ class SurvivabilityReport:
 
         table = format_sweep(
             self.rows(),
-            ["scenario", "cost", "inflation", "unserved", "congestion", "repaired"],
+            [
+                "scenario",
+                "cost",
+                "inflation",
+                "unserved",
+                "congestion",
+                "stranded",
+                "dropped",
+                "repaired",
+            ],
             title=title,
         )
         summary = (
@@ -101,6 +127,37 @@ class SurvivabilityReport:
             f"worst unserved {self.worst_unserved_fraction:.2%}"
         )
         return f"{table}\n{summary}"
+
+    def to_json(self, *, indent: int | None = None) -> str:
+        """Strict-JSON serialization (``inf`` encoded as the string "inf").
+
+        Disconnected scenarios can yield an infinite ``cost_inflation``;
+        raw ``json.dumps`` would emit the non-standard ``Infinity`` token,
+        so non-finite floats are stringified and restored by
+        :meth:`from_json`.
+        """
+        payload = {
+            "healthy_cost": _json_float(self.healthy_cost),
+            "records": [
+                {k: _json_float(v) for k, v in asdict(r).items()}
+                for r in self.records
+            ],
+        }
+        return json.dumps(payload, indent=indent, allow_nan=False)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SurvivabilityReport":
+        """Inverse of :meth:`to_json` — round-trips bit-for-bit."""
+        payload = json.loads(text)
+        return cls(
+            healthy_cost=_from_json_float(payload["healthy_cost"]),
+            records=[
+                SurvivabilityRecord(
+                    **{k: _from_json_float(v) for k, v in r.items()}
+                )
+                for r in payload["records"]
+            ],
+        )
 
 
 def survivability_record(

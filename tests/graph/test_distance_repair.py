@@ -204,3 +204,59 @@ class TestGuards:
         assert_bit_identical(
             repaired, build_distance_matrix(degraded, use_scipy=False)
         )
+
+
+class TestPartialSources:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_requested_rows_bit_identical_rest_nan(self, seed):
+        g = random_graph(seed)
+        parent = build_distance_matrix(g)
+        rng = np.random.default_rng(seed)
+        edges = list(g.edges)
+        removed = remove_edges(
+            g, [edges[int(j)] for j in rng.choice(len(edges), 3, replace=False)]
+        )
+        wanted = [int(j) for j in rng.choice(len(parent), 4, replace=False)]
+        partial = repair_distance_matrix(
+            parent, g, removed_edges=removed, sources=[parent.nodes[j] for j in wanted]
+        )
+        fresh = build_distance_matrix(g)
+        for i in range(len(parent)):
+            if i in wanted:
+                assert np.array_equal(partial.matrix[i], fresh.matrix[i])
+            else:
+                # Unrequested rows are loudly invalid, never silently stale.
+                assert np.isnan(partial.matrix[i]).all()
+
+    def test_chained_partial_repairs_stay_exact(self):
+        # A partial matrix may parent further partial repairs as long as the
+        # requested sources never grow — exactly the timeline controller's
+        # usage (cache/pinned rows only shrink as nodes fail).
+        g = random_graph(3)
+        parent = build_distance_matrix(g)
+        sources = list(parent.nodes)[:5]
+        edges = list(g.edges)
+        first = remove_edges(g, edges[:2])
+        step1 = repair_distance_matrix(
+            parent, g, removed_edges=first, sources=sources
+        )
+        second = remove_edges(g, [e for e in list(g.edges)[:2]])
+        shrunk = sources[:3]
+        step2 = repair_distance_matrix(
+            step1, g, removed_edges=second, sources=shrunk
+        )
+        fresh = build_distance_matrix(g)
+        for v in shrunk:
+            i = step2.index[v]
+            assert np.array_equal(step2.matrix[i], fresh.matrix[i])
+
+    def test_unknown_source_nodes_ignored(self):
+        g = random_graph(1)
+        parent = build_distance_matrix(g)
+        removed = remove_edges(g, list(g.edges)[:1])
+        partial = repair_distance_matrix(
+            parent, g, removed_edges=removed, sources=["not-a-node", 0]
+        )
+        fresh = build_distance_matrix(g)
+        assert np.array_equal(partial.matrix[partial.index[0]],
+                              fresh.matrix[fresh.index[0]])

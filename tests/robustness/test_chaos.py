@@ -1,0 +1,105 @@
+"""Chaos harness: the ISSUE's acceptance budget plus checker self-tests."""
+
+import networkx as nx
+import numpy as np
+import pytest
+
+from repro.robustness import (
+    ChaosConfig,
+    InvariantChecker,
+    RepairEvent,
+    LinkFailure,
+    run_chaos,
+)
+from repro.robustness.chaos import random_placement, random_problem
+
+
+class TestAcceptanceBudget:
+    def test_default_budget_is_clean(self):
+        # ISSUE acceptance: >= 200 seeded events across >= 5 campaigns with
+        # zero invariant violations (static parity included).
+        report = run_chaos(ChaosConfig())
+        assert len(report.results) >= 5
+        assert report.total_events >= 200
+        assert report.total_violations == 0
+        assert report.ok
+        assert all(r.static_parity_ok for r in report.results)
+        summary = report.summary()
+        assert summary["total_events"] == report.total_events
+        assert 0.0 <= summary["mean_availability"] <= 1.0
+        assert "0 violations" in report.format()
+
+    def test_same_seed_reproduces_exactly(self):
+        config = ChaosConfig(campaigns=2, min_nodes=6, max_nodes=8, horizon=30.0,
+                             min_events=20)
+        a = run_chaos(config)
+        b = run_chaos(config)
+        assert a.results == b.results
+        assert a.total_events > 0
+
+
+class TestRandomInstances:
+    def test_random_problem_deterministic_and_connected(self):
+        a = random_problem(np.random.default_rng(7))
+        b = random_problem(np.random.default_rng(7))
+        assert sorted(a.network.graph.edges(data=True)) == sorted(
+            b.network.graph.edges(data=True)
+        )
+        assert a.demand == b.demand
+        assert nx.is_strongly_connected(a.network.graph)
+        # The origin pins the full catalog.
+        assert {(v, i) for (v, i) in a.pinned} == {("n0", i) for i in a.catalog}
+
+    def test_random_placement_respects_capacity(self):
+        rng = np.random.default_rng(3)
+        problem = random_problem(rng)
+        placement = random_placement(rng, problem)
+        for v in problem.network.cache_nodes():
+            used = sum(
+                problem.size_of(i) for (node, i) in placement if node == v
+            )
+            assert used <= problem.network.cache_capacity(v) + 1e-9
+
+
+class _StubController:
+    """Just enough surface for the event-phase invariant checks."""
+
+    def __init__(self, problem, served):
+        self.problem = problem
+        self._served = served
+
+    def served_rate(self):
+        return self._served
+
+
+class TestCheckerDetectsViolations:
+    @pytest.fixture
+    def problem(self):
+        return random_problem(np.random.default_rng(0))
+
+    def test_monotone_repair_violation_is_caught(self, problem):
+        checker = InvariantChecker()
+        repair = RepairEvent(5.0, LinkFailure("n0", "n1"))
+        checker("event", 4.0, _StubController(problem, served=2.0), None)
+        checker("event", 5.0, _StubController(problem, served=1.0), repair)
+        assert len(checker.violations) == 1
+        assert "monotone" in checker.violations[0]
+
+    def test_conservation_violation_is_caught(self, problem):
+        checker = InvariantChecker()
+        over = problem.total_demand * 2.0
+        checker("event", 1.0, _StubController(problem, served=over), None)
+        assert len(checker.violations) == 1
+        assert "conservation" in checker.violations[0]
+
+    def test_strict_mode_raises_immediately(self, problem):
+        checker = InvariantChecker(strict=True)
+        over = problem.total_demand * 2.0
+        with pytest.raises(AssertionError, match="conservation"):
+            checker("event", 1.0, _StubController(problem, served=over), None)
+
+    def test_clean_observation_records_nothing(self, problem):
+        checker = InvariantChecker()
+        checker("event", 1.0, _StubController(problem, served=0.0), None)
+        checker("end", 2.0, _StubController(problem, served=0.0), None)
+        assert checker.violations == []

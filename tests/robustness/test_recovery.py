@@ -10,6 +10,7 @@ import networkx as nx
 import pytest
 
 from repro.core import route_to_nearest_replica, routing_cost
+from repro.core.context import SolverContext
 from repro.core.solution import Placement
 from repro.experiments import ScenarioConfig, build_scenario
 from repro.experiments.algorithms import greedy
@@ -23,6 +24,7 @@ from repro.robustness import (
     single_link_failures,
     surviving_placement,
 )
+from repro.robustness.degraded import degraded_context
 from repro.robustness.demo import gadget_placement, gadget_problem
 
 _TOL = 1e-6
@@ -173,3 +175,66 @@ class TestRepair:
             placement = Placement()
             runs.append(list(repair_placement(problem, placement)))
         assert runs[0] == runs[1]
+
+
+class TestWorstCases:
+    def test_all_replicas_and_origin_dead(self):
+        # Every holder (caches v1/v2 and the pinned origin vs) dies: nothing
+        # is servable, and recover must say so instead of raising.
+        problem = gadget_problem()
+        degraded = apply_failure(
+            problem,
+            FailureScenario(
+                "blackout",
+                (NodeFailure("v1"), NodeFailure("v2"), NodeFailure("vs")),
+            ),
+        )
+        result = recover(degraded, gadget_placement())
+        assert result.unserved_fraction == pytest.approx(1.0)
+        assert result.routing.paths == {} or all(
+            not pfs for pfs in result.routing.paths.values()
+        )
+        stranded_requests = set(result.stranded)
+        assert stranded_requests == set(problem.demand)
+        assert all(v == pytest.approx(1.0) for v in result.stranded.values())
+
+    def test_all_replicas_and_origin_dead_with_context(self):
+        problem = gadget_problem()
+        degraded = apply_failure(
+            problem,
+            FailureScenario(
+                "blackout",
+                (NodeFailure("v1"), NodeFailure("v2"), NodeFailure("vs")),
+            ),
+        )
+        ctx = degraded_context(SolverContext.from_problem(problem), degraded)
+        plain = recover(degraded, gadget_placement())
+        via_ctx = recover(degraded, gadget_placement(), context=ctx)
+        assert via_ctx.unserved_fraction == plain.unserved_fraction == 1.0
+        assert via_ctx.stranded == plain.stranded
+
+    def test_requester_node_failure_moves_demand_to_lost(self):
+        problem = gadget_problem()
+        degraded = apply_failure(
+            problem, FailureScenario("f", (NodeFailure("s"),))
+        )
+        result = recover(degraded, gadget_placement())
+        # The dead requester's demand is lost, not stranded: the degraded
+        # instance no longer contains it, but it still counts as unserved.
+        assert result.stranded == {}
+        assert set(degraded.lost_demand) == set(problem.demand)
+        assert result.unserved_fraction == pytest.approx(1.0)
+
+    def test_repair_with_all_caches_dead_is_a_noop(self):
+        # Both caches die: the only surviving cache node is the pinned
+        # origin, which repair must skip (pins are not repair slots), and
+        # the client s (fed only via v1/v2) is isolated outright.
+        problem = gadget_problem()
+        degraded = apply_failure(
+            problem,
+            FailureScenario("f", (NodeFailure("v1"), NodeFailure("v2"))),
+        )
+        result = recover(degraded, gadget_placement(), repair=True)
+        assert result.repaired == []
+        assert sorted(result.dropped) == [("v1", "item1"), ("v2", "item2")]
+        assert result.unserved_fraction == pytest.approx(1.0)

@@ -87,3 +87,52 @@ class TestReport:
         assert report.worst_cost_inflation == 1.0
         assert report.worst_unserved_fraction == 0.0
         assert report.fully_served_scenarios == 0
+
+
+class TestSatelliteColumns:
+    def test_rows_expose_stranded_and_dropped(self, gadget_report):
+        for row, record in zip(gadget_report.rows(), gadget_report.records):
+            assert row["stranded"] == record.stranded_requests
+            assert row["dropped"] == record.dropped_entries
+
+    def test_format_includes_new_columns(self, gadget_report):
+        text = gadget_report.format()
+        assert "stranded" in text
+        assert "dropped" in text
+
+
+class TestJsonRoundTrip:
+    def test_gadget_report_round_trips(self, gadget_report):
+        from repro.robustness import SurvivabilityReport
+
+        text = gadget_report.to_json(indent=2)
+        clone = SurvivabilityReport.from_json(text)
+        assert clone == gadget_report
+
+    def test_infinite_inflation_survives_strict_json(self):
+        import json
+
+        from repro.robustness import SurvivabilityRecord, SurvivabilityReport
+
+        report = SurvivabilityReport(
+            healthy_cost=0.0,
+            records=[
+                SurvivabilityRecord(
+                    scenario="isolated",
+                    cost=4.2,
+                    cost_inflation=float("inf"),
+                    unserved_fraction=1.0,
+                    congestion=0.0,
+                    stranded_requests=2,
+                    dropped_entries=1,
+                    repaired_entries=0,
+                )
+            ],
+        )
+        text = report.to_json()
+        # Strict JSON: parseable by any consumer, no Infinity token.
+        assert "Infinity" not in text
+        json.loads(text)
+        clone = SurvivabilityReport.from_json(text)
+        assert clone == report
+        assert clone.records[0].cost_inflation == float("inf")

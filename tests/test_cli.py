@@ -102,6 +102,24 @@ class TestRobustness:
         assert "worst inflation" in out
         assert "node:" in out
 
+    def test_timeline_replay_on_gadget(self, capsys):
+        code = main(
+            [
+                "robustness",
+                "--topology", "gadget",
+                "--timeline",
+                "--horizon", "30",
+                "--seed", "3",
+                "--detection-delay", "0.5",
+                "--backoff", "0.25",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "events over horizon 30" in out
+        assert "availability" in out
+        assert "re-optimizations" in out
+
     def test_random_failures_need_no_extra_flags(self, capsys):
         code = main(
             [
