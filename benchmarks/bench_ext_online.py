@@ -110,12 +110,11 @@ def test_ext_simulated_validation(benchmark, report):
     )
     import pytest
 
-    # The severely congested benchmark's simulated utilization tracks the
-    # analytic congestion closely (Poisson noise is relatively small there).
-    assert rows[1]["simulated_utilization"] == pytest.approx(
-        rows[1]["analytic_congestion"], rel=0.2
-    )
-    # The near-feasible solution stays in the same regime (noise can push a
-    # ~1.0-loaded link somewhat above 1 at this sampling scale).
-    assert rows[0]["simulated_utilization"] < 2.0
+    # Utilization is windowed at the horizon, so the severely congested
+    # benchmark saturates its worst link (~1.0) and the analytic excess
+    # shows up as backlog and latency blow-up instead.
+    assert rows[1]["analytic_congestion"] > 1.0
+    assert rows[1]["simulated_utilization"] == pytest.approx(1.0, abs=0.1)
+    assert rows[1]["backlog"] > 0
+    assert rows[0]["simulated_utilization"] <= 1.0 + 1e-9
     assert rows[1]["p95_latency_h"] > 10 * rows[0]["p95_latency_h"]

@@ -1,0 +1,89 @@
+"""Throughput: streaming serving engine vs the event-driven simulator.
+
+Replays >= 1M requests of a solved Deltacom scenario through the
+vectorized engine and a ~20k-request slice through the event-driven
+``simulate()`` oracle, then gates on the engine being at least 10x faster
+in requests/second.  Both sides replay the same routing against the same
+demand, so their delivered cost *rates* must also agree.
+"""
+
+import time
+
+from repro.experiments import ScenarioConfig, algorithms as alg, build_scenario, format_sweep
+from repro.serving import (
+    ServingConfig,
+    compile_tables,
+    horizon_for_requests,
+    replay,
+)
+from repro.simulation import SimulationConfig, simulate
+
+VEC_REQUESTS = 1_000_000
+EVENT_REQUESTS = 20_000
+
+
+def test_serving_throughput(benchmark, report, bench_json):
+    config = ScenarioConfig(
+        topology="deltacom", num_videos=5, link_capacity_fraction=None
+    )
+    scenario = build_scenario(config)
+    solution = alg.sp(scenario)
+    tables = compile_tables(scenario.problem, solution.routing)
+
+    def run():
+        serving = replay(
+            tables,
+            ServingConfig(
+                horizon=horizon_for_requests(tables, VEC_REQUESTS),
+                seed=0,
+                n_shards=4,
+            ),
+        )
+        event_horizon = horizon_for_requests(tables, EVENT_REQUESTS)
+        start = time.perf_counter()
+        sim = simulate(
+            scenario.problem,
+            solution.routing,
+            SimulationConfig(
+                horizon=event_horizon, seed=0, max_requests=2_000_000
+            ),
+        )
+        event_elapsed = time.perf_counter() - start
+        return {
+            "vec_requests": serving.generated,
+            "vec_seconds": serving.elapsed_seconds,
+            "vec_rps": serving.requests_per_sec,
+            "vec_cost_rate": serving.delivered_cost / serving.horizon,
+            "event_requests": sim.generated,
+            "event_seconds": event_elapsed,
+            "event_rps": sim.generated / event_elapsed,
+            "event_cost_rate": sim.delivered_cost / event_horizon,
+            "speedup": serving.requests_per_sec
+            / (sim.generated / event_elapsed),
+        }
+
+    row = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "serving_throughput",
+        format_sweep(
+            [row],
+            ["vec_requests", "vec_rps", "event_requests", "event_rps", "speedup"],
+            title="Serving engine vs event simulator (Deltacom, sp routing)",
+        ),
+    )
+    bench_json(
+        "serving_throughput",
+        {
+            "topology": "deltacom",
+            "algorithm": "sp",
+            "request_types": tables.num_types,
+            **{k: float(v) for k, v in row.items()},
+        },
+    )
+    # Acceptance gates: >= 1M requests replayed, >= 10x the event loop.
+    assert row["vec_requests"] >= 1_000_000
+    assert row["speedup"] >= 10.0
+    # Same routing, same demand: cost rates agree statistically.
+    assert abs(row["vec_cost_rate"] - row["event_cost_rate"]) <= (
+        0.1 * row["event_cost_rate"]
+    )

@@ -7,6 +7,7 @@ python -m repro scenario --level chunk --algorithms alternating,sp,ksp10
 python -m repro scenario --topology tinet --edge-nodes 5 --runs 2
 python -m repro online --hours 6 --algorithm alternating
 python -m repro simulate --scale 1e-4 --horizon 2.0
+python -m repro serve --algorithm sp --requests 1e6 --shards 4 --parallel
 python -m repro predict --video dNCWe_6HAM8 --hours 8
 python -m repro robustness --topology gadget
 python -m repro robustness --failures single-link --algorithm greedy --repair
@@ -57,6 +58,19 @@ def _build_parser() -> argparse.ArgumentParser:
     simulate.add_argument("--scale", type=float, default=1e-4,
                           help="joint demand/capacity scale factor")
     simulate.add_argument("--horizon", type=float, default=1.0)
+
+    serve = sub.add_parser(
+        "serve", help="streaming request-level replay of a solved scenario"
+    )
+    _add_scenario_args(serve)
+    serve.add_argument("--algorithm", default="alternating")
+    serve.add_argument("--requests", type=float, default=1e6,
+                       help="expected number of requests to replay")
+    serve.add_argument("--shards", type=int, default=1,
+                       help="independent stream shards (results depend on the "
+                            "count, not on how they execute)")
+    serve.add_argument("--parallel", action="store_true",
+                       help="run shards in a process pool over shared tables")
 
     sweep = sub.add_parser("sweep", help="sweep one scenario knob (figure-style)")
     _add_scenario_args(sweep)
@@ -286,6 +300,42 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    from repro.experiments import build_scenario
+    from repro.serving import (
+        ServingConfig,
+        compile_tables,
+        horizon_for_requests,
+        replay,
+        replay_parallel,
+    )
+
+    config = _scenario_config(args)
+    scenario = build_scenario(config)
+    solution = _resolve_algorithm(args.algorithm)(scenario)
+    tables = compile_tables(
+        scenario.problem, solution.routing, allow_unrouted=True
+    )
+    horizon = horizon_for_requests(tables, args.requests)
+    serving = ServingConfig(
+        horizon=horizon, seed=args.seed, n_shards=args.shards
+    )
+    runner = replay_parallel if args.parallel else replay
+    report = runner(tables, serving)
+    mode = "parallel" if args.parallel else "serial"
+    print(f"replayed {report.generated:,} requests over horizon {horizon:.4g} "
+          f"({report.n_shards} shard(s), {mode})")
+    print(f"served: {report.served:,} ({report.served_fraction:.2%}), "
+          f"unrouted types: {report.unrouted_types}")
+    print(f"delivered cost rate: {report.delivered_cost / horizon:,.0f} "
+          f"(analytic {tables.expected_cost_rate():,.0f})")
+    print(f"throughput: {report.requests_per_sec:,.0f} requests/sec")
+    worst = sorted(report.empirical_loads.items(), key=lambda kv: -kv[1])[:5]
+    for edge, load in worst:
+        print(f"  {edge}: empirical load {load:,.1f}")
+    return 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from repro.experiments import (
         MonteCarloConfig,
@@ -446,6 +496,7 @@ _COMMANDS = {
     "scenario": _cmd_scenario,
     "online": _cmd_online,
     "simulate": _cmd_simulate,
+    "serve": _cmd_serve,
     "sweep": _cmd_sweep,
     "predict": _cmd_predict,
     "robustness": _cmd_robustness,

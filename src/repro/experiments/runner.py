@@ -53,6 +53,7 @@ from repro.graph.shm import (
     register_matrix,
     unregister_matrix,
 )
+from repro.serving import ServingConfig, compile_tables, replay
 
 if TYPE_CHECKING:
     from repro.core.context import SolverContext
@@ -88,12 +89,49 @@ class RunRecord:
     extra: dict = field(default_factory=dict)
 
 
+def _serving_metrics(
+    scenario: EdgeCachingScenario,
+    solution: Solution,
+    serving_replay: ServingConfig,
+) -> dict:
+    """Streaming replay of the solved routing against the true demand.
+
+    Returns a JSON-serializable summary for ``RunRecord.extra["serving"]``.
+    Replay problems (e.g. a horizon that would exceed ``max_requests``)
+    mark the summary as failed instead of failing the run — the planning
+    metrics above it are already computed and stay valid.
+    """
+    try:
+        tables = compile_tables(
+            scenario.problem, solution.routing, allow_unrouted=True
+        )
+        report = replay(tables, serving_replay)
+    except RECOVERABLE_ALGORITHM_ERRORS as exc:
+        return {"error": str(exc), "error_type": type(exc).__name__}
+    return {
+        "generated": report.generated,
+        "served": report.served,
+        "served_fraction": report.served_fraction,
+        "delivered_cost": report.delivered_cost,
+        "requests_per_sec": report.requests_per_sec,
+        "unrouted_types": report.unrouted_types,
+        "horizon": report.horizon,
+        "n_shards": report.n_shards,
+    }
+
+
 def evaluate_algorithm(
     name: str,
     algorithm: Algorithm,
     scenario: EdgeCachingScenario,
+    serving_replay: ServingConfig | None = None,
 ) -> RunRecord:
-    """Run one algorithm and measure it against the true demand."""
+    """Run one algorithm and measure it against the true demand.
+
+    ``serving_replay`` additionally replays the solved routing through the
+    streaming engine (:mod:`repro.serving`) and attaches the summary as
+    ``extra["serving"]``.
+    """
     start = time.perf_counter()
     try:
         solution = algorithm(scenario)
@@ -119,6 +157,9 @@ def evaluate_algorithm(
     # :mod:`repro.experiments.failure_timelines`); it rides along in the
     # record's ``extra`` so checkpoints and aggregation side-channels see it.
     extra = getattr(solution, "extra_metrics", None)
+    extra = dict(extra) if extra else {}
+    if serving_replay is not None:
+        extra["serving"] = _serving_metrics(scenario, solution, serving_replay)
     return RunRecord(
         algorithm=name,
         seed=scenario.config.seed,
@@ -126,7 +167,7 @@ def evaluate_algorithm(
         congestion=congestion(problem, solution.routing, demand=problem.demand),
         occupancy=max_cache_occupancy(problem, solution.placement),
         seconds=elapsed,
-        extra=dict(extra) if extra else {},
+        extra=extra,
     )
 
 
@@ -153,6 +194,7 @@ def _evaluate_run(
         ScenarioConfig,
         Sequence[tuple[str, Algorithm]],
         Callable[[ScenarioConfig], EdgeCachingScenario],
+        ServingConfig | None,
     ],
 ) -> list[RunRecord]:
     """One Monte Carlo run: build the scenario, score every algorithm.
@@ -161,10 +203,10 @@ def _evaluate_run(
     is built inside the worker so only the (small) config crosses the
     process boundary.
     """
-    run_config, named_algorithms, builder = task
+    run_config, named_algorithms, builder, serving_replay = task
     scenario = builder(run_config)
     return [
-        evaluate_algorithm(name, algorithm, scenario)
+        evaluate_algorithm(name, algorithm, scenario, serving_replay)
         for name, algorithm in named_algorithms
     ]
 
@@ -173,7 +215,7 @@ def _timeout_records(
     task, reason: str, *, seconds: float
 ) -> list[RunRecord]:
     """Failure records for every algorithm of a run that could not complete."""
-    run_config, named_algorithms, _builder = task
+    run_config, named_algorithms, _builder, _serving = task
     return [
         RunRecord(
             algorithm=name,
@@ -239,6 +281,7 @@ def run_monte_carlo(
     run_timeout: float | None = None,
     checkpoint: str | Path | None = None,
     broadcast_context: "SolverContext | None" = None,
+    serving_replay: ServingConfig | None = None,
 ) -> list[RunRecord]:
     """Repeat every algorithm over seeded scenario instances.
 
@@ -277,10 +320,19 @@ def run_monte_carlo(
       register the matrix in-process, so serial and parallel runs stay
       bit-identical.  The segment is always unlinked before returning,
       including the broken-pool and timeout paths.
+    - ``serving_replay`` replays every solved routing through the streaming
+      serving engine (:mod:`repro.serving`) against the true demand and
+      attaches the summary to each record's ``extra["serving"]``.  Replay
+      failures mark only that summary, never the run.
     """
     builder = scenario_builder or build_scenario
     tasks = [
-        (replace(config, seed=seed), tuple(algorithms.items()), builder)
+        (
+            replace(config, seed=seed),
+            tuple(algorithms.items()),
+            builder,
+            serving_replay,
+        )
         for seed in monte_carlo_seeds(monte_carlo)
     ]
     completed: dict[int, list[RunRecord]] = {}

@@ -57,6 +57,10 @@ __all__ = [
     "register_matrix",
     "unregister_matrix",
     "lookup_matrix",
+    "ArraySpec",
+    "BundleHandle",
+    "BundleBroadcast",
+    "attach_bundle",
 ]
 
 
@@ -199,3 +203,128 @@ def attach_matrix(handle: SharedMatrixHandle) -> DistanceMatrix:
 def attach_and_register(handle: SharedMatrixHandle) -> None:
     """Pool-initializer entry point: attach the segment and register it."""
     register_matrix(handle.signature, attach_matrix(handle))
+
+
+# ----------------------------------------------------------------------
+# Generic array-bundle broadcast
+# ----------------------------------------------------------------------
+#
+# The distance-matrix broadcast above ships exactly one float64 matrix.  The
+# serving engine (``repro.serving``) needs the same one-writer/many-reader
+# discipline for a *set* of heterogeneous arrays (alias tables, path CSR
+# layouts, rate vectors).  ``BundleBroadcast`` packs any named collection of
+# numpy arrays into a single segment; ``attach_bundle`` maps them back as
+# read-only views.  Lifecycle rules are identical to ``MatrixBroadcast``:
+# only the owner unlinks, workers detach from the resource tracker so their
+# exit cannot destroy the segment under the others.
+
+#: Segment layout alignment; keeps every array's view aligned for any dtype.
+_ALIGN = 64
+
+
+@dataclass(frozen=True)
+class ArraySpec:
+    """Placement of one array inside a bundle segment."""
+
+    name: str
+    shape: tuple[int, ...]
+    dtype: str
+    offset: int
+
+
+@dataclass(frozen=True)
+class BundleHandle:
+    """Picklable description of an exported array bundle.
+
+    O(#arrays) to pickle, independent of the array payloads; crosses the
+    process boundary once per pool via the initializer.
+    """
+
+    shm_name: str
+    specs: tuple[ArraySpec, ...]
+    #: PID of the exporting process — the only one allowed to unlink.
+    owner_pid: int = field(default_factory=os.getpid)
+
+
+class BundleBroadcast:
+    """Owner side of one exported array bundle.
+
+    Copies every array of ``arrays`` into a fresh shared-memory segment
+    (64-byte aligned so any dtype maps cleanly).  The owner must call
+    :meth:`close` (idempotent) when done — it closes the local mapping and
+    unlinks the segment.
+    """
+
+    def __init__(self, arrays: "dict[str, np.ndarray]") -> None:
+        specs: list[ArraySpec] = []
+        offset = 0
+        for name, arr in arrays.items():
+            arr = np.ascontiguousarray(arr)
+            offset = -(-offset // _ALIGN) * _ALIGN  # round up
+            specs.append(
+                ArraySpec(
+                    name=name,
+                    shape=tuple(arr.shape),
+                    dtype=arr.dtype.str,
+                    offset=offset,
+                )
+            )
+            offset += int(arr.nbytes)
+        self._shm: shared_memory.SharedMemory | None = shared_memory.SharedMemory(
+            create=True, size=max(1, offset)
+        )
+        for spec, arr in zip(specs, arrays.values()):
+            view = np.ndarray(
+                spec.shape,
+                dtype=np.dtype(spec.dtype),
+                buffer=self._shm.buf,
+                offset=spec.offset,
+            )
+            view[...] = np.ascontiguousarray(arr)
+        self.handle = BundleHandle(shm_name=self._shm.name, specs=tuple(specs))
+
+    def close(self) -> None:
+        shm, self._shm = self._shm, None
+        if shm is None:
+            return
+        try:
+            shm.close()
+        finally:
+            try:
+                shm.unlink()
+            except FileNotFoundError:  # pragma: no cover - double unlink
+                pass
+
+    def __enter__(self) -> "BundleBroadcast":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+def attach_bundle(handle: BundleHandle) -> "dict[str, np.ndarray]":
+    """Map an exported bundle into this process as read-only arrays.
+
+    Same tracker discipline as :func:`attach_matrix`: a worker (non-owner)
+    unregisters the segment from the ``resource_tracker`` so its exit cannot
+    unlink the owner's segment.  The mapping is kept alive for the process
+    lifetime via the module-level reference list.
+    """
+    shm = shared_memory.SharedMemory(name=handle.shm_name)
+    if os.getpid() != handle.owner_pid:
+        try:
+            resource_tracker.unregister(shm._name, "shared_memory")
+        except Exception:  # pragma: no cover - tracker internals vary
+            pass
+    _ATTACHED.append(shm)
+    out: dict[str, np.ndarray] = {}
+    for spec in handle.specs:
+        arr = np.ndarray(
+            spec.shape,
+            dtype=np.dtype(spec.dtype),
+            buffer=shm.buf,
+            offset=spec.offset,
+        )
+        arr.setflags(write=False)
+        out[spec.name] = arr
+    return out

@@ -1,0 +1,326 @@
+"""Vectorized streaming replay of a routing at the request level.
+
+Where :func:`repro.simulation.simulate` dispatches every request through a
+Python event loop, this engine processes the whole stream as numpy arrays:
+
+1. arrivals are drawn in bulk — one Poisson count per request type, uniform
+   order statistics for timestamps (the same marginal process as the event
+   simulator's exponential inter-arrival draws);
+2. each request picks a serving path with one vectorized alias-table lookup
+   against the precompiled :class:`~repro.serving.tables.RoutingTables`;
+3. per-link volumes, served counts, and delivered cost accumulate with
+   weighted ``bincount`` scatter ops.
+
+The engine is *fluid*: it validates generated counts, per-link empirical
+loads, served fractions, and delivered cost against the event simulator
+(the parity suite pins this), but it does not model queueing latency —
+that remains the event simulator's job on small instances.
+
+Sharding (``ServingConfig.n_shards > 1``) thins each type's Poisson process
+into ``n`` independent processes of rate ``lambda / n`` with per-shard
+``SeedSequence.spawn`` streams; shard accumulators merge in shard-index
+order, so the serial path here is bit-identical to the process-pool path in
+:mod:`repro.serving.sharding`.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.exceptions import InvalidProblemError
+from repro.serving.tables import Edge, RoutingTables
+
+__all__ = [
+    "ServingConfig",
+    "ServingReport",
+    "RequestBatch",
+    "generate_requests",
+    "serve_batch",
+    "replay",
+]
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Replay horizon, seeding, and sharding of the request stream."""
+
+    horizon: float = 1.0
+    seed: int = 0
+    #: Number of stream shards.  Results depend on the shard count (each
+    #: shard has its own spawned stream) but not on whether shards run
+    #: serially or in a process pool.
+    n_shards: int = 1
+    #: Guard against runaway instances: expected arrivals above this raise.
+    max_requests: int = 50_000_000
+
+    def __post_init__(self) -> None:
+        if self.horizon <= 0:
+            raise InvalidProblemError("horizon must be positive")
+        if self.n_shards < 1:
+            raise InvalidProblemError("n_shards must be >= 1")
+
+
+@dataclass
+class RequestBatch:
+    """One shard's arrivals as a struct-of-arrays, time-ordered."""
+
+    #: Arrival times, sorted ascending, in ``[0, horizon)``.
+    timestamps: np.ndarray
+    #: Request-type index per arrival (row into the tables' type arrays).
+    type_ids: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.type_ids)
+
+    def item_ids(self, tables: RoutingTables) -> list:
+        """Requested item per arrival (label lookup, O(n) Python)."""
+        return [tables.types[t][0] for t in self.type_ids]
+
+    def requester_ids(self, tables: RoutingTables) -> list:
+        """Requesting node per arrival (label lookup, O(n) Python)."""
+        return [tables.types[t][1] for t in self.type_ids]
+
+
+@dataclass
+class ShardAccumulator:
+    """Raw per-shard aggregates; merged in shard order by :func:`replay`."""
+
+    generated: np.ndarray  # int64 per type
+    served: np.ndarray  # int64 per type
+    path_counts: np.ndarray  # int64 per path
+    edge_volume: np.ndarray  # float64 per edge (size-weighted)
+    delivered_cost: float
+
+    def merge(self, other: "ShardAccumulator") -> None:
+        self.generated += other.generated
+        self.served += other.served
+        self.path_counts += other.path_counts
+        self.edge_volume += other.edge_volume
+        self.delivered_cost += other.delivered_cost
+
+
+@dataclass
+class ServingReport:
+    """Aggregated outcome of one streaming replay."""
+
+    generated: int
+    served: int
+    unserved: int
+    #: Sum of path costs over served requests (cf. objective (1a) scaled by
+    #: the horizon: ``delivered_cost / horizon`` estimates the routing cost).
+    delivered_cost: float
+    #: Empirical traffic (size per unit time) per link.
+    empirical_loads: dict[Edge, float] = field(default_factory=dict)
+    #: The analytic loads of constraint (1b), for comparison.
+    analytic_loads: dict[Edge, float] = field(default_factory=dict)
+    #: Demand types with no (or zero-fraction) routing in the tables.
+    unrouted_types: int = 0
+    horizon: float = 1.0
+    n_shards: int = 1
+    #: Wall-clock time of the replay (generation + matching + accumulation).
+    elapsed_seconds: float = 0.0
+    #: Per-type generated/served counts (tables' type order).
+    per_type_generated: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.int64))
+    per_type_served: np.ndarray = field(default_factory=lambda: np.zeros(0, dtype=np.int64))
+
+    @property
+    def served_fraction(self) -> float:
+        """Served share of generated requests; NaN when nothing arrived."""
+        if self.generated == 0:
+            return float("nan")
+        return self.served / self.generated
+
+    @property
+    def requests_per_sec(self) -> float:
+        if self.elapsed_seconds <= 0:
+            return float("nan")
+        return self.generated / self.elapsed_seconds
+
+
+def generate_requests(
+    tables: RoutingTables,
+    horizon: float,
+    rng: np.random.Generator,
+    *,
+    rate_scale: float = 1.0,
+    max_requests: int | None = None,
+) -> RequestBatch:
+    """Draw one shard's arrivals in bulk.
+
+    Counts per type are Poisson(rate * horizon * rate_scale); timestamps are
+    uniform order statistics over the horizon — together exactly a Poisson
+    process per type, matching the event simulator's exponential
+    inter-arrival construction in distribution.
+    """
+    if horizon <= 0:
+        raise InvalidProblemError("horizon must be positive")
+    expected = tables.total_rate * horizon * rate_scale
+    if max_requests is not None and expected > max_requests:
+        raise InvalidProblemError(
+            f"replay would generate ~{expected:.0f} arrivals"
+            f" > max_requests={max_requests}; lower the horizon or scale"
+            " the instance down"
+        )
+    counts = rng.poisson(tables.rates * (horizon * rate_scale))
+    total = int(counts.sum())
+    type_ids = np.repeat(
+        np.arange(tables.num_types, dtype=np.int64), counts
+    )
+    timestamps = rng.random(total) * horizon
+    order = np.argsort(timestamps, kind="stable")
+    return RequestBatch(timestamps=timestamps[order], type_ids=type_ids[order])
+
+
+def serve_batch(
+    tables: RoutingTables,
+    batch: RequestBatch,
+    rng: np.random.Generator,
+) -> ShardAccumulator:
+    """Match one batch against the tables; no per-request Python dispatch."""
+    type_ids = batch.type_ids
+    generated = np.bincount(type_ids, minlength=tables.num_types)
+
+    # Serve/drop draw: a type whose fractions sum to f < 1 serves each
+    # arrival with probability f (types with no routing have f = 0).
+    u = rng.random(len(type_ids))
+    served_mask = u < tables.served_prob[type_ids]
+    served_types = type_ids[served_mask]
+    served = np.bincount(served_types, minlength=tables.num_types)
+
+    # Alias-table path choice for the served requests: slot uniform within
+    # the type's slot range, accept/reject against the precomputed
+    # thresholds (one uniform for slot+acceptance via the floor/frac trick).
+    lo = tables.slot_ptr[served_types]
+    k = tables.slot_ptr[served_types + 1] - lo
+    v = rng.random(len(served_types)) * k
+    local = v.astype(np.int64)
+    # Guard the measure-zero v == k edge produced by float rounding.
+    np.minimum(local, k - 1, out=local)
+    slot = lo + local
+    frac = v - local
+    paths = np.where(
+        frac < tables.slot_prob[slot],
+        tables.slot_path[slot],
+        tables.slot_alias[slot],
+    )
+
+    path_counts = np.bincount(paths, minlength=tables.num_paths)
+    volume = path_counts * tables.item_sizes[tables.path_type]
+    edge_volume = np.bincount(
+        tables.path_edges,
+        weights=np.repeat(volume, np.diff(tables.path_edge_ptr)),
+        minlength=len(tables.edges),
+    )
+    delivered_cost = float(path_counts @ tables.path_cost)
+    return ShardAccumulator(
+        generated=generated.astype(np.int64),
+        served=served.astype(np.int64),
+        path_counts=path_counts.astype(np.int64),
+        edge_volume=edge_volume,
+        delivered_cost=delivered_cost,
+    )
+
+
+def shard_seed_sequences(config: ServingConfig) -> list[np.random.SeedSequence]:
+    """Per-shard independent streams, materialized up front.
+
+    Mirrors the Monte Carlo runner's discipline: the full list is derived
+    from the base seed before any work happens, so serial and pooled
+    execution consume exactly the same streams in the same order.
+    """
+    return np.random.SeedSequence(config.seed).spawn(config.n_shards)
+
+
+def run_shard(
+    tables: RoutingTables,
+    config: ServingConfig,
+    seed_seq: np.random.SeedSequence,
+) -> ShardAccumulator:
+    """Generate and serve one shard (rate thinned by ``1 / n_shards``)."""
+    rng = np.random.default_rng(seed_seq)
+    batch = generate_requests(
+        tables,
+        config.horizon,
+        rng,
+        rate_scale=1.0 / config.n_shards,
+        max_requests=config.max_requests,
+    )
+    return serve_batch(tables, batch, rng)
+
+
+def _empty_accumulator(tables: RoutingTables) -> ShardAccumulator:
+    return ShardAccumulator(
+        generated=np.zeros(tables.num_types, dtype=np.int64),
+        served=np.zeros(tables.num_types, dtype=np.int64),
+        path_counts=np.zeros(tables.num_paths, dtype=np.int64),
+        edge_volume=np.zeros(len(tables.edges)),
+        delivered_cost=0.0,
+    )
+
+
+def build_report(
+    tables: RoutingTables,
+    config: ServingConfig,
+    total: ShardAccumulator,
+    *,
+    elapsed_seconds: float,
+) -> ServingReport:
+    """Assemble the user-facing report from merged shard accumulators."""
+    generated = int(total.generated.sum())
+    served = int(total.served.sum())
+    empirical = {
+        edge: float(vol) / config.horizon
+        for edge, vol in zip(tables.edges, total.edge_volume)
+        if vol > 0.0
+    }
+    return ServingReport(
+        generated=generated,
+        served=served,
+        unserved=generated - served,
+        delivered_cost=total.delivered_cost,
+        empirical_loads=empirical,
+        analytic_loads=tables.expected_loads(),
+        unrouted_types=tables.unrouted_types,
+        horizon=config.horizon,
+        n_shards=config.n_shards,
+        elapsed_seconds=elapsed_seconds,
+        per_type_generated=total.generated,
+        per_type_served=total.served,
+    )
+
+
+def replay(
+    tables: RoutingTables,
+    config: ServingConfig | None = None,
+) -> ServingReport:
+    """Serial streaming replay (shards run in-process, in shard order).
+
+    The expected request volume is validated against
+    ``config.max_requests`` before any generation happens, mirroring the
+    event simulator's guard.
+    """
+    config = config or ServingConfig()
+    expected = tables.total_rate * config.horizon
+    if expected > config.max_requests:
+        raise InvalidProblemError(
+            f"replay would generate ~{expected:.0f} arrivals"
+            f" > max_requests={config.max_requests}"
+        )
+    start = time.perf_counter()
+    total = _empty_accumulator(tables)
+    for seed_seq in shard_seed_sequences(config):
+        total.merge(run_shard(tables, config, seed_seq))
+    elapsed = time.perf_counter() - start
+    return build_report(tables, config, total, elapsed_seconds=elapsed)
+
+
+def horizon_for_requests(tables: RoutingTables, n_requests: float) -> float:
+    """Horizon that yields ``n_requests`` expected arrivals."""
+    rate = tables.total_rate
+    if rate <= 0 or not math.isfinite(rate):
+        raise InvalidProblemError("tables carry no positive demand rate")
+    return float(n_requests) / rate

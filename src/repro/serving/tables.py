@@ -1,0 +1,291 @@
+"""Compile a (problem, routing) pair into flat arrays for bulk replay.
+
+The event simulator walks Python objects per request; the streaming engine
+(:mod:`repro.serving.engine`) instead matches whole request batches against
+precompiled tables:
+
+- request types ``(item, s)`` are indexed ``0..R-1`` in the deterministic
+  ``ProblemInstance.requests`` order;
+- each type's serving paths become rows of a flat *path table* (per-path
+  cost, item size, and a CSR layout of edge ids), so per-link accumulation
+  is one weighted ``bincount`` over edge ids;
+- each type's path-choice distribution becomes a Walker *alias table*
+  (``slot_prob``/``slot_path``/``slot_alias``), so drawing one path per
+  request is O(1) and fully vectorizable.
+
+Semantics mirror the event simulator with one deliberate exception: the
+event loop *normalizes* path fractions (a partially served type still
+routes every arrival), while the tables keep the unserved mass explicit —
+a type whose fractions sum to ``f < 1`` serves each arrival with
+probability ``f`` and counts the rest as unserved.  For fully served
+routings (the parity suite's regime) the two agree.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Hashable
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.problem import ProblemInstance, Request
+from repro.core.solution import Routing
+from repro.exceptions import InvalidProblemError
+
+Node = Hashable
+Edge = tuple[Node, Node]
+
+#: Fractions below this are treated as zero (matches Routing's _EPS scale).
+_EPS = 1e-12
+
+
+def _alias_table(probs: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Vose alias table for one discrete distribution.
+
+    Returns ``(accept, alias)``: drawing ``slot ~ U{0..K-1}`` and
+    ``u ~ U[0,1)``, the outcome is ``slot`` if ``u < accept[slot]`` else
+    ``alias[slot]``.
+    """
+    k = len(probs)
+    accept = probs * k
+    alias = np.arange(k, dtype=np.int64)
+    small = [i for i in range(k) if accept[i] < 1.0]
+    large = [i for i in range(k) if accept[i] >= 1.0]
+    while small and large:
+        s, l = small.pop(), large.pop()
+        alias[s] = l
+        accept[l] -= 1.0 - accept[s]
+        (small if accept[l] < 1.0 else large).append(l)
+    # Numerical leftovers: everything remaining accepts with certainty.
+    for i in small + large:
+        accept[i] = 1.0
+    return accept, alias
+
+
+@dataclass
+class RoutingTables:
+    """Array view of one routing over one problem's demand.
+
+    Small label tuples (``types``, ``edges``) stay Python objects; every
+    per-request-type / per-path quantity is a numpy array so the engine can
+    process millions of requests without touching Python dispatch.
+    """
+
+    #: Request types in deterministic order (``ProblemInstance.requests``).
+    types: tuple[Request, ...]
+    #: Edges referenced by any serving path (indexing ``edge_*`` arrays).
+    edges: tuple[Edge, ...]
+
+    # -- per-type arrays (length R) ------------------------------------
+    rates: np.ndarray  # float64 arrival rates lambda_{(i,s)}
+    served_prob: np.ndarray  # float64 in [0, 1]: sum of path fractions
+    item_sizes: np.ndarray  # float64 b_i of the type's item
+    slot_ptr: np.ndarray  # int64, R+1: alias slots of type t
+
+    # -- alias slots (length S, CSR by type) ---------------------------
+    slot_prob: np.ndarray  # float64 acceptance threshold
+    slot_path: np.ndarray  # int64 global path id on accept
+    slot_alias: np.ndarray  # int64 global path id on reject
+
+    # -- per-path arrays (length P) ------------------------------------
+    path_cost: np.ndarray  # float64 sum of link costs along the path
+    path_type: np.ndarray  # int64 owning request type
+    path_amount: np.ndarray  # float64 raw routing fraction (expected_* uses it)
+    path_edge_ptr: np.ndarray  # int64, P+1
+    path_edges: np.ndarray  # int64 edge ids, CSR by path
+
+    #: Types with no (or zero-fraction) routing.
+    unrouted_types: int = 0
+
+    # ------------------------------------------------------------------
+
+    @property
+    def num_types(self) -> int:
+        return len(self.types)
+
+    @property
+    def num_paths(self) -> int:
+        return len(self.path_cost)
+
+    @property
+    def total_rate(self) -> float:
+        return float(self.rates.sum())
+
+    def expected_loads(self) -> dict[Edge, float]:
+        """Analytic per-link loads of constraint (1b): ``sum rate * f * b_i``.
+
+        This is the deterministic aggregation path: no sampling, exactly the
+        quantity the event simulator reports as ``analytic_loads``.
+        """
+        weight = (
+            self.rates[self.path_type]
+            * self.path_amount
+            * self.item_sizes[self.path_type]
+        )
+        per_edge = np.bincount(
+            self.path_edges,
+            weights=np.repeat(weight, np.diff(self.path_edge_ptr)),
+            minlength=len(self.edges),
+        )
+        return {
+            edge: float(load)
+            for edge, load in zip(self.edges, per_edge)
+            if load > 0.0
+        }
+
+    def expected_cost_rate(self) -> float:
+        """Expected routing cost per unit time — objective (1a)."""
+        return float(
+            (self.rates[self.path_type] * self.path_amount) @ self.path_cost
+        )
+
+    # ------------------------------------------------------------------
+    # Shared-memory transport (see repro.serving.sharding)
+    # ------------------------------------------------------------------
+
+    _ARRAY_FIELDS = (
+        "rates",
+        "served_prob",
+        "item_sizes",
+        "slot_ptr",
+        "slot_prob",
+        "slot_path",
+        "slot_alias",
+        "path_cost",
+        "path_type",
+        "path_amount",
+        "path_edge_ptr",
+        "path_edges",
+    )
+
+    def as_arrays(self) -> dict[str, np.ndarray]:
+        """The numeric payload, as named arrays (for ``BundleBroadcast``)."""
+        return {name: getattr(self, name) for name in self._ARRAY_FIELDS}
+
+    def labels(self) -> tuple[tuple[Request, ...], tuple[Edge, ...], int]:
+        """The small picklable remainder (``types``, ``edges``, unrouted)."""
+        return (self.types, self.edges, self.unrouted_types)
+
+    @classmethod
+    def from_arrays(
+        cls,
+        labels: tuple[tuple[Request, ...], tuple[Edge, ...], int],
+        arrays: dict[str, np.ndarray],
+    ) -> "RoutingTables":
+        types, edges, unrouted = labels
+        return cls(
+            types=types,
+            edges=edges,
+            unrouted_types=unrouted,
+            **{name: arrays[name] for name in cls._ARRAY_FIELDS},
+        )
+
+
+def compile_tables(
+    problem: ProblemInstance,
+    routing: Routing,
+    *,
+    allow_unrouted: bool = False,
+) -> RoutingTables:
+    """Build :class:`RoutingTables` for ``routing`` over ``problem``'s demand.
+
+    Raises :class:`InvalidProblemError` on a type with no (or zero-fraction)
+    routing unless ``allow_unrouted`` — mirroring ``simulate()``'s contract;
+    with ``allow_unrouted`` such types keep generating requests that count
+    as unserved (the event simulator skips generating them entirely, which
+    parity tests account for by comparing served counts).
+    """
+    requests = problem.requests
+    network = problem.network
+    edge_ids: dict[Edge, int] = {}
+    edge_cost: list[float] = []
+
+    rates = np.empty(len(requests))
+    served_prob = np.zeros(len(requests))
+    item_sizes = np.empty(len(requests))
+    slot_ptr = np.zeros(len(requests) + 1, dtype=np.int64)
+    slot_prob: list[np.ndarray] = []
+    slot_path: list[np.ndarray] = []
+    slot_alias: list[np.ndarray] = []
+
+    path_cost: list[float] = []
+    path_type: list[int] = []
+    path_amount: list[float] = []
+    path_edge_ptr: list[int] = [0]
+    path_edges: list[int] = []
+    unrouted = 0
+
+    for t, request in enumerate(requests):
+        item, _s = request
+        rates[t] = problem.demand[request]
+        item_sizes[t] = problem.size_of(item)
+        pfs = routing.paths.get(request) or []
+        amounts = np.array([pf.amount for pf in pfs], dtype=float)
+        total = float(amounts.sum()) if len(amounts) else 0.0
+        if total <= _EPS:
+            if not allow_unrouted:
+                raise InvalidProblemError(f"request {request!r} has no routing")
+            unrouted += 1
+            slot_ptr[t + 1] = slot_ptr[t]
+            continue
+        served_prob[t] = min(1.0, total)
+        first_path = len(path_cost)
+        for pf in pfs:
+            if pf.amount <= _EPS:
+                continue
+            cost = 0.0
+            for u, v in pf.edges():
+                eid = edge_ids.setdefault((u, v), len(edge_ids))
+                if eid == len(edge_cost):
+                    edge_cost.append(network.cost(u, v))
+                cost += edge_cost[eid]
+                path_edges.append(eid)
+            path_cost.append(cost)
+            path_type.append(t)
+            path_amount.append(pf.amount)
+            path_edge_ptr.append(len(path_edges))
+        k = len(path_cost) - first_path
+        if k == 0:
+            # Positive total but every individual fraction below _EPS.
+            if not allow_unrouted:
+                raise InvalidProblemError(f"request {request!r} has no routing")
+            unrouted += 1
+            served_prob[t] = 0.0
+            slot_ptr[t + 1] = slot_ptr[t]
+            continue
+        probs = np.array(path_amount[first_path:], dtype=float)
+        probs /= probs.sum()
+        accept, alias = _alias_table(probs)
+        slot_prob.append(accept)
+        slot_path.append(np.arange(first_path, first_path + k, dtype=np.int64))
+        slot_alias.append(alias + first_path)
+        slot_ptr[t + 1] = slot_ptr[t] + k
+
+    edges = tuple(edge_ids)
+    return RoutingTables(
+        types=tuple(requests),
+        edges=edges,
+        rates=rates,
+        served_prob=served_prob,
+        item_sizes=item_sizes,
+        slot_ptr=slot_ptr,
+        slot_prob=(
+            np.concatenate(slot_prob) if slot_prob else np.zeros(0)
+        ),
+        slot_path=(
+            np.concatenate(slot_path)
+            if slot_path
+            else np.zeros(0, dtype=np.int64)
+        ),
+        slot_alias=(
+            np.concatenate(slot_alias)
+            if slot_alias
+            else np.zeros(0, dtype=np.int64)
+        ),
+        path_cost=np.array(path_cost),
+        path_type=np.array(path_type, dtype=np.int64),
+        path_amount=np.array(path_amount),
+        path_edge_ptr=np.array(path_edge_ptr, dtype=np.int64),
+        path_edges=np.array(path_edges, dtype=np.int64),
+        unrouted_types=unrouted,
+    )

@@ -11,12 +11,16 @@ expose what congestion means operationally:
 - the response is transferred store-and-forward: every link is a FIFO
   server whose service time is ``item_size / link_capacity`` (zero for
   uncapacitated links);
-- delivery latency, per-link utilization, and empirical loads are recorded.
+- delivery latency, per-link utilization (the fraction of the horizon the
+  link spent transferring, windowed at the horizon for overloaded and
+  stalled links alike), empirical loads, and delivered routing cost are
+  recorded.  Latency statistics are NaN when nothing was delivered.
 
 By the law of large numbers the empirical per-link load converges to the
 analytic ``sum_r lambda_r * f`` of constraint (1b), and latency diverges
 precisely on solutions whose analytic congestion exceeds 1 — the property
-tests pin both facts down.
+tests pin both facts down.  The vectorized engine in :mod:`repro.serving`
+treats this simulator as its parity oracle on small instances.
 """
 
 from __future__ import annotations
@@ -65,9 +69,15 @@ class SimulationReport:
 
     generated: int
     delivered: int
+    #: Latency statistics over *delivered* requests.  NaN when nothing was
+    #: delivered — "everything stalled" must stay distinguishable from
+    #: "instant delivery" (which reports 0.0).
     mean_latency: float
     p95_latency: float
     max_latency: float
+    #: Sum of path costs over delivered requests; ``delivered_cost /
+    #: horizon`` estimates the routing cost (1a) the solvers optimize.
+    delivered_cost: float = 0.0
     #: Fraction of the horizon each capacitated link spent transferring.
     utilization: dict[Edge, float] = field(default_factory=dict)
     #: Empirical traffic (size per unit time) per link.
@@ -176,6 +186,8 @@ def simulate(
     busy_time: dict[Edge, float] = {}
     transferred: dict[Edge, float] = {}
     completions: list[tuple[float, float]] = []  # (finish_time, latency)
+    path_costs: dict[tuple[Node, ...], float] = {}
+    delivered_cost = 0.0
 
     stalled = 0
 
@@ -191,8 +203,15 @@ def simulate(
         return problem.size_of(item) / cap
 
     def enter_link(now: float, transfer: _Transfer) -> None:
+        nonlocal delivered_cost
         if transfer.hop >= len(transfer.path) - 1:
             completions.append((now, now - transfer.start_time))
+            if transfer.path not in path_costs:
+                path_costs[transfer.path] = sum(
+                    problem.network.cost(u, v)
+                    for u, v in zip(transfer.path[:-1], transfer.path[1:])
+                )
+            delivered_cost += path_costs[transfer.path]
             return
         edge = (transfer.path[transfer.hop], transfer.path[transfer.hop + 1])
         queue = queues.setdefault(edge, deque())
@@ -215,7 +234,13 @@ def simulate(
             return
         finish = now + duration
         busy_until[edge] = finish
-        busy_time[edge] = busy_time.get(edge, 0.0) + duration
+        # Busy time is windowed to the horizon for stalled AND finite links
+        # alike (utilization is "fraction of the horizon spent transferring"
+        # in both failure modes); service running past the horizon shows up
+        # as late_deliveries, not as utilization > 1.
+        busy_time[edge] = busy_time.get(edge, 0.0) + max(
+            0.0, min(finish, config.horizon) - now
+        )
         transferred[edge] = transferred.get(edge, 0.0) + problem.size_of(transfer.item)
         heapq.heappush(events, (finish, transfer.request_id, "done", (edge, transfer)))
 
@@ -245,16 +270,23 @@ def simulate(
         for edge in busy_time
         if not math.isinf(problem.network.capacity(*edge))
     }
-    latencies_arr = (
-        np.array([lat for _t, lat in completions]) if completions else np.zeros(1)
-    )
+    if completions:
+        latencies_arr = np.array([lat for _t, lat in completions])
+        mean_latency = float(latencies_arr.mean())
+        p95_latency = float(np.percentile(latencies_arr, 95))
+        max_latency = float(latencies_arr.max())
+    else:
+        # Nothing delivered: latency is undefined, not zero — a fully
+        # stalled replay must not look like instant delivery.
+        mean_latency = p95_latency = max_latency = float("nan")
     late = sum(1 for t, _lat in completions if t > config.horizon)
     return SimulationReport(
         generated=len(arrivals),
         delivered=len(completions),
-        mean_latency=float(latencies_arr.mean()),
-        p95_latency=float(np.percentile(latencies_arr, 95)),
-        max_latency=float(latencies_arr.max()),
+        mean_latency=mean_latency,
+        p95_latency=p95_latency,
+        max_latency=max_latency,
+        delivered_cost=delivered_cost,
         utilization=utilization,
         empirical_loads={
             edge: volume / config.horizon for edge, volume in transferred.items()

@@ -9,7 +9,9 @@ from repro.workload.catalog import (
     top_videos,
 )
 from repro.workload.requests import (
+    DemandReport,
     build_demand,
+    build_demand_report,
     edge_node_shares,
     perturb_demand,
     total_chunk_rate,
@@ -43,7 +45,9 @@ __all__ = [
     "synthesize_trace",
     "split_train_eval",
     "edge_node_shares",
+    "DemandReport",
     "build_demand",
+    "build_demand_report",
     "total_chunk_rate",
     "perturb_demand",
     "zipf_demand",

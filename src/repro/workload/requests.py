@@ -10,6 +10,7 @@ error.
 from __future__ import annotations
 
 from collections.abc import Hashable, Mapping, Sequence
+from dataclasses import dataclass
 
 import numpy as np
 
@@ -34,6 +35,66 @@ def edge_node_shares(
     }
 
 
+@dataclass(frozen=True)
+class DemandReport:
+    """Result of :func:`build_demand_report`: demand plus cutoff accounting.
+
+    ``dropped_mass`` is in item-request rate units (the same unit as
+    :func:`total_chunk_rate`), so demand conservation is checkable as
+    ``sum(demand.values()) + dropped_mass == total_chunk_rate(...)``.
+    """
+
+    demand: dict[Request, float]
+    #: Item-request rate lost to the ``min_rate`` cutoff.
+    dropped_mass: float
+    #: Number of ``(item, node)`` entries suppressed by the cutoff.
+    dropped_entries: int
+
+
+def build_demand_report(
+    video_rates: Mapping[str, float],
+    catalog: CatalogSpec,
+    edge_nodes: Sequence[Node],
+    shares: Mapping[str, np.ndarray],
+    *,
+    min_rate: float = 1e-9,
+) -> DemandReport:
+    """Expand per-video rates into per-(item, edge-node) request rates.
+
+    A video viewed ``r`` times per hour at an edge node generates ``r``
+    requests per hour for *each* of its items (all chunks at chunk level, the
+    single file at file level).
+
+    Cutoff contract (mirrors ``zipf_demand``'s documented 1e-12 rule): a
+    per-node rate at or below ``min_rate`` is dropped — vanishing rates only
+    add LP columns without affecting cost — so the returned rates can sum to
+    slightly less than the video rates imply.  Unlike the old silent drop,
+    the lost mass is accounted: it is returned as ``dropped_mass`` (in
+    item-request units) alongside the demand.
+    """
+    demand: dict[Request, float] = {}
+    dropped_mass = 0.0
+    dropped_entries = 0
+    for vid, rate in video_rates.items():
+        if vid not in catalog.item_of_video:
+            raise InvalidProblemError(f"video {vid!r} not in catalog spec")
+        weights = shares[vid]
+        if len(weights) != len(edge_nodes):
+            raise InvalidProblemError("share vector does not match edge nodes")
+        items = catalog.item_of_video[vid]
+        for node, weight in zip(edge_nodes, weights):
+            node_rate = rate * float(weight)
+            if node_rate <= min_rate:
+                dropped_mass += node_rate * len(items)
+                dropped_entries += len(items)
+                continue
+            for item in items:
+                demand[(item, node)] = demand.get((item, node), 0.0) + node_rate
+    return DemandReport(
+        demand=demand, dropped_mass=dropped_mass, dropped_entries=dropped_entries
+    )
+
+
 def build_demand(
     video_rates: Mapping[str, float],
     catalog: CatalogSpec,
@@ -41,27 +102,25 @@ def build_demand(
     shares: Mapping[str, np.ndarray],
     *,
     min_rate: float = 1e-9,
+    strict: bool = False,
 ) -> dict[Request, float]:
-    """Expand per-video rates into per-(item, edge-node) request rates.
+    """Demand-only wrapper around :func:`build_demand_report`.
 
-    A video viewed ``r`` times per hour at an edge node generates ``r``
-    requests per hour for *each* of its items (all chunks at chunk level, the
-    single file at file level).
+    ``strict=True`` raises :class:`InvalidProblemError` if the ``min_rate``
+    cutoff dropped any demand mass, for callers that must conserve the video
+    rates exactly; the default tolerates the documented cutoff but the
+    dropped mass is always available via :func:`build_demand_report`.
     """
-    demand: dict[Request, float] = {}
-    for vid, rate in video_rates.items():
-        if vid not in catalog.item_of_video:
-            raise InvalidProblemError(f"video {vid!r} not in catalog spec")
-        weights = shares[vid]
-        if len(weights) != len(edge_nodes):
-            raise InvalidProblemError("share vector does not match edge nodes")
-        for node, weight in zip(edge_nodes, weights):
-            node_rate = rate * float(weight)
-            if node_rate <= min_rate:
-                continue
-            for item in catalog.item_of_video[vid]:
-                demand[(item, node)] = demand.get((item, node), 0.0) + node_rate
-    return demand
+    report = build_demand_report(
+        video_rates, catalog, edge_nodes, shares, min_rate=min_rate
+    )
+    if strict and report.dropped_mass > 0.0:
+        raise InvalidProblemError(
+            f"min_rate={min_rate:g} cutoff dropped {report.dropped_entries} "
+            f"demand entries totalling {report.dropped_mass:g} item-requests/"
+            "hour; lower min_rate or use build_demand_report()"
+        )
+    return report.demand
 
 
 def total_chunk_rate(

@@ -62,6 +62,66 @@ class TestEvaluateAlgorithm:
         assert record.cost == pytest.approx(baseline.cost)
 
 
+class TestServingReplay:
+    HORIZON = 1e-3  # hours; paper-scale rates make this a few thousand requests
+
+    def serving_config(self):
+        from repro.serving import ServingConfig
+
+        return ServingConfig(horizon=self.HORIZON, seed=0)
+
+    def test_replay_summary_attached(self):
+        scenario = build_scenario(SMALL)
+        record = evaluate_algorithm(
+            "origin", origin_only, scenario, self.serving_config()
+        )
+        serving = record.extra["serving"]
+        assert serving["generated"] > 0
+        assert serving["served_fraction"] == pytest.approx(1.0)
+        assert serving["delivered_cost"] / self.HORIZON == pytest.approx(
+            record.cost, rel=0.2
+        )
+        assert serving["requests_per_sec"] > 0
+
+    def test_no_summary_without_config(self):
+        scenario = build_scenario(SMALL)
+        record = evaluate_algorithm("origin", origin_only, scenario)
+        assert "serving" not in record.extra
+
+    def test_algorithm_failure_skips_replay(self):
+        scenario = build_scenario(SMALL)
+        record = evaluate_algorithm(
+            "bad", failing, scenario, self.serving_config()
+        )
+        assert record.failed
+        assert "serving" not in record.extra
+
+    def test_replay_failure_marks_summary_not_run(self):
+        from repro.serving import ServingConfig
+
+        scenario = build_scenario(SMALL)
+        record = evaluate_algorithm(
+            "origin",
+            origin_only,
+            scenario,
+            ServingConfig(horizon=1e6, max_requests=1_000),
+        )
+        assert not record.failed
+        assert record.cost > 0
+        assert "error" in record.extra["serving"]
+
+    def test_monte_carlo_threads_the_config(self):
+        records = run_monte_carlo(
+            SMALL,
+            {"origin": origin_only},
+            MonteCarloConfig(n_runs=2),
+            serving_replay=self.serving_config(),
+        )
+        assert len(records) == 2
+        for record in records:
+            assert record.extra["serving"]["generated"] > 0
+
+
 class TestRunMonteCarlo:
     def test_runs_all_seeds_and_algorithms(self):
         records = run_monte_carlo(

@@ -9,7 +9,9 @@ import pytest
 
 from repro.graph import build_distance_matrix, line_topology
 from repro.graph.shm import (
+    BundleBroadcast,
     MatrixBroadcast,
+    attach_bundle,
     attach_matrix,
     graph_signature,
     lookup_matrix,
@@ -89,6 +91,62 @@ class TestBroadcast:
         # Doubling |V| quadruples the matrix but must not quadruple the
         # handle (node labels grow linearly).
         assert sizes[60] < 3 * sizes[30]
+
+
+class TestBundle:
+    def sample_arrays(self) -> dict[str, np.ndarray]:
+        return {
+            "rates": np.array([1.0, 2.5, 4.0]),
+            "ptr": np.array([0, 2, 5], dtype=np.int64),
+            "flags": np.array([1, 0, 1], dtype=np.int8),
+            "empty": np.zeros(0),
+        }
+
+    def test_attach_round_trip_read_only(self):
+        arrays = self.sample_arrays()
+        broadcast = BundleBroadcast(arrays)
+        try:
+            attached = attach_bundle(broadcast.handle)
+            assert set(attached) == set(arrays)
+            for name, arr in arrays.items():
+                assert attached[name].dtype == arr.dtype
+                assert np.array_equal(attached[name], arr)
+                assert not attached[name].flags.writeable
+        finally:
+            broadcast.close()
+
+    def test_close_unlinks_segment(self):
+        before = shm_segments()
+        broadcast = BundleBroadcast(self.sample_arrays())
+        assert shm_segments() - before  # segment exists while open
+        broadcast.close()
+        assert shm_segments() - before == set()
+        broadcast.close()  # idempotent
+
+    def test_handle_pickles_small(self):
+        # The per-pool payload is the handle, not the arrays.
+        arrays = {"big": np.zeros(200_000)}
+        broadcast = BundleBroadcast(arrays)
+        try:
+            assert len(pickle.dumps(broadcast.handle)) < 1_000
+        finally:
+            broadcast.close()
+
+    def test_heterogeneous_dtypes_keep_alignment(self):
+        arrays = {
+            "bytes1": np.arange(7, dtype=np.int8),
+            "floats": np.arange(5, dtype=np.float64),
+            "ints": np.arange(3, dtype=np.int64),
+        }
+        broadcast = BundleBroadcast(arrays)
+        try:
+            for spec in broadcast.handle.specs:
+                assert spec.offset % 64 == 0
+            attached = attach_bundle(broadcast.handle)
+            for name, arr in arrays.items():
+                assert np.array_equal(attached[name], arr)
+        finally:
+            broadcast.close()
 
 
 class TestRegistry:

@@ -1,0 +1,145 @@
+"""Parity suite: streaming engine vs the event-driven oracle.
+
+The event simulator (:func:`repro.simulation.simulate`) is the semantic
+reference.  On seeded small instances with fully served routings, the
+vectorized engine must agree with it on
+
+- analytic per-link loads (deterministic aggregation — near-exact),
+- expected cost rate vs ``routing_cost`` (deterministic — near-exact),
+- generated counts, empirical loads, served fraction, and delivered cost
+  (independent random streams — statistical tolerance).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import Placement, route_to_nearest_replica, solve
+from repro.core.evaluation import routing_cost
+from repro.serving import ServingConfig, compile_tables, replay
+from repro.simulation import SimulationConfig, simulate
+
+from tests.core.conftest import make_line_problem, random_uncapacitated_problem
+
+HORIZON = 300.0
+
+
+def line_case():
+    prob = make_line_problem(link_capacity=50.0)
+    return prob, route_to_nearest_replica(prob, Placement())
+
+
+def cached_line_case():
+    prob = make_line_problem(cache_nodes={2: 1}, link_capacity=50.0)
+    solution = solve(prob).solution
+    return prob, solution.routing
+
+
+def random_case(seed):
+    prob = random_uncapacitated_problem(seed)
+    return prob, route_to_nearest_replica(prob, Placement())
+
+
+CASES = {
+    "line": line_case,
+    "cached-line": cached_line_case,
+    "random-7": lambda: random_case(7),
+    "random-11": lambda: random_case(11),
+}
+
+
+@pytest.fixture(params=sorted(CASES), ids=sorted(CASES))
+def case(request):
+    prob, routing = CASES[request.param]()
+    tables = compile_tables(prob, routing)
+    serving = replay(tables, ServingConfig(horizon=HORIZON, seed=3))
+    sim = simulate(
+        prob,
+        routing,
+        SimulationConfig(horizon=HORIZON, seed=3, max_requests=2_000_000),
+    )
+    return prob, routing, tables, serving, sim
+
+
+class TestDeterministicParity:
+    def test_analytic_loads_near_exact(self, case):
+        _, _, _, serving, sim = case
+        assert set(serving.analytic_loads) == set(sim.analytic_loads)
+        for edge, load in sim.analytic_loads.items():
+            assert serving.analytic_loads[edge] == pytest.approx(
+                load, abs=1e-9
+            )
+
+    def test_expected_cost_rate_matches_routing_cost(self, case):
+        prob, routing, tables, _, _ = case
+        assert tables.expected_cost_rate() == pytest.approx(
+            routing_cost(prob, routing), abs=1e-9
+        )
+
+
+class TestStatisticalParity:
+    def test_generated_counts_agree(self, case):
+        _, _, tables, serving, sim = case
+        # Both draw Poisson(total_rate * horizon) arrivals.
+        expected = tables.total_rate * HORIZON
+        sigma = np.sqrt(expected)
+        assert abs(serving.generated - expected) < 6 * sigma
+        assert abs(sim.generated - expected) < 6 * sigma
+
+    def test_everything_served_both_sides(self, case):
+        _, _, _, serving, sim = case
+        assert serving.served == serving.generated
+        # Completions past the horizon still count as delivered (late).
+        assert sim.delivered + sim.stalled_transfers == sim.generated
+        assert sim.late_deliveries <= sim.delivered
+
+    def test_empirical_loads_agree(self, case):
+        _, _, _, serving, sim = case
+        for edge, load in serving.analytic_loads.items():
+            if load <= 0:
+                continue
+            assert serving.empirical_loads[edge] == pytest.approx(
+                load, rel=0.15
+            )
+            assert sim.empirical_loads[edge] == pytest.approx(load, rel=0.15)
+
+    def test_delivered_cost_agrees(self, case):
+        prob, routing, _, serving, sim = case
+        cost = routing_cost(prob, routing)
+        if cost == 0.0:
+            pytest.skip("free routing, nothing to compare")
+        assert serving.delivered_cost / HORIZON == pytest.approx(
+            cost, rel=0.15
+        )
+        assert sim.delivered_cost / HORIZON == pytest.approx(cost, rel=0.15)
+        assert serving.delivered_cost == pytest.approx(
+            sim.delivered_cost, rel=0.2
+        )
+
+
+class TestUnroutedParity:
+    def test_unrouted_counts_agree(self):
+        prob, routing = line_case()
+        routing.paths[("item1", 4)] = []
+        tables = compile_tables(prob, routing, allow_unrouted=True)
+        serving = replay(tables, ServingConfig(horizon=HORIZON, seed=5))
+        sim = simulate(
+            prob,
+            routing,
+            SimulationConfig(
+                horizon=HORIZON,
+                seed=5,
+                allow_unrouted=True,
+                max_requests=2_000_000,
+            ),
+        )
+        assert serving.unrouted_types == sim.unrouted_types == 1
+        # The event loop skips generating unrouted types; the engine keeps
+        # them as unserved arrivals.  Served counts are the comparable pair.
+        rate_served = sum(
+            prob.demand[r] for r in prob.requests if r != ("item1", 4)
+        )
+        expected = rate_served * HORIZON
+        sigma = np.sqrt(expected)
+        assert abs(serving.served - expected) < 6 * sigma
+        assert abs(sim.generated - expected) < 6 * sigma
+        assert serving.unserved > 0

@@ -108,7 +108,10 @@ class TestUnroutedRequests:
         )
         assert report.unrouted_types == len(prob.demand)
         assert report.generated == report.delivered == 0
-        assert report.mean_latency == 0.0
+        # No deliveries -> latency is undefined (NaN), not "instant".
+        assert math.isnan(report.mean_latency)
+        assert math.isnan(report.p95_latency)
+        assert math.isnan(report.max_latency)
         assert report.max_utilization == 0.0
 
     def test_zero_amount_paths_count_as_unrouted(self):
@@ -133,4 +136,5 @@ class TestStalledAccounting:
         # Exactly one transfer occupies the link forever; the rest queue.
         assert report.stalled_transfers == 1
         assert report.delivered == 0
-        assert not math.isinf(report.mean_latency)
+        # Undefined latency is NaN, never inf or a fake 0.0.
+        assert math.isnan(report.mean_latency)

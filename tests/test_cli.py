@@ -79,6 +79,38 @@ class TestSimulate:
         assert "max link utilization" in out
 
 
+class TestServe:
+    def test_streaming_replay_summary(self, capsys):
+        code = main(
+            [
+                "serve",
+                "--algorithm", "sp",
+                "--link-fraction", "0",
+                "--videos", "4",
+                "--requests", "20000",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "replayed" in out
+        assert "requests/sec" in out
+        assert "delivered cost rate" in out
+
+    def test_sharded_replay(self, capsys):
+        code = main(
+            [
+                "serve",
+                "--algorithm", "sp",
+                "--link-fraction", "0",
+                "--videos", "4",
+                "--requests", "20000",
+                "--shards", "2",
+            ]
+        )
+        assert code == 0
+        assert "2 shard(s)" in capsys.readouterr().out
+
+
 class TestRobustness:
     def test_gadget_survives_every_single_link_failure(self, capsys):
         assert main(["robustness", "--topology", "gadget"]) == 0

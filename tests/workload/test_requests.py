@@ -6,6 +6,7 @@ import pytest
 from repro.exceptions import InvalidProblemError
 from repro.workload import (
     build_demand,
+    build_demand_report,
     chunk_level_catalog,
     edge_node_shares,
     file_level_catalog,
@@ -66,6 +67,51 @@ class TestBuildDemand:
                 ["e1", "e2"],
                 {videos[0].video_id: np.array([1.0])},
             )
+
+    def test_dropped_mass_is_reported_and_conserved(self):
+        # Regression: rates below min_rate used to vanish silently, so the
+        # demand no longer summed to the video rates.  The report makes the
+        # lost mass explicit and conservation checkable.
+        videos = top_videos(1)
+        cat = chunk_level_catalog(videos)
+        vid = videos[0].video_id
+        shares = {vid: np.array([1.0 - 1e-7, 1e-7])}
+        report = build_demand_report(
+            {vid: 1.0}, cat, ["e1", "e2"], shares, min_rate=1e-6
+        )
+        n_items = len(cat.item_of_video[vid])
+        assert report.dropped_entries == n_items  # the e2 share of each chunk
+        assert report.dropped_mass == pytest.approx(1e-7 * n_items)
+        assert sum(report.demand.values()) + report.dropped_mass == pytest.approx(
+            total_chunk_rate({vid: 1.0}, cat)
+        )
+
+    def test_nothing_dropped_above_cutoff(self):
+        videos = top_videos(2)
+        cat = chunk_level_catalog(videos)
+        rng = np.random.default_rng(3)
+        shares = edge_node_shares(["e1", "e2"], [v.video_id for v in videos], rng)
+        rates = {v.video_id: 10.0 for v in videos}
+        report = build_demand_report(rates, cat, ["e1", "e2"], shares)
+        assert report.dropped_mass == 0.0
+        assert report.dropped_entries == 0
+        assert sum(report.demand.values()) == pytest.approx(
+            total_chunk_rate(rates, cat)
+        )
+        # The wrapper agrees with the report in both modes.
+        assert build_demand(rates, cat, ["e1", "e2"], shares) == report.demand
+        assert (
+            build_demand(rates, cat, ["e1", "e2"], shares, strict=True)
+            == report.demand
+        )
+
+    def test_strict_mode_rejects_dropped_mass(self):
+        videos = top_videos(1)
+        cat = chunk_level_catalog(videos)
+        vid = videos[0].video_id
+        shares = {vid: np.array([0.5, 0.5])}
+        with pytest.raises(InvalidProblemError, match="dropped"):
+            build_demand({vid: 1e-10}, cat, ["e1", "e2"], shares, strict=True)
 
     def test_total_chunk_rate_matches_paper(self):
         """Top-10 totals / 100h -> ~1,949,666.52 chunks/hour (Section 6)."""
