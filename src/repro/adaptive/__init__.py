@@ -1,0 +1,65 @@
+"""Online adaptive serving on the streaming engine (ROADMAP item 2).
+
+Three layers:
+
+- :mod:`repro.adaptive.state` / :mod:`repro.adaptive.strategies` — the
+  classic reactive strategies (LCE, LCD, ProbCache, CacheLessForMore, hash
+  routing) as chunked vectorized replays over the serving tables, with
+  array-backed LRU/LFU cache state;
+- :mod:`repro.adaptive.gradient` — the Ioannidis–Yeh adaptive projected
+  (sub)gradient placement with capacity-simplex projection and periodic
+  rounding;
+- :mod:`repro.adaptive.periodic` / :mod:`repro.adaptive.online` — the
+  closed prediction loop (rolling GPR refits patching a frozen LP (7)
+  template) and the single-stream online comparison driver.
+"""
+
+from repro.adaptive.gradient import (
+    AdaptiveGradientPlacement,
+    GradientConfig,
+    project_box_capacity,
+)
+from repro.adaptive.online import (
+    ALL_POLICIES,
+    OnlineAdaptiveReport,
+    PolicyTrace,
+    placement_type_costs,
+    run_online_adaptive,
+)
+from repro.adaptive.periodic import (
+    Algorithm1Template,
+    PlannerConfig,
+    PredictivePlanner,
+)
+from repro.adaptive.state import CacheArrayState
+from repro.adaptive.strategies import (
+    STRATEGIES,
+    EngineReplayResult,
+    ReactiveStrategyEngine,
+    ReactiveTables,
+    build_reactive_tables,
+    replay_reactive,
+    stream_type_ids,
+)
+
+__all__ = [
+    "ALL_POLICIES",
+    "AdaptiveGradientPlacement",
+    "Algorithm1Template",
+    "CacheArrayState",
+    "EngineReplayResult",
+    "GradientConfig",
+    "OnlineAdaptiveReport",
+    "PlannerConfig",
+    "PolicyTrace",
+    "PredictivePlanner",
+    "ReactiveStrategyEngine",
+    "ReactiveTables",
+    "STRATEGIES",
+    "build_reactive_tables",
+    "placement_type_costs",
+    "project_box_capacity",
+    "replay_reactive",
+    "run_online_adaptive",
+    "stream_type_ids",
+]

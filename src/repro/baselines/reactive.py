@@ -58,11 +58,26 @@ class EvictingCache:
             self._hits[item] = self._hits.get(item, 0) + 1
 
     def insert(self, item: Item, size: float) -> bool:
-        """Insert ``item``, evicting as needed.  False if it can never fit."""
+        """Insert ``item``, evicting as needed.  False if it can never fit.
+
+        Re-inserting a resident item with a different size updates the
+        accounting (and evicts other items if the new size no longer fits)
+        instead of silently keeping the stale size.
+        """
         if size > self.capacity:
+            if item in self._items:
+                # The item can no longer fit at its new size: drop it.
+                self._used -= self._items.pop(item)
+                self._hits.pop(item, None)
             return False
         if item in self._items:
             self.touch(item)
+            old_size = self._items[item]
+            if size != old_size:
+                self._items[item] = size
+                self._used += size - old_size
+                while self._used > self.capacity and len(self._items) > 1:
+                    self._evict_one(exclude=item)
             return True
         while self._used + size > self.capacity and self._items:
             self._evict_one()
@@ -71,12 +86,15 @@ class EvictingCache:
         self._used += size
         return True
 
-    def _evict_one(self) -> None:
+    def _evict_one(self, exclude: Item | None = None) -> None:
         if self.policy == "lru":
-            victim, size = self._items.popitem(last=False)
+            victim = next(i for i in self._items if i != exclude)
         else:  # lfu: least frequently used, ties by LRU order
-            victim = min(self._items, key=lambda i: (self._hits.get(i, 0),))
-            size = self._items.pop(victim)
+            victim = min(
+                (i for i in self._items if i != exclude),
+                key=lambda i: (self._hits.get(i, 0),),
+            )
+        size = self._items.pop(victim)
         self._hits.pop(victim, None)
         self._used -= size
 
@@ -127,11 +145,12 @@ def simulate_reactive_caching(
     requests = problem.requests
     rates = np.array([problem.demand[r] for r in requests])
     probs = rates / rates.sum()
-    # Request path (toward origin) = reverse of the origin->s response path;
-    # with symmetric costs these coincide with the paper's SP baselines.
+    # The request travels the cost-shortest s -> origin path and is charged
+    # request-direction edge costs; on asymmetric-cost networks this differs
+    # from reversing the origin -> s response path (which is a different
+    # path) or charging response-direction costs.
     paths_to_origin = {
-        s: tuple(reversed(sp.path(origin, s)))
-        for s in {s for (_i, s) in requests}
+        s: sp.path(s, origin) for s in {s for (_i, s) in requests}
     }
 
     warmup = int(n_requests * warmup_fraction)
@@ -151,7 +170,7 @@ def simulate_reactive_caching(
                     cache.touch(item)
                 break
         cost = sum(
-            problem.network.cost(path[p + 1], path[p])
+            problem.network.cost(path[p], path[p + 1])
             for p in range(hit_position)
         )
         # Leave copy everywhere on the way back (excluding the hit node).

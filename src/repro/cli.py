@@ -9,6 +9,7 @@ python -m repro online --hours 6 --algorithm alternating
 python -m repro simulate --scale 1e-4 --horizon 2.0
 python -m repro serve --algorithm sp --requests 1e6 --shards 4 --parallel
 python -m repro predict --video dNCWe_6HAM8 --hours 8
+python -m repro adaptive --topology deltacom --requests 2e5 --policies lce,static_alg1
 python -m repro robustness --topology gadget
 python -m repro robustness --failures single-link --algorithm greedy --repair
 python -m repro robustness --topology deltacom --timeline --horizon 50 --flap-prob 0.2
@@ -90,6 +91,28 @@ def _build_parser() -> argparse.ArgumentParser:
     predict.add_argument("--video", default="dNCWe_6HAM8")
     predict.add_argument("--hours", type=int, default=8)
     predict.add_argument("--seed", type=int, default=0)
+
+    adaptive = sub.add_parser(
+        "adaptive",
+        help="online adaptive serving: reactive strategies vs adaptive placement",
+    )
+    adaptive.add_argument("--topology", default="abovenet",
+                          choices=("abovenet", "abvt", "tinet", "deltacom"))
+    adaptive.add_argument("--items", type=int, default=30)
+    adaptive.add_argument("--alpha", type=float, default=0.8,
+                          help="Zipf popularity skew")
+    adaptive.add_argument("--rate", type=float, default=500.0,
+                          help="total request rate")
+    adaptive.add_argument("--cache", type=float, default=4.0)
+    adaptive.add_argument("--requests", type=float, default=2e5,
+                          help="requests to replay through each policy")
+    adaptive.add_argument("--chunk", type=int, default=8192)
+    adaptive.add_argument("--replan-every", type=int, default=8,
+                          help="periodic planner epoch length in chunks")
+    adaptive.add_argument("--eviction", default="lru", choices=("lru", "lfu"))
+    adaptive.add_argument("--policies", default=None,
+                          help="comma list (default: all); see repro.adaptive")
+    adaptive.add_argument("--seed", type=int, default=0)
 
     robustness = sub.add_parser(
         "robustness",
@@ -491,6 +514,59 @@ def _cmd_robustness(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_adaptive(args: argparse.Namespace) -> int:
+    from repro.adaptive import ALL_POLICIES, run_online_adaptive
+    from repro.experiments import build_zipf_scenario, format_sweep
+
+    scenario = build_zipf_scenario(
+        topology=args.topology,
+        num_items=args.items,
+        alpha=args.alpha,
+        total_rate=args.rate,
+        cache_capacity=args.cache,
+        link_capacity_fraction=None,
+        seed=args.seed,
+    )
+    policies = ALL_POLICIES
+    if args.policies:
+        policies = tuple(
+            name.strip() for name in args.policies.split(",") if name.strip()
+        )
+    report = run_online_adaptive(
+        scenario.problem,
+        n_requests=int(args.requests),
+        chunk_size=args.chunk,
+        seed=args.seed,
+        policies=policies,
+        eviction_policy=args.eviction,
+        replan_every=args.replan_every,
+    )
+    base = report.traces.get("static_alg1")
+    rows = [
+        {
+            "policy": name,
+            "cost_rate": trace.cost_rate,
+            "vs_static": (
+                trace.cost_rate / base.cost_rate if base else float("nan")
+            ),
+            "edge_hit_ratio": trace.edge_hit_ratio,
+            "updates": trace.updates,
+        }
+        for name, trace in report.traces.items()
+    ]
+    print(
+        format_sweep(
+            rows,
+            ["policy", "cost_rate", "vs_static", "edge_hit_ratio", "updates"],
+            title=(
+                f"online adaptive: {args.topology} / Zipf({args.alpha}) / "
+                f"{report.n_requests:,} requests, chunk {report.chunk_size}"
+            ),
+        )
+    )
+    return 0
+
+
 _COMMANDS = {
     "trace": _cmd_trace,
     "scenario": _cmd_scenario,
@@ -499,6 +575,7 @@ _COMMANDS = {
     "serve": _cmd_serve,
     "sweep": _cmd_sweep,
     "predict": _cmd_predict,
+    "adaptive": _cmd_adaptive,
     "robustness": _cmd_robustness,
 }
 

@@ -274,9 +274,6 @@ def algorithm1(
         constant,
     ) = prep
 
-    eligible: dict[tuple[Item, Node], list[Node]] = {
-        key: sources for key, _rate, sources, _coefs in request_rows
-    }
     if assembly == "dict":
         lp = _assemble_lp7_dict(
             problem, cache_nodes, requested_items, x_pairs, request_rows, w_max
@@ -294,10 +291,52 @@ def algorithm1(
         x_values = [lp_solution[("x", v, i)] for (v, i) in x_pairs]
     else:
         x_values = lp_solution.block("x").tolist()
+    return finish_from_lp(
+        problem,
+        distance=distance,
+        sp=sp,
+        cache_nodes=cache_nodes,
+        w_max=w_max,
+        x_pairs=x_pairs,
+        request_rows=request_rows,
+        constant=constant,
+        lp_objective=lp_solution.objective,
+        x_values=x_values,
+        polish=polish,
+        context=context,
+    )
+
+
+def finish_from_lp(
+    problem: ProblemInstance,
+    *,
+    distance,
+    sp: ShortestPathCache | None,
+    cache_nodes: list[Node],
+    w_max: float,
+    x_pairs: list[tuple[Node, Item]],
+    request_rows: list,
+    constant: float,
+    lp_objective: float,
+    x_values: list[float],
+    polish: bool = True,
+    context: "SolverContext | None" = None,
+) -> Algorithm1Result:
+    """Post-LP stage of Algorithm 1: concentrate r, pipage-round, route.
+
+    Shared between :func:`algorithm1` (fresh assembly) and the template
+    re-solver of :mod:`repro.adaptive.periodic` (patched objective): given
+    the optimal fractional ``x`` of LP (7), rebuild the source selection,
+    the pipage weights, the rounded (optionally polished) placement, and
+    the RNR routing — all against ``problem``'s *current* demand rates.
+    """
     fractional = {
         pair: value
         for pair, value in zip(x_pairs, x_values)
         if value > 1e-9
+    }
+    eligible: dict[tuple[Item, Node], list[Node]] = {
+        key: sources for key, _rate, sources, _coefs in request_rows
     }
 
     # Re-optimize the source selection for the fractional placement before
@@ -349,7 +388,7 @@ def algorithm1(
     )
     return Algorithm1Result(
         solution=Solution(placement, routing),
-        lp_objective=lp_solution.objective,
+        lp_objective=lp_objective,
         constant=constant,
         w_max=w_max,
         fractional_placement=fractional,

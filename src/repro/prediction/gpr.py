@@ -17,6 +17,31 @@ from repro.exceptions import PredictionError
 from repro.prediction.kernels import Kernel, paper_kernel
 
 _JITTER = 1e-10
+#: Jitter escalation ceiling for the final Cholesky in :meth:`fit`.
+_MAX_JITTER = 1e-2
+
+
+def _stable_cholesky(k: np.ndarray, *, jitter: float = _JITTER) -> np.ndarray:
+    """Lower Cholesky of ``k + jitter * I`` with jitter escalation.
+
+    A marginal-likelihood optimum can sit arbitrarily close to a singular
+    kernel matrix (e.g. a length-scale so large that all inputs become
+    indistinguishable); instead of letting ``LinAlgError`` escape, retry
+    with a 10x larger diagonal until ``_MAX_JITTER`` (scaled by the kernel's
+    diagonal magnitude) and raise :class:`PredictionError` beyond that.
+    """
+    scale = max(1.0, float(np.mean(np.diag(k))))
+    eye = np.eye(len(k))
+    while jitter <= _MAX_JITTER * scale:
+        try:
+            return linalg.cholesky(k + jitter * eye, lower=True)
+        except linalg.LinAlgError:
+            jitter *= 10.0
+    raise PredictionError(
+        "kernel matrix is not positive definite even with jitter "
+        f"{_MAX_JITTER * scale:g}; the optimized hyperparameters are "
+        "degenerate for this training set"
+    )
 
 
 class GaussianProcessRegressor:
@@ -54,11 +79,25 @@ class GaussianProcessRegressor:
     # ------------------------------------------------------------------
 
     def log_marginal_likelihood(self, theta: np.ndarray | None = None) -> float:
-        """LML of the training data under hyperparameters ``theta``."""
+        """LML of the training data under hyperparameters ``theta``.
+
+        Evaluating at an explicit ``theta`` is side-effect free: the
+        kernel's hyperparameters are restored afterwards, so exploratory
+        evaluations cannot corrupt a fitted model.
+        """
         if self._x is None:
             raise PredictionError("call fit() first")
-        if theta is not None:
-            self.kernel.theta = np.asarray(theta)
+        if theta is None:
+            return self._lml()
+        previous = self.kernel.theta.copy()
+        self.kernel.theta = np.asarray(theta, dtype=float)
+        try:
+            return self._lml()
+        finally:
+            self.kernel.theta = previous
+
+    def _lml(self) -> float:
+        """LML of the training data under the kernel's current theta."""
         k = self.kernel(self._x) + _JITTER * np.eye(len(self._x))
         try:
             chol = linalg.cholesky(k, lower=True)
@@ -113,8 +152,8 @@ class GaussianProcessRegressor:
             raise PredictionError("marginal likelihood optimization failed")
         self.kernel.theta = best_theta
 
-        k = self.kernel(self._x) + _JITTER * np.eye(len(self._x))
-        self._chol = linalg.cholesky(k, lower=True)
+        k = self.kernel(self._x)
+        self._chol = _stable_cholesky(k)
         self._alpha = linalg.cho_solve((self._chol, True), self._y_train)
         return self
 

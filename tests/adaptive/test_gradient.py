@@ -1,0 +1,164 @@
+"""Projected-gradient adaptive placement: projection, gradients, convergence."""
+
+import numpy as np
+import pytest
+
+from repro.adaptive import (
+    AdaptiveGradientPlacement,
+    GradientConfig,
+    build_reactive_tables,
+    project_box_capacity,
+    run_online_adaptive,
+)
+from repro.core import ProblemInstance, pin_full_catalog
+from repro.exceptions import InvalidProblemError
+from repro.graph import line_topology
+from repro.workload.zipf import zipf_demand
+
+from tests.core.conftest import make_line_problem
+
+
+class TestProjection:
+    def test_noop_when_feasible(self):
+        z = np.array([0.2, 0.3, 0.1])
+        y = project_box_capacity(z, np.ones(3), 2.0)
+        assert np.allclose(y, z)
+
+    def test_clips_box_violations(self):
+        z = np.array([-0.5, 1.7])
+        y = project_box_capacity(z, np.ones(2), 5.0)
+        assert np.allclose(y, [0.0, 1.0])
+
+    def test_capacity_binds(self):
+        z = np.array([1.0, 1.0, 1.0, 1.0])
+        y = project_box_capacity(z, np.ones(4), 2.0)
+        assert float(y.sum()) == pytest.approx(2.0, abs=1e-6)
+        assert (y >= 0).all() and (y <= 1).all()
+
+    def test_weighted_capacity(self):
+        sizes = np.array([1.0, 3.0])
+        y = project_box_capacity(np.array([1.0, 1.0]), sizes, 2.0)
+        assert float(sizes @ y) == pytest.approx(2.0, abs=1e-6)
+        # Equal pull, but the larger item is penalized harder (tau * b_i).
+        assert y[0] > y[1]
+
+    def test_matches_bruteforce_qp(self):
+        rng = np.random.default_rng(0)
+        for _ in range(10):
+            z = rng.normal(0.5, 0.8, size=5)
+            sizes = rng.uniform(0.5, 2.0, size=5)
+            cap = rng.uniform(1.0, 4.0)
+            y = project_box_capacity(z, sizes, cap)
+            # KKT: y solves min ||y - z||^2 -> compare against a fine grid of
+            # dual values tau >= 0.
+            best = None
+            for tau in np.linspace(0, 10, 20001):
+                cand = np.clip(z - tau * sizes, 0.0, 1.0)
+                if sizes @ cand <= cap + 1e-9:
+                    d = float(((cand - z) ** 2).sum())
+                    if best is None or d < best[0]:
+                        best = (d, cand)
+            assert np.allclose(y, best[1], atol=1e-3)
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(InvalidProblemError):
+            project_box_capacity(np.ones(2), np.ones(2), -1.0)
+
+
+@pytest.fixture(scope="module")
+def grad_setup():
+    problem = make_line_problem(
+        num_nodes=6,
+        catalog_size=4,
+        cache_nodes={2: 1, 3: 2},
+        demand={
+            ("item0", 5): 5.0,
+            ("item1", 5): 2.0,
+            ("item2", 5): 1.0,
+            ("item3", 4): 1.0,
+        },
+    )
+    return problem, build_reactive_tables(problem)
+
+
+class TestSubgradient:
+    def test_matches_finite_differences(self, grad_setup):
+        _problem, rt = grad_setup
+        grad_state = AdaptiveGradientPlacement(rt)
+        rng = np.random.default_rng(1)
+        # Random interior feasible-ish state on cache rows.
+        for v in np.flatnonzero(rt.capacities > 0):
+            grad_state.y[v] = rng.uniform(0.05, 0.3, size=len(rt.items))
+        rates = rt.tables.rates
+        analytic = grad_state._subgradient(rates)
+        eps = 1e-6
+        for v in np.flatnonzero(rt.capacities > 0):
+            for i in range(len(rt.items)):
+                base = grad_state.expected_cost_rate(rates)
+                grad_state.y[v, i] += eps
+                bumped = grad_state.expected_cost_rate(rates)
+                grad_state.y[v, i] -= eps
+                fd = -(bumped - base) / eps  # saving = -cost
+                assert analytic[v, i] == pytest.approx(fd, rel=1e-3, abs=1e-6)
+
+    def test_gradient_zero_off_cache_rows(self, grad_setup):
+        _problem, rt = grad_setup
+        grad_state = AdaptiveGradientPlacement(rt)
+        g = grad_state._subgradient(rt.tables.rates)
+        off = rt.capacities == 0
+        assert np.allclose(g[off], 0.0)
+
+    def test_observe_respects_capacity(self, grad_setup):
+        _problem, rt = grad_setup
+        grad_state = AdaptiveGradientPlacement(
+            rt, GradientConfig(gamma0=5.0, power=0.6, round_every=3)
+        )
+        counts = np.ones(rt.num_types) * 50
+        for _ in range(5):
+            grad_state.observe(counts, elapsed=1.0)
+        for v in np.flatnonzero(rt.capacities > 0):
+            load = float(rt.item_size @ grad_state.y[v])
+            assert load <= rt.capacities[v] + 1e-6
+        placement = grad_state.placement()
+        for v in np.flatnonzero(rt.capacities > 0):
+            used = placement.used_capacity(rt.nodes[v], rt.problem)
+            assert used <= rt.capacities[v] + 1e-9
+
+    def test_bad_config_rejected(self, grad_setup):
+        _problem, rt = grad_setup
+        with pytest.raises(InvalidProblemError):
+            AdaptiveGradientPlacement(rt, GradientConfig(gamma0=0.0))
+        with pytest.raises(InvalidProblemError):
+            AdaptiveGradientPlacement(rt, GradientConfig(power=1.5))
+
+
+class TestConvergence:
+    def test_within_ten_percent_of_static_alg1_on_stationary_zipf(self):
+        """Acceptance criterion: the adaptive gradient converges to within
+        10% of the static Algorithm-1 cost on a stationary Zipf stream."""
+        net = line_topology(8)
+        for v in (3, 5, 6):
+            net.set_cache_capacity(v, 3)
+        catalog = tuple(f"item{k:02d}" for k in range(15))
+        demand = zipf_demand(
+            catalog, [7], total_rate=40.0, alpha=0.9,
+            rng=np.random.default_rng(2),
+        )
+        problem = ProblemInstance(
+            network=net, catalog=catalog, demand=demand,
+            pinned=pin_full_catalog(catalog, [0]),
+        )
+        report = run_online_adaptive(
+            problem,
+            n_requests=40_000,
+            chunk_size=1000,
+            seed=3,
+            policies=("static_alg1", "adaptive_gradient"),
+            gradient_config=GradientConfig(gamma0=0.05, power=0.6, round_every=5),
+        )
+        grad = report.traces["adaptive_gradient"]
+        static = report.traces["static_alg1"]
+        tail_ratio = (
+            grad.chunk_costs[-10:].sum() / static.chunk_costs[-10:].sum()
+        )
+        assert tail_ratio < 1.10

@@ -1,0 +1,148 @@
+"""LP-template Algorithm 1 re-optimization + GPR prediction loop."""
+
+import numpy as np
+import pytest
+
+from repro.adaptive import (
+    Algorithm1Template,
+    PlannerConfig,
+    PredictivePlanner,
+    build_reactive_tables,
+)
+from repro.core import algorithm1, routing_cost
+from repro.exceptions import InvalidProblemError
+
+from tests.core.conftest import make_line_problem
+
+
+@pytest.fixture(scope="module")
+def problem():
+    return make_line_problem(
+        num_nodes=6,
+        catalog_size=4,
+        cache_nodes={2: 1, 3: 2},
+        demand={
+            ("item0", 5): 5.0,
+            ("item1", 5): 2.0,
+            ("item2", 5): 1.0,
+            ("item3", 4): 1.0,
+        },
+    )
+
+
+@pytest.fixture(scope="module")
+def template(problem):
+    return Algorithm1Template(problem)
+
+
+class TestAlgorithm1Template:
+    def test_unpatched_solve_matches_algorithm1(self, problem, template):
+        direct = algorithm1(problem)
+        templated = template.solve()
+        assert templated.lp_objective == pytest.approx(direct.lp_objective)
+        assert templated.solution.placement.as_set() == (
+            direct.solution.placement.as_set()
+        )
+        assert routing_cost(problem, templated.solution.routing) == pytest.approx(
+            routing_cost(problem, direct.solution.routing)
+        )
+
+    def test_patched_solve_matches_fresh_solver(self, problem, template):
+        scaled = {key: 3.0 * rate for key, rate in problem.demand.items()}
+        swapped = problem.with_demand(scaled)
+        direct = algorithm1(swapped)
+        templated = template.solve(scaled)
+        assert templated.lp_objective == pytest.approx(direct.lp_objective)
+        assert templated.solution.placement.as_set() == (
+            direct.solution.placement.as_set()
+        )
+        assert routing_cost(swapped, templated.solution.routing) == pytest.approx(
+            routing_cost(swapped, direct.solution.routing)
+        )
+
+    def test_skewed_demand_shifts_placement(self, problem, template):
+        # All the weight on item2: caches should favor it.
+        skew = {key: (50.0 if key[0] == "item2" else 1e-3) for key in problem.demand}
+        result = template.solve(skew)
+        cached_items = {item for _node, item in result.solution.placement.as_set()}
+        assert "item2" in cached_items
+
+    def test_template_reusable(self, problem, template):
+        first = template.solve()
+        template.solve({key: 2.0 for key in problem.demand})
+        again = template.solve()
+        assert again.lp_objective == pytest.approx(first.lp_objective)
+        assert again.solution.placement.as_set() == (
+            first.solution.placement.as_set()
+        )
+
+    def test_wrong_support_rejected(self, problem, template):
+        with pytest.raises(InvalidProblemError):
+            template.solve({("item0", 5): 1.0})
+        extra = dict(problem.demand)
+        extra[("item0", 4)] = 1.0
+        with pytest.raises(InvalidProblemError):
+            template.solve(extra)
+
+    def test_nonpositive_rates_floored(self, problem, template):
+        zeroed = {key: 0.0 for key in problem.demand}
+        result = template.solve(zeroed)
+        assert np.isfinite(result.lp_objective)
+
+
+class TestPredictivePlanner:
+    def test_forecast_before_observations_uses_instance_rates(self, problem):
+        rt = build_reactive_tables(problem)
+        planner = PredictivePlanner(rt)
+        assert np.allclose(planner.forecast(), rt.tables.rates)
+
+    def test_mean_forecast_below_min_history(self, problem):
+        rt = build_reactive_tables(problem)
+        planner = PredictivePlanner(rt, PlannerConfig(min_history=10))
+        counts = np.array([10.0, 4.0, 2.0, 2.0])
+        planner.observe(counts, elapsed=2.0)
+        planner.observe(3 * counts, elapsed=2.0)
+        assert np.allclose(planner.forecast(), 2 * counts / 2.0)
+
+    def test_gpr_forecast_tracks_trend(self, problem):
+        rt = build_reactive_tables(problem)
+        planner = PredictivePlanner(
+            rt, PlannerConfig(min_history=4, max_gpr_types=rt.num_types)
+        )
+        # Rising rate on type 0, flat elsewhere.
+        for k in range(8):
+            counts = np.array([10.0 + 5.0 * k, 4.0, 2.0, 2.0])
+            planner.observe(counts, elapsed=1.0)
+        predicted = planner.forecast()
+        mean_rate = np.mean([10.0 + 5.0 * k for k in range(8)])
+        # The GPR extrapolates the ramp beyond the empirical mean.
+        assert predicted[0] > mean_rate
+        assert predicted[1] == pytest.approx(4.0, rel=0.3)
+
+    def test_replan_returns_result_and_counts(self, problem):
+        rt = build_reactive_tables(problem)
+        planner = PredictivePlanner(rt, PlannerConfig(min_history=2))
+        planner.observe(np.array([10.0, 4.0, 2.0, 2.0]), elapsed=1.0)
+        result = planner.replan()
+        assert planner.current is result
+        assert planner.replans == 1
+        assert result.solution.placement is not None
+        assert np.isfinite(result.lp_objective)
+
+    def test_history_window_rolls(self, problem):
+        rt = build_reactive_tables(problem)
+        planner = PredictivePlanner(
+            rt, PlannerConfig(history_window=3, min_history=100)
+        )
+        for k in range(10):
+            planner.observe(np.full(rt.num_types, float(k + 1)), elapsed=1.0)
+        # Only the last 3 chunks (8, 9, 10) survive in the mean.
+        assert np.allclose(planner.forecast(), 9.0)
+
+    def test_invalid_config_rejected(self, problem):
+        rt = build_reactive_tables(problem)
+        with pytest.raises(InvalidProblemError):
+            PredictivePlanner(rt, PlannerConfig(history_window=1))
+        planner = PredictivePlanner(rt)
+        with pytest.raises(InvalidProblemError):
+            planner.observe(np.ones(rt.num_types), elapsed=0.0)

@@ -1,0 +1,92 @@
+"""Tests for the array-backed chunked LRU/LFU cache state."""
+
+import numpy as np
+import pytest
+
+from repro.adaptive.state import CacheArrayState
+from repro.baselines.reactive import EvictingCache
+from repro.exceptions import InvalidProblemError
+
+
+def _chunk(state, events, chunk_len=None):
+    """Apply ``events`` = list of ("touch"|"insert", node, item) in order."""
+    touches = [(n, i, k) for k, (kind, n, i) in enumerate(events) if kind == "touch"]
+    inserts = [(n, i, k) for k, (kind, n, i) in enumerate(events) if kind == "insert"]
+    tn, ti, ts = (np.array(x, dtype=np.int64) for x in zip(*touches)) if touches else (
+        np.zeros(0, np.int64),
+    ) * 3
+    inn, ini, ins = (np.array(x, dtype=np.int64) for x in zip(*inserts)) if inserts else (
+        np.zeros(0, np.int64),
+    ) * 3
+    state.apply_chunk(tn, ti, ts, inn, ini, ins, chunk_len or len(events))
+
+
+class TestCacheArrayState:
+    def test_insert_and_residency(self):
+        st = CacheArrayState(np.array([2.0]), np.ones(4))
+        _chunk(st, [("insert", 0, 1), ("insert", 0, 2)])
+        assert set(st.items_at(0)) == {1, 2}
+        assert st.used[0] == pytest.approx(2.0)
+
+    def test_lru_eviction_order(self):
+        st = CacheArrayState(np.array([2.0]), np.ones(4), "lru")
+        _chunk(st, [("insert", 0, 0), ("insert", 0, 1)])
+        _chunk(st, [("touch", 0, 0)])  # 0 becomes MRU
+        _chunk(st, [("insert", 0, 2)])
+        assert set(st.items_at(0)) == {0, 2}
+
+    def test_lfu_eviction_prefers_low_frequency(self):
+        st = CacheArrayState(np.array([2.0]), np.ones(4), "lfu")
+        _chunk(st, [("insert", 0, 0), ("touch", 0, 0), ("touch", 0, 0)])
+        _chunk(st, [("insert", 0, 1)])
+        _chunk(st, [("insert", 0, 2)])
+        assert 0 in st.items_at(0)  # 3 events survive
+        assert 1 not in st.items_at(0)
+
+    def test_fresh_insert_not_its_own_victim(self):
+        st = CacheArrayState(np.array([2.0]), np.ones(4), "lru")
+        _chunk(st, [("insert", 0, 0), ("insert", 0, 1)])
+        _chunk(st, [("insert", 0, 3)])
+        # The fresh item 3 must displace a stale item, not itself.
+        assert 3 in st.items_at(0)
+        assert len(st.items_at(0)) == 2
+
+    def test_oversized_item_rejected(self):
+        st = CacheArrayState(np.array([1.0]), np.array([1.0, 5.0]))
+        _chunk(st, [("insert", 0, 1)])
+        assert len(st.items_at(0)) == 0
+        assert st.used[0] == 0.0
+
+    def test_heterogeneous_sizes_evict_until_fit(self):
+        st = CacheArrayState(np.array([4.0]), np.array([2.0, 2.0, 3.0]))
+        _chunk(st, [("insert", 0, 0), ("insert", 0, 1)])
+        _chunk(st, [("insert", 0, 2)])  # needs 3: evicts both stale items
+        assert 2 in st.items_at(0)
+        assert st.used[0] <= 4.0 + 1e-9
+
+    def test_invalid_policy(self):
+        with pytest.raises(InvalidProblemError):
+            CacheArrayState(np.ones(1), np.ones(1), "fifo")
+
+    def test_clock_advances_by_chunk_length(self):
+        st = CacheArrayState(np.array([2.0]), np.ones(2))
+        _chunk(st, [("insert", 0, 0)], chunk_len=10)
+        assert st.clock == 10
+
+    @pytest.mark.parametrize("policy", ["lru", "lfu"])
+    def test_chunk1_matches_evicting_cache(self, policy):
+        """Random per-event chunks replicate the dict-based cache exactly."""
+        rng = np.random.default_rng(42)
+        sizes = np.array([1.0, 1.0, 2.0, 1.0, 1.0])
+        st = CacheArrayState(np.array([3.0]), sizes, policy)
+        ref = EvictingCache(3.0, policy)
+        for _ in range(400):
+            item = int(rng.integers(5))
+            if item in {int(i) for i in st.items_at(0)}:
+                _chunk(st, [("touch", 0, item)], chunk_len=1)
+                ref.touch(item)
+            else:
+                _chunk(st, [("insert", 0, item)], chunk_len=1)
+                ref.insert(item, float(sizes[item]))
+            assert {int(i) for i in st.items_at(0)} == set(ref.items())
+            assert st.used[0] == pytest.approx(ref.used)

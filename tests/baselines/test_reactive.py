@@ -115,3 +115,118 @@ class TestReactiveSimulation:
         a = simulate_reactive_caching(prob, n_requests=500, rng=np.random.default_rng(7))
         b = simulate_reactive_caching(prob, n_requests=500, rng=np.random.default_rng(7))
         assert a.cost_rate == pytest.approx(b.cost_rate)
+
+
+class TestEvictingCacheAccounting:
+    """Satellite regressions: resident re-insert sizes and LFU ordering."""
+
+    def test_reinsert_with_larger_size_updates_used(self):
+        cache = EvictingCache(3.0)
+        cache.insert("a", 1.0)
+        cache.insert("b", 1.0)
+        assert cache.insert("a", 2.0)
+        assert cache.used == pytest.approx(3.0)
+        assert "a" in cache and "b" in cache
+
+    def test_reinsert_with_smaller_size_updates_used(self):
+        cache = EvictingCache(3.0)
+        cache.insert("a", 2.0)
+        assert cache.insert("a", 1.0)
+        assert cache.used == pytest.approx(1.0)
+
+    def test_reinsert_growth_evicts_others_not_itself(self):
+        cache = EvictingCache(3.0)
+        cache.insert("a", 1.0)
+        cache.insert("b", 1.0)
+        cache.insert("c", 1.0)
+        assert cache.insert("a", 3.0)
+        assert cache.items() == {"a"}
+        assert cache.used == pytest.approx(3.0)
+
+    def test_reinsert_beyond_capacity_drops_item(self):
+        cache = EvictingCache(2.0)
+        cache.insert("a", 1.0)
+        assert not cache.insert("a", 5.0)
+        assert "a" not in cache
+        assert cache.used == pytest.approx(0.0)
+
+    def test_lfu_ties_break_by_lru_order(self):
+        cache = EvictingCache(2.0, "lfu")
+        cache.insert("a", 1.0)
+        cache.insert("b", 1.0)
+        cache.touch("a")  # both at 2 hits after touching b too ...
+        cache.touch("b")
+        # Frequencies tie at 2; "a" is the least recently used of the pair.
+        cache.insert("c", 1.0)
+        assert "a" not in cache
+        assert "b" in cache and "c" in cache
+
+    def test_lfu_eviction_order_is_ascending_frequency(self):
+        cache = EvictingCache(3.0, "lfu")
+        cache.insert("a", 1.0)  # 1 hit
+        cache.insert("b", 1.0)
+        cache.touch("b")
+        cache.touch("b")  # 3 hits
+        cache.insert("c", 1.0)
+        cache.touch("c")  # 2 hits
+        cache.insert("big", 2.0)  # needs 2 evictions: a (1) then c (2)
+        assert "a" not in cache and "c" not in cache
+        assert "b" in cache and "big" in cache
+
+
+def make_asymmetric_triangle(*, cache_at_mid: float = 0.0) -> "ProblemInstance":
+    """Triangle where the s->origin shortest path differs from the reversed
+    origin->s shortest path AND request-direction costs differ from
+    response-direction costs: 2 -> 1 -> 0 costs 2, while the origin's
+    response 0 -> 2 travels the direct (cheap) edge of cost 1."""
+    import networkx as nx
+
+    from repro.core import ProblemInstance, pin_full_catalog
+    from repro.graph import CacheNetwork
+
+    g = nx.DiGraph()
+    edges = {
+        (2, 0): 10.0,
+        (0, 2): 1.0,
+        (2, 1): 1.0,
+        (1, 0): 1.0,
+        (0, 1): 10.0,
+        (1, 2): 10.0,
+    }
+    for (u, v), cost in edges.items():
+        g.add_edge(u, v, cost=cost, capacity=float("inf"))
+    net = CacheNetwork(g)
+    if cache_at_mid:
+        net.set_cache_capacity(1, cache_at_mid)
+    catalog = ("item0",)
+    return ProblemInstance(
+        network=net,
+        catalog=catalog,
+        demand={("item0", 2): 4.0},
+        pinned=pin_full_catalog(catalog, [0]),
+    )
+
+
+class TestAsymmetricCosts:
+    """Satellite regression: request path and costs on asymmetric networks."""
+
+    def test_charges_request_direction_costs_on_request_path(self):
+        prob = make_asymmetric_triangle()
+        result = simulate_reactive_caching(
+            prob, n_requests=500, rng=np.random.default_rng(0)
+        )
+        # No caches: every request pays dist(2 -> 0) = 2 (via node 1).  The
+        # old code reversed the origin->s path ([0, 2], cost 1 response /
+        # 10 request direction) and charged response-direction costs.
+        assert result.cost_rate == pytest.approx(4.0 * 2.0)
+        assert result.edge_hit_ratio == 0.0
+
+    def test_on_path_cache_sits_on_request_path(self):
+        prob = make_asymmetric_triangle(cache_at_mid=1.0)
+        result = simulate_reactive_caching(
+            prob, n_requests=2000, rng=np.random.default_rng(1)
+        )
+        # Node 1 lies on the request path 2 -> 1 -> 0; after the first miss
+        # the item is cached there and requests pay only cost(2, 1) = 1.
+        assert result.edge_hit_ratio > 0.9
+        assert result.cost_rate == pytest.approx(4.0 * 1.0, rel=0.05)

@@ -106,3 +106,67 @@ class TestDemandPredictor:
     def test_invalid_train_hours(self):
         with pytest.raises(PredictionError):
             DemandPredictor(train_hours=1)
+
+
+class TestLMLSideEffects:
+    """Satellite regression: exploratory LML evaluations must not mutate
+    the kernel, and near-singular fits must not crash."""
+
+    def test_explicit_theta_restores_kernel(self):
+        x = np.arange(0, 20, dtype=float)
+        y = np.sin(x / 3)
+        gpr = GaussianProcessRegressor(RBF(2.0) + White(1e-4), n_restarts=0)
+        gpr.fit(x, y)
+        before = gpr.kernel.theta.copy()
+        probe = before + 0.37
+        value = gpr.log_marginal_likelihood(probe)
+        assert np.allclose(gpr.kernel.theta, before)
+        assert np.isfinite(value) or value == -np.inf
+
+    def test_explicit_theta_matches_direct_evaluation(self):
+        x = np.arange(0, 15, dtype=float)
+        y = np.cos(x / 2)
+        gpr = GaussianProcessRegressor(RBF(1.5) + White(1e-4), n_restarts=0)
+        gpr.fit(x, y)
+        probe = gpr.kernel.theta + 0.2
+        via_arg = gpr.log_marginal_likelihood(probe)
+        gpr.kernel.theta = probe
+        direct = gpr.log_marginal_likelihood()
+        assert via_arg == pytest.approx(direct)
+
+    def test_predictions_unchanged_by_exploration(self):
+        x = np.arange(0, 25, dtype=float)
+        y = np.sin(x / 4)
+        gpr = GaussianProcessRegressor(RBF(2.0) + White(1e-4), n_restarts=0)
+        gpr.fit(x, y)
+        ref = gpr.predict(x)
+        for shift in (-1.0, 0.5, 2.0):
+            gpr.log_marginal_likelihood(gpr.kernel.theta + shift)
+        assert np.allclose(gpr.predict(x), ref)
+
+
+class TestStableCholesky:
+    def test_escalates_jitter_on_near_singular_matrix(self):
+        from repro.prediction.gpr import _stable_cholesky
+
+        # Rank-1 matrix with a small negative eigenvalue: the base jitter
+        # (1e-10) cannot rescue it, escalation can.
+        k = np.ones((5, 5)) - 1e-6 * np.eye(5)
+        chol = _stable_cholesky(k)
+        rebuilt = chol @ chol.T
+        assert np.allclose(rebuilt, k, atol=1e-2)
+
+    def test_raises_beyond_jitter_ceiling(self):
+        from repro.prediction.gpr import _stable_cholesky
+
+        with pytest.raises(PredictionError):
+            _stable_cholesky(-np.eye(3))
+
+    def test_fit_survives_duplicate_inputs(self):
+        # Duplicated inputs without a white-noise term drive the optimum
+        # toward a singular kernel; fit() must not raise LinAlgError.
+        x = np.repeat(np.arange(0, 8, dtype=float), 3)
+        y = np.repeat(np.array([0.0, 1.0, 0.5, 0.2, 0.9, 0.1, 0.7, 0.3]), 3)
+        gpr = GaussianProcessRegressor(RBF(1.0), n_restarts=0)
+        gpr.fit(x, y)
+        assert np.isfinite(gpr.predict(np.array([4.0]))).all()
