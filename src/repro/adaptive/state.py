@@ -63,6 +63,8 @@ class CacheArrayState:
         self.freq = np.zeros((v, c), dtype=np.int64)
         self.used = np.zeros(v)
         self.clock = 0
+        #: Nodes currently failed: they hold nothing and accept nothing.
+        self.down = np.zeros(v, dtype=bool)
 
     @property
     def num_nodes(self) -> int:
@@ -75,6 +77,40 @@ class CacheArrayState:
     def items_at(self, node: int) -> np.ndarray:
         """Indices of the items resident at ``node`` (ascending)."""
         return np.flatnonzero(self.resident[node])
+
+    # ------------------------------------------------------------------
+    # Failure hooks (degraded streaming replay)
+    # ------------------------------------------------------------------
+
+    def wipe_nodes(self, node_ids) -> None:
+        """Erase the cached contents of ``node_ids`` (a cache wipe/flap).
+
+        Residency, recency, and frequency state vanish as if the caches
+        were fresh; capacities and the global clock are untouched.
+        """
+        ids = np.asarray(node_ids, dtype=np.int64)
+        if ids.size == 0:
+            return
+        self.resident[ids] = False
+        self.last_used[ids] = 0
+        self.freq[ids] = 0
+        self.used[ids] = 0.0
+
+    def set_down(self, node_ids) -> None:
+        """Mark exactly ``node_ids`` as failed (the rest come back up).
+
+        Nodes *entering* the down set lose their contents immediately
+        (a dead cache holds nothing); nodes leaving it come back empty —
+        the wipe happened at failure time.  While down, a node ignores
+        every touch/insert routed at it (dead-node skipping).
+        """
+        ids = np.asarray(node_ids, dtype=np.int64)
+        down = np.zeros(self.num_nodes, dtype=bool)
+        down[ids] = True
+        entering = down & ~self.down
+        if entering.any():
+            self.wipe_nodes(np.flatnonzero(entering))
+        self.down = down
 
     # ------------------------------------------------------------------
 
@@ -113,6 +149,18 @@ class CacheArrayState:
         insert_nodes = np.asarray(insert_nodes, dtype=np.int64)
         insert_items = np.asarray(insert_items, dtype=np.int64)
         insert_seq = np.asarray(insert_seq, dtype=np.int64)
+
+        if self.down.any():
+            # Dead-node skipping: failed caches neither record touches
+            # nor accept copies.  (No-op on the healthy fast path above.)
+            alive = ~self.down[touch_nodes]
+            touch_nodes = touch_nodes[alive]
+            touch_items = touch_items[alive]
+            touch_seq = touch_seq[alive]
+            alive = ~self.down[insert_nodes]
+            insert_nodes = insert_nodes[alive]
+            insert_items = insert_items[alive]
+            insert_seq = insert_seq[alive]
 
         # Reject inserts that can never fit (size > whole cache).
         fits = self.item_sizes[insert_items] <= (

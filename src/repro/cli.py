@@ -164,6 +164,16 @@ def _build_parser() -> argparse.ArgumentParser:
                             help="backoff re-checks before forcing re-optimization")
     robustness.add_argument("--min-dwell", type=float, default=0.0,
                             help="minimum time between re-optimizations (hysteresis)")
+    robustness.add_argument(
+        "--serve", action="store_true",
+        help="with --timeline: also stream sampled requests through the "
+        "degraded tables and report streamed vs analytic cost",
+    )
+    robustness.add_argument("--serve-requests", "--requests", dest="requests",
+                            type=float, default=2e5,
+                            help="expected request arrivals for --serve")
+    robustness.add_argument("--shards", type=int, default=1,
+                            help="request-stream shards for --serve")
 
     return parser
 
@@ -479,14 +489,52 @@ def _cmd_robustness(args: argparse.Namespace) -> int:
             min_dwell=args.min_dwell,
             repair=args.repair,
         )
+        context = SolverContext.from_problem(problem)
+        print(f"timeline: {len(timeline.events)} events over horizon {args.horizon:g}")
+        if args.serve:
+            from repro.robustness import replay_timeline_streaming
+            from repro.serving import ServingConfig
+
+            rate_scale = args.requests / (problem.total_demand * args.horizon)
+            streamed = replay_timeline_streaming(
+                problem,
+                placement,
+                timeline,
+                policy,
+                config=ServingConfig(
+                    horizon=args.horizon, seed=args.seed, n_shards=args.shards
+                ),
+                rate_scale=rate_scale,
+                context=context,
+            )
+            report = streamed.analytic
+            print(report.format())
+            print(
+                f"serve: {streamed.generated} requests over "
+                f"{len(streamed.segments)} segments in "
+                f"{streamed.elapsed_seconds:.3f}s "
+                f"({streamed.requests_per_sec:,.0f} req/s, "
+                f"{args.shards} shard{'s' if args.shards != 1 else ''})"
+            )
+            print(
+                "cost integral: streamed "
+                f"{streamed.streamed_cost_integral:.6g} vs analytic "
+                f"{report.cost_integral:.6g} "
+                f"(expected {streamed.expected_cost / streamed.rate_scale:.6g}, "
+                f"sampling sigma {streamed.cost_variance ** 0.5 / streamed.rate_scale:.3g})"
+            )
+            print(
+                f"served fraction: streamed {streamed.served_fraction:.4%} "
+                f"vs analytic availability {report.availability:.4%}"
+            )
+            return 0
         report = replay_timeline(
             problem,
             placement,
             timeline,
             policy,
-            context=SolverContext.from_problem(problem),
+            context=context,
         )
-        print(f"timeline: {len(timeline.events)} events over horizon {args.horizon:g}")
         print(report.format())
         return 0
 

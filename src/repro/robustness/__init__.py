@@ -27,11 +27,16 @@ from repro.robustness.chaos import (
     ChaosConfig,
     ChaosReport,
     InvariantChecker,
+    StreamingChaosConfig,
+    StreamingChaosReport,
     check_static_parity,
+    check_streaming_invariants,
     run_chaos,
+    run_streaming_chaos,
 )
 from repro.robustness.controller import (
     RecoveryPolicy,
+    StreamingSummary,
     TimelineController,
     TimelineReport,
     replay_timeline,
@@ -61,6 +66,11 @@ from repro.robustness.report import (
     SurvivabilityReport,
     survivability_record,
     survivability_report,
+)
+from repro.robustness.streaming import (
+    StreamingTimelineReport,
+    StreamSegment,
+    replay_timeline_streaming,
 )
 from repro.robustness.timeline import (
     FailureEvent,
@@ -95,11 +105,19 @@ __all__ = [
     "TimelineController",
     "TimelineReport",
     "replay_timeline",
+    "StreamSegment",
+    "StreamingSummary",
+    "StreamingTimelineReport",
+    "replay_timeline_streaming",
     "ChaosConfig",
     "ChaosReport",
     "InvariantChecker",
+    "StreamingChaosConfig",
+    "StreamingChaosReport",
     "check_static_parity",
+    "check_streaming_invariants",
     "run_chaos",
+    "run_streaming_chaos",
     "RecoveryResult",
     "recover",
     "repair_placement",

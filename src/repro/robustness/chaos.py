@@ -20,6 +20,24 @@ action:
 5. **static parity** — a timeline holding one permanent failure at
    ``t=0`` reproduces the static ``survivability_record`` bit-for-bit.
 
+:func:`run_streaming_chaos` extends the fuzz to the request level: each
+campaign replays its timeline through the segmented streaming engine
+(:func:`~repro.robustness.streaming.replay_timeline_streaming`) under a
+random non-stationary workload regime with reactive cache strategies
+riding the stream, and :func:`check_streaming_invariants` asserts
+
+6. **dead links carry nothing** — zero served volume over any edge that
+   is down (or endpoint-down) during its segment, and zero served
+   requests for dead requesters;
+7. **request conservation** — ``served + dropped == generated`` exactly
+   (globally and per type), and generated/served/delivered-cost all land
+   within 6 sigma of their segment-exact expectations (compound-Poisson
+   variance) — demand is conserved under popularity churn by
+   construction, and the harness re-checks the segment rates;
+8. **monotone repairs** — the expected served rate never drops across a
+   repair/re-optimization boundary (when the workload multipliers are
+   unchanged).
+
 Everything is derived from ``numpy.random.SeedSequence`` spawns, so a
 failing campaign reproduces from its seed alone.
 """
@@ -501,3 +519,311 @@ def run_chaos(
             )
         )
     return ChaosReport(results=results)
+
+
+# ----------------------------------------------------------------------
+# Streaming chaos (failures under load)
+# ----------------------------------------------------------------------
+
+
+def check_streaming_invariants(report, *, tol: float = _TOL) -> list[str]:
+    """Request-level chaos invariants over a segmented streaming replay.
+
+    ``report`` is a :class:`~repro.robustness.streaming.
+    StreamingTimelineReport`.  Returns human-readable violation strings
+    (empty = all invariants hold); see the module docstring, items 6-8.
+    """
+    violations: list[str] = []
+
+    def violate(msg: str) -> None:
+        violations.append(msg)
+
+    prev = None
+    for seg in report.segments:
+        acc, tables = seg.accumulator, seg.tables
+        where = f"segment #{seg.index} [{seg.start:g}, {seg.end:g})"
+        if acc is None:  # pragma: no cover - driver always attaches one
+            violate(f"{where}: no accumulator")
+            continue
+        if (acc.served > acc.generated).any():
+            violate(f"{where}: a type served more requests than it generated")
+
+        node_idx = tables.node_index()
+        node_down = np.zeros(len(tables.nodes), dtype=bool)
+        for v in seg.down_nodes:
+            k = node_idx.get(v)
+            if k is not None:
+                node_down[k] = True
+        edge_dead = node_down[tables.edge_src] | node_down[tables.edge_dst]
+        if seg.down_links:
+            for k, e in enumerate(tables.edges):
+                if e in seg.down_links:
+                    edge_dead[k] = True
+        bad = edge_dead & (acc.edge_volume > 0)
+        if bad.any():
+            k = int(np.flatnonzero(bad)[0])
+            violate(
+                f"{where}: served volume {acc.edge_volume[k]:g} over dead "
+                f"link {tables.edges[k]!r}"
+            )
+        req_down = node_down[tables.type_req]
+        if (req_down & (acc.served > 0)).any():
+            t = int(np.flatnonzero(req_down & (acc.served > 0))[0])
+            violate(
+                f"{where}: dead requester type {tables.types[t]!r} was served"
+            )
+
+        if (
+            prev is not None
+            and "fail" not in seg.kinds
+            and "workload" not in seg.kinds
+        ):
+            scale = max(1.0, prev.served_rate)
+            if seg.served_rate < prev.served_rate - tol * scale:
+                violate(
+                    f"{where}: {'/'.join(seg.kinds)} boundary dropped the "
+                    f"expected served rate {prev.served_rate:g} -> "
+                    f"{seg.served_rate:g}"
+                )
+        prev = seg
+
+    if report.served + report.dropped != report.generated:
+        violate(
+            f"global: served {report.served} + dropped {report.dropped} "
+            f"!= generated {report.generated}"
+        )
+    if (report.per_type_served > report.per_type_generated).any():
+        violate("global: a type served more requests than it generated")
+
+    for label, observed, expected, variance in (
+        ("generated", report.generated, report.expected_generated,
+         report.expected_generated),
+        ("served", report.served, report.expected_served,
+         report.expected_served),
+        ("delivered cost", report.delivered_cost, report.expected_cost,
+         report.cost_variance),
+    ):
+        bound = 6.0 * float(np.sqrt(max(variance, 0.0))) + tol
+        if abs(observed - expected) > bound:
+            violate(
+                f"global: {label} {observed:g} is over 6 sigma from its "
+                f"expectation {expected:g} (sigma {np.sqrt(max(variance, 0.0)):g})"
+            )
+    return violations
+
+
+@dataclass(frozen=True)
+class StreamingChaosConfig:
+    """Fuzzing budget of a request-level (streaming) chaos run."""
+
+    campaigns: int = 4
+    seed: int = 0
+    min_nodes: int = 6
+    max_nodes: int = 10
+    n_items: int = 4
+    horizon: float = 30.0
+    min_events: int = 20
+    #: Expected arrivals per campaign (sets the stream's ``rate_scale``).
+    requests: int = 20_000
+    #: Reactive strategies riding each campaign's stream.
+    strategies: tuple[str, ...] = ("lce", "probcache")
+
+
+@dataclass
+class StreamingCampaignResult:
+    """Outcome of one randomized streaming campaign."""
+
+    index: int
+    nodes: int
+    events: int
+    segments: int
+    generated: int
+    served: int
+    regime: str
+    strategies: tuple[str, ...]
+    violations: list[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+
+@dataclass
+class StreamingChaosReport:
+    """Aggregate of a streaming chaos run across campaigns."""
+
+    results: list[StreamingCampaignResult]
+
+    @property
+    def total_violations(self) -> int:
+        return sum(len(r.violations) for r in self.results)
+
+    @property
+    def ok(self) -> bool:
+        return all(r.ok for r in self.results)
+
+    def summary(self) -> dict:
+        return {
+            "campaigns": len(self.results),
+            "total_events": sum(r.events for r in self.results),
+            "total_segments": sum(r.segments for r in self.results),
+            "total_generated": sum(r.generated for r in self.results),
+            "total_served": sum(r.served for r in self.results),
+            "total_violations": self.total_violations,
+        }
+
+    def format(self) -> str:
+        lines = [
+            f"streaming chaos: {len(self.results)} campaigns, "
+            f"{self.total_violations} violations"
+        ]
+        for r in self.results:
+            status = "ok" if r.ok else f"VIOLATIONS={len(r.violations)}"
+            lines.append(
+                f"  #{r.index}: |V|={r.nodes} events={r.events} "
+                f"segments={r.segments} generated={r.generated} "
+                f"served={r.served} regime={r.regime} "
+                f"policies={','.join(r.strategies)} {status}"
+            )
+        return "\n".join(lines)
+
+
+def _random_regime(rng: np.random.Generator, problem, horizon: float):
+    """A random non-stationary workload (name, regime-or-None)."""
+    from repro.workload.nonstationary import (
+        CompositeRegime,
+        DiurnalCycle,
+        FlashCrowd,
+        PopularityChurn,
+    )
+
+    regimes = []
+    names = []
+    items = list(problem.catalog)
+    if rng.random() < 0.8:
+        hot = items[int(rng.integers(0, len(items)))]
+        start = round(float(rng.uniform(0.0, 0.6 * horizon)), 3)
+        duration = round(float(rng.uniform(0.1, 0.3)) * horizon, 3)
+        regimes.append(
+            FlashCrowd(
+                start=start,
+                duration=duration,
+                hot_items=(hot,),
+                multiplier=float(rng.choice([10.0, 100.0])),
+            )
+        )
+        names.append("flash")
+    if rng.random() < 0.5:
+        regimes.append(
+            DiurnalCycle(period=horizon / 2.0, amplitude=0.4, steps=8)
+        )
+        names.append("diurnal")
+    if rng.random() < 0.5:
+        regimes.append(
+            PopularityChurn(
+                interval=horizon / 5.0, seed=int(rng.integers(0, 2**31 - 1))
+            )
+        )
+        names.append("churn")
+    if not regimes:
+        return "stationary", None
+    if len(regimes) == 1:
+        return names[0], regimes[0]
+    return "+".join(names), CompositeRegime(tuple(regimes))
+
+
+def run_streaming_chaos(
+    config: StreamingChaosConfig = StreamingChaosConfig(),
+    *,
+    raise_on_violation: bool = False,
+) -> StreamingChaosReport:
+    """Fuzz timeline x workload regime x reactive policies at the request level.
+
+    Each campaign replays a random timeline through the segmented
+    streaming engine under a random non-stationary regime, with
+    ``config.strategies`` reactive engines consuming the same stream,
+    and asserts :func:`check_streaming_invariants` (plus exact
+    offered-rate conservation when the regime is churn-only or absent,
+    and that dead reactive caches hold nothing).
+    """
+    from repro.adaptive.strategies import (
+        ReactiveStrategyEngine,
+        build_reactive_tables,
+    )
+    from repro.robustness.streaming import replay_timeline_streaming
+    from repro.serving.engine import ServingConfig
+
+    results: list[StreamingCampaignResult] = []
+    children = np.random.SeedSequence(config.seed).spawn(config.campaigns)
+    for index, child in enumerate(children):
+        rng = np.random.default_rng(child)
+        n_nodes = int(rng.integers(config.min_nodes, config.max_nodes + 1))
+        problem = random_problem(rng, n_nodes=n_nodes, n_items=config.n_items)
+        placement = random_placement(rng, problem)
+        timeline_seed = int(rng.integers(0, 2**31 - 1))
+        timeline, _tcfg = _campaign_timeline(
+            rng, problem, config, timeline_seed=timeline_seed
+        )
+        policy = _random_policy(rng)
+        regime_name, regime = _random_regime(rng, problem, config.horizon)
+
+        rt = build_reactive_tables(problem)
+        engines = {
+            name: ReactiveStrategyEngine(
+                rt, strategy=name, seed=int(rng.integers(0, 2**31 - 1))
+            )
+            for name in config.strategies
+        }
+        total = problem.total_demand
+        rate_scale = config.requests / (total * config.horizon)
+        report = replay_timeline_streaming(
+            problem,
+            placement.copy(),
+            timeline,
+            policy,
+            config=ServingConfig(
+                horizon=config.horizon,
+                seed=int(rng.integers(0, 2**31 - 1)),
+                n_shards=int(rng.integers(1, 4)),
+            ),
+            rate_scale=rate_scale,
+            workload=regime,
+            reactive=engines,
+        )
+
+        violations = check_streaming_invariants(report)
+        if regime_name in ("stationary", "churn"):
+            # Churn permutes popularity but conserves the total demand
+            # rate exactly — offered load must match in every segment.
+            for seg in report.segments:
+                if abs(seg.offered_rate - total) > 1e-9 * max(1.0, total):
+                    violations.append(
+                        f"segment #{seg.index}: churn broke demand "
+                        f"conservation: offered {seg.offered_rate!r} != "
+                        f"total {total!r}"
+                    )
+        for name, engine in engines.items():
+            state = engine.state
+            if state.resident[state.down].any():
+                violations.append(
+                    f"reactive[{name}]: a dead cache still holds items"
+                )
+        if violations and raise_on_violation:
+            raise AssertionError(
+                f"streaming chaos campaign #{index} violated invariants:\n  "
+                + "\n  ".join(violations)
+            )
+        results.append(
+            StreamingCampaignResult(
+                index=index,
+                nodes=n_nodes,
+                events=len(timeline),
+                segments=len(report.segments),
+                generated=report.generated,
+                served=report.served,
+                regime=regime_name,
+                strategies=tuple(config.strategies),
+                violations=violations,
+            )
+        )
+    return StreamingChaosReport(results=results)

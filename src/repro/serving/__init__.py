@@ -16,6 +16,7 @@ Quick start::
     report.served_fraction, report.delivered_cost, report.empirical_loads
 """
 
+from repro.serving.degraded import TableDegradation, degrade_tables
 from repro.serving.engine import (
     RequestBatch,
     ServingConfig,
@@ -33,7 +34,9 @@ __all__ = [
     "RoutingTables",
     "ServingConfig",
     "ServingReport",
+    "TableDegradation",
     "compile_tables",
+    "degrade_tables",
     "generate_requests",
     "horizon_for_requests",
     "replay",

@@ -1,0 +1,228 @@
+"""Failure masking of compiled routing tables (degraded serving state).
+
+The streaming engine replays a static :class:`~repro.serving.tables.
+RoutingTables`; this module makes those tables failure-aware without a
+recompile.  :func:`degrade_tables` takes a compiled table and a
+:class:`TableDegradation` (down nodes, down directed links, wiped cached
+copies) and returns a new table in the *same type/path/edge id space*
+where
+
+- every path that traverses a down element, starts at a down or wiped
+  source, or belongs to a dead requester has its ``path_amount`` zeroed
+  and is dropped from its type's Walker–Vose alias slots;
+- ``served_prob`` is recomputed per affected type as ``min(1, sum of
+  surviving fractions)`` with the exact float-op sequence of
+  :func:`~repro.serving.tables.compile_tables`, so a type whose replicas
+  all died carries its whole mass as explicit unserved;
+- arrival ``rates`` are left untouched: a dead requester keeps
+  *generating* demand (it is offered load), it just serves nothing — the
+  same accounting the timeline controller uses, which is what makes the
+  degraded tables' analytic rates match the controller's
+  piecewise-constant integration exactly.
+
+Masking semantics mirror ``TimelineController._rates()`` clause for
+clause: a path delivers iff its requester is up, every node and directed
+edge on it is up, and its source still holds the item.  Because the
+alias rebuild consumes the surviving amounts through the same operation
+sequence as a fresh compile, degrading is **bit-identical** to
+recompiling the masked routing (the degraded-tables test suite pins
+this against enumerated single-link/node scenarios).
+
+Sharing: unchanged arrays (costs, CSR layouts, sizes) are shared with
+the input tables, never copied — treat compiled tables as immutable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.serving.tables import Edge, Node, RoutingTables, _alias_table
+
+if TYPE_CHECKING:
+    from repro.robustness.faults import FailureScenario
+
+__all__ = ["TableDegradation", "degrade_tables"]
+
+
+@dataclass(frozen=True)
+class TableDegradation:
+    """Liveness state to mask a compiled table with.
+
+    ``down_links`` holds *directed* edges (a bidirectional link failure
+    contributes both orientations); ``wiped`` holds ``(node, item)``
+    pairs whose cached copy is gone while the node itself is up — e.g. a
+    cache that flapped and lost its contents.  Callers deriving ``wiped``
+    from a placement must exclude pinned pairs (permanent copies).
+    """
+
+    down_nodes: frozenset[Node] = frozenset()
+    down_links: frozenset[Edge] = frozenset()
+    wiped: frozenset[tuple[Node, object]] = frozenset()
+
+    @property
+    def empty(self) -> bool:
+        return not (self.down_nodes or self.down_links or self.wiped)
+
+    @classmethod
+    def from_scenario(cls, scenario: "FailureScenario") -> "TableDegradation":
+        """Liveness mask of a static failure scenario.
+
+        Node-incident links need no enumeration: masking treats an edge
+        as dead when either endpoint is down.  Capacity degradations do
+        not change liveness and are ignored.
+        """
+        from repro.robustness.faults import LinkFailure, NodeFailure
+
+        down_nodes: set[Node] = set()
+        down_links: set[Edge] = set()
+        for fault in scenario.faults:
+            if isinstance(fault, LinkFailure):
+                down_links.add((fault.u, fault.v))
+                if fault.both_directions:
+                    down_links.add((fault.v, fault.u))
+            elif isinstance(fault, NodeFailure):
+                down_nodes.add(fault.node)
+        return cls(
+            down_nodes=frozenset(down_nodes), down_links=frozenset(down_links)
+        )
+
+
+def _as_degradation(failure) -> TableDegradation:
+    if isinstance(failure, TableDegradation):
+        return failure
+    return TableDegradation.from_scenario(failure)
+
+
+def _dead_paths(
+    tables: RoutingTables, degr: TableDegradation
+) -> tuple[np.ndarray, np.ndarray]:
+    """(per-path dead mask, per-type requester-down mask)."""
+    n_nodes = len(tables.nodes)
+    node_down = np.zeros(n_nodes, dtype=bool)
+    if degr.down_nodes:
+        node_idx = tables.node_index()
+        for v in degr.down_nodes:
+            k = node_idx.get(v)
+            if k is not None:
+                node_down[k] = True
+
+    edge_down = node_down[tables.edge_src] | node_down[tables.edge_dst]
+    if degr.down_links:
+        edge_idx = {e: k for k, e in enumerate(tables.edges)}
+        for e in degr.down_links:
+            k = edge_idx.get(e)
+            if k is not None:
+                edge_down[k] = True
+
+    n_paths = tables.num_paths
+    path_dead = node_down[tables.path_src]
+    if edge_down.any():
+        counts = np.diff(tables.path_edge_ptr)
+        owner = np.repeat(np.arange(n_paths, dtype=np.int64), counts)
+        np.logical_or.at(path_dead, owner, edge_down[tables.path_edges])
+
+    if degr.wiped:
+        node_idx = tables.node_index()
+        item_idx = {i: k for k, i in enumerate(tables.items)}
+        n_items = len(tables.items)
+        wiped_flat = [
+            node_idx[v] * n_items + item_idx[i]
+            for v, i in degr.wiped
+            if v in node_idx and i in item_idx
+        ]
+        if wiped_flat:
+            flat = (
+                tables.path_src * np.int64(n_items)
+                + tables.type_item[tables.path_type]
+            )
+            path_dead |= np.isin(
+                flat, np.asarray(wiped_flat, dtype=np.int64)
+            )
+
+    req_down = node_down[tables.type_req]
+    path_dead |= req_down[tables.path_type]
+    return path_dead, req_down
+
+
+def degrade_tables(
+    tables: RoutingTables, failure: "TableDegradation | FailureScenario"
+) -> RoutingTables:
+    """Mask ``tables`` with a failure state; see the module docstring.
+
+    ``failure`` is a :class:`TableDegradation` or a static
+    :class:`~repro.robustness.faults.FailureScenario` (converted via
+    :meth:`TableDegradation.from_scenario`).  Returns the input object
+    unchanged when nothing is masked.
+    """
+    degr = _as_degradation(failure)
+    if degr.empty:
+        return tables
+    path_dead, req_down = _dead_paths(tables, degr)
+    if not path_dead.any():
+        return tables
+
+    n_types = tables.num_types
+    affected = np.zeros(n_types, dtype=bool)
+    affected[tables.path_type[path_dead]] = True
+
+    path_amount = tables.path_amount.copy()
+    path_amount[path_dead] = 0.0
+    served_prob = tables.served_prob.copy()
+
+    slot_ptr = np.zeros(n_types + 1, dtype=np.int64)
+    prob_parts: list[np.ndarray] = []
+    path_parts: list[np.ndarray] = []
+    alias_parts: list[np.ndarray] = []
+    base_ptr = tables.slot_ptr
+    for t in range(n_types):
+        if not affected[t]:
+            lo, hi = base_ptr[t], base_ptr[t + 1]
+            slot_ptr[t + 1] = slot_ptr[t] + (hi - lo)
+            if hi > lo:
+                prob_parts.append(tables.slot_prob[lo:hi])
+                path_parts.append(tables.slot_path[lo:hi])
+                alias_parts.append(tables.slot_alias[lo:hi])
+            continue
+        p_lo = int(np.searchsorted(tables.path_type, t, side="left"))
+        p_hi = int(np.searchsorted(tables.path_type, t, side="right"))
+        ids = np.arange(p_lo, p_hi, dtype=np.int64)[~path_dead[p_lo:p_hi]]
+        if len(ids) == 0:
+            served_prob[t] = 0.0
+            slot_ptr[t + 1] = slot_ptr[t]
+            continue
+        # Same op sequence as compile_tables: sum the surviving amounts,
+        # clamp, normalize a fresh copy, and rebuild the alias table —
+        # identical floats in, bit-identical alias tables out.
+        amounts = tables.path_amount[ids]
+        served_prob[t] = min(1.0, float(amounts.sum()))
+        probs = amounts.copy()
+        probs /= probs.sum()
+        accept, alias = _alias_table(probs)
+        prob_parts.append(accept)
+        path_parts.append(ids)
+        alias_parts.append(ids[alias])
+        slot_ptr[t + 1] = slot_ptr[t] + len(ids)
+
+    return replace(
+        tables,
+        served_prob=served_prob,
+        path_amount=path_amount,
+        slot_ptr=slot_ptr,
+        slot_prob=(
+            np.concatenate(prob_parts) if prob_parts else np.zeros(0)
+        ),
+        slot_path=(
+            np.concatenate(path_parts)
+            if path_parts
+            else np.zeros(0, dtype=np.int64)
+        ),
+        slot_alias=(
+            np.concatenate(alias_parts)
+            if alias_parts
+            else np.zeros(0, dtype=np.int64)
+        ),
+        unrouted_types=int((served_prob == 0.0).sum()),
+    )

@@ -158,7 +158,21 @@ def generate_requests(
     """
     if horizon <= 0:
         raise InvalidProblemError("horizon must be positive")
-    expected = tables.total_rate * horizon * rate_scale
+    if not math.isfinite(rate_scale) or rate_scale < 0:
+        raise InvalidProblemError(f"rate_scale must be finite and >= 0, got {rate_scale!r}")
+    total_rate = tables.total_rate
+    if not math.isfinite(total_rate) or (tables.rates < 0).any():
+        raise InvalidProblemError(
+            f"tables carry a degenerate demand rate (total {total_rate!r})"
+        )
+    if total_rate * rate_scale <= 0.0:
+        # All-replicas-dead / zero-demand segment: an empty, well-formed
+        # batch instead of degenerate Poisson draws.  No randomness is
+        # consumed, so downstream segments keep their streams aligned.
+        return RequestBatch(
+            timestamps=np.zeros(0), type_ids=np.zeros(0, dtype=np.int64)
+        )
+    expected = total_rate * horizon * rate_scale
     if max_requests is not None and expected > max_requests:
         raise InvalidProblemError(
             f"replay would generate ~{expected:.0f} arrivals"
@@ -319,8 +333,18 @@ def replay(
 
 
 def horizon_for_requests(tables: RoutingTables, n_requests: float) -> float:
-    """Horizon that yields ``n_requests`` expected arrivals."""
+    """Horizon that yields ``n_requests`` expected arrivals.
+
+    Raises :class:`InvalidProblemError` (never ``ZeroDivisionError``) when
+    the tables carry no positive finite demand rate — e.g. a degraded
+    segment in which every replica died and demand was dropped.
+    """
+    if n_requests <= 0 or not math.isfinite(float(n_requests)):
+        raise InvalidProblemError("n_requests must be positive and finite")
     rate = tables.total_rate
     if rate <= 0 or not math.isfinite(rate):
-        raise InvalidProblemError("tables carry no positive demand rate")
+        raise InvalidProblemError(
+            "tables carry no positive demand rate (all-replicas-dead or "
+            "zero-demand segment); cannot size a horizon"
+        )
     return float(n_requests) / rate

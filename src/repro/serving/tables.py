@@ -75,12 +75,19 @@ class RoutingTables:
     types: tuple[Request, ...]
     #: Edges referenced by any serving path (indexing ``edge_*`` arrays).
     edges: tuple[Edge, ...]
+    #: Nodes referenced by any requester / serving path (id space of
+    #: ``type_req``, ``edge_src``/``edge_dst``, ``path_src``).
+    nodes: tuple[Node, ...]
+    #: Items referenced by any request type (id space of ``type_item``).
+    items: tuple[Hashable, ...]
 
     # -- per-type arrays (length R) ------------------------------------
     rates: np.ndarray  # float64 arrival rates lambda_{(i,s)}
     served_prob: np.ndarray  # float64 in [0, 1]: sum of path fractions
     item_sizes: np.ndarray  # float64 b_i of the type's item
     slot_ptr: np.ndarray  # int64, R+1: alias slots of type t
+    type_req: np.ndarray  # int64 requester node id
+    type_item: np.ndarray  # int64 item id
 
     # -- alias slots (length S, CSR by type) ---------------------------
     slot_prob: np.ndarray  # float64 acceptance threshold
@@ -91,8 +98,13 @@ class RoutingTables:
     path_cost: np.ndarray  # float64 sum of link costs along the path
     path_type: np.ndarray  # int64 owning request type
     path_amount: np.ndarray  # float64 raw routing fraction (expected_* uses it)
+    path_src: np.ndarray  # int64 node id of the serving source (path[0])
     path_edge_ptr: np.ndarray  # int64, P+1
     path_edges: np.ndarray  # int64 edge ids, CSR by path
+
+    # -- per-edge arrays (length E) ------------------------------------
+    edge_src: np.ndarray  # int64 node id of the edge tail
+    edge_dst: np.ndarray  # int64 node id of the edge head
 
     #: Types with no (or zero-fraction) routing.
     unrouted_types: int = 0
@@ -139,6 +151,14 @@ class RoutingTables:
             (self.rates[self.path_type] * self.path_amount) @ self.path_cost
         )
 
+    def expected_served_rate(self) -> float:
+        """Expected served demand rate: ``sum rate * f`` over all paths."""
+        return float((self.rates[self.path_type] * self.path_amount).sum())
+
+    def node_index(self) -> dict[Node, int]:
+        """Label -> id map over ``nodes`` (for failure masking)."""
+        return {v: k for k, v in enumerate(self.nodes)}
+
     # ------------------------------------------------------------------
     # Shared-memory transport (see repro.serving.sharding)
     # ------------------------------------------------------------------
@@ -148,34 +168,41 @@ class RoutingTables:
         "served_prob",
         "item_sizes",
         "slot_ptr",
+        "type_req",
+        "type_item",
         "slot_prob",
         "slot_path",
         "slot_alias",
         "path_cost",
         "path_type",
         "path_amount",
+        "path_src",
         "path_edge_ptr",
         "path_edges",
+        "edge_src",
+        "edge_dst",
     )
 
     def as_arrays(self) -> dict[str, np.ndarray]:
         """The numeric payload, as named arrays (for ``BundleBroadcast``)."""
         return {name: getattr(self, name) for name in self._ARRAY_FIELDS}
 
-    def labels(self) -> tuple[tuple[Request, ...], tuple[Edge, ...], int]:
-        """The small picklable remainder (``types``, ``edges``, unrouted)."""
-        return (self.types, self.edges, self.unrouted_types)
+    def labels(self) -> tuple:
+        """The small picklable remainder (labels + the unrouted count)."""
+        return (self.types, self.edges, self.nodes, self.items, self.unrouted_types)
 
     @classmethod
     def from_arrays(
         cls,
-        labels: tuple[tuple[Request, ...], tuple[Edge, ...], int],
+        labels: tuple,
         arrays: dict[str, np.ndarray],
     ) -> "RoutingTables":
-        types, edges, unrouted = labels
+        types, edges, nodes, items, unrouted = labels
         return cls(
             types=types,
             edges=edges,
+            nodes=nodes,
+            items=items,
             unrouted_types=unrouted,
             **{name: arrays[name] for name in cls._ARRAY_FIELDS},
         )
@@ -199,11 +226,17 @@ def compile_tables(
     network = problem.network
     edge_ids: dict[Edge, int] = {}
     edge_cost: list[float] = []
+    node_ids: dict[Node, int] = {}
+    item_ids: dict[Hashable, int] = {}
+    edge_src: list[int] = []
+    edge_dst: list[int] = []
 
     rates = np.empty(len(requests))
     served_prob = np.zeros(len(requests))
     item_sizes = np.empty(len(requests))
     slot_ptr = np.zeros(len(requests) + 1, dtype=np.int64)
+    type_req = np.zeros(len(requests), dtype=np.int64)
+    type_item = np.zeros(len(requests), dtype=np.int64)
     slot_prob: list[np.ndarray] = []
     slot_path: list[np.ndarray] = []
     slot_alias: list[np.ndarray] = []
@@ -211,6 +244,7 @@ def compile_tables(
     path_cost: list[float] = []
     path_type: list[int] = []
     path_amount: list[float] = []
+    path_src: list[int] = []
     path_edge_ptr: list[int] = [0]
     path_edges: list[int] = []
     unrouted = 0
@@ -219,6 +253,8 @@ def compile_tables(
         item, _s = request
         rates[t] = problem.demand[request]
         item_sizes[t] = problem.size_of(item)
+        type_req[t] = node_ids.setdefault(_s, len(node_ids))
+        type_item[t] = item_ids.setdefault(item, len(item_ids))
         pfs = routing.paths.get(request) or []
         amounts = np.array([pf.amount for pf in pfs], dtype=float)
         total = float(amounts.sum()) if len(amounts) else 0.0
@@ -238,11 +274,14 @@ def compile_tables(
                 eid = edge_ids.setdefault((u, v), len(edge_ids))
                 if eid == len(edge_cost):
                     edge_cost.append(network.cost(u, v))
+                    edge_src.append(node_ids.setdefault(u, len(node_ids)))
+                    edge_dst.append(node_ids.setdefault(v, len(node_ids)))
                 cost += edge_cost[eid]
                 path_edges.append(eid)
             path_cost.append(cost)
             path_type.append(t)
             path_amount.append(pf.amount)
+            path_src.append(node_ids.setdefault(pf.source, len(node_ids)))
             path_edge_ptr.append(len(path_edges))
         k = len(path_cost) - first_path
         if k == 0:
@@ -265,10 +304,14 @@ def compile_tables(
     return RoutingTables(
         types=tuple(requests),
         edges=edges,
+        nodes=tuple(node_ids),
+        items=tuple(item_ids),
         rates=rates,
         served_prob=served_prob,
         item_sizes=item_sizes,
         slot_ptr=slot_ptr,
+        type_req=type_req,
+        type_item=type_item,
         slot_prob=(
             np.concatenate(slot_prob) if slot_prob else np.zeros(0)
         ),
@@ -285,7 +328,10 @@ def compile_tables(
         path_cost=np.array(path_cost),
         path_type=np.array(path_type, dtype=np.int64),
         path_amount=np.array(path_amount),
+        path_src=np.array(path_src, dtype=np.int64),
         path_edge_ptr=np.array(path_edge_ptr, dtype=np.int64),
         path_edges=np.array(path_edges, dtype=np.int64),
+        edge_src=np.array(edge_src, dtype=np.int64),
+        edge_dst=np.array(edge_dst, dtype=np.int64),
         unrouted_types=unrouted,
     )

@@ -1,4 +1,4 @@
-"""Workload substrate: catalogs, synthetic traces, request matrices, Zipf."""
+"""Workload substrate: catalogs, traces, request matrices, Zipf, regimes."""
 
 from repro.workload.catalog import (
     TABLE1_VIDEOS,
@@ -24,6 +24,13 @@ from repro.workload.statistics import (
     peak_to_mean_ratio,
     per_node_demand,
     summarize_trace,
+)
+from repro.workload.nonstationary import (
+    CompositeRegime,
+    DiurnalCycle,
+    FlashCrowd,
+    PopularityChurn,
+    WorkloadRegime,
 )
 from repro.workload.trace import (
     TraceConfig,
@@ -59,4 +66,9 @@ __all__ = [
     "autocorrelation",
     "demand_concentration",
     "per_node_demand",
+    "WorkloadRegime",
+    "FlashCrowd",
+    "DiurnalCycle",
+    "PopularityChurn",
+    "CompositeRegime",
 ]

@@ -1,0 +1,215 @@
+"""Non-stationary workload regimes: flash crowds, diurnal cycles, churn.
+
+The streaming engine replays a *stationary* Poisson process per request
+type; real traffic is anything but.  Following the generator shapes of
+the Icarus workload configs (stationary / bursty / trace-driven), a
+:class:`WorkloadRegime` turns the static per-type rates of a compiled
+:class:`~repro.serving.tables.RoutingTables` into a piecewise-constant
+rate *process*:
+
+- :class:`FlashCrowd` — a sudden hotspot: the rates of a few items are
+  multiplied (default 100x) inside a time window;
+- :class:`DiurnalCycle` — sinusoidal rate-of-day modulation, discretized
+  into ``steps`` constant plateaus per period;
+- :class:`PopularityChurn` — Zipf-rank shuffling: at every ``interval``
+  boundary a seeded permutation reassigns the items' aggregate
+  popularity weights, conserving the total demand rate exactly;
+- :class:`CompositeRegime` — the product of several regimes.
+
+A regime exposes ``breakpoints(horizon)`` (where the multipliers change)
+and ``multipliers(t, tables)`` (per-type factors for the segment that
+*starts* at ``t``).  The segmented timeline replay
+(:func:`repro.robustness.streaming.replay_timeline_streaming`) merges
+these breakpoints with failure-event boundaries and scales each
+segment's degraded tables, so failures during a flash crowd — the chaos
+harness's target scenario — are exercised directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+import numpy as np
+
+from repro.exceptions import InvalidProblemError
+from repro.serving.tables import RoutingTables
+
+__all__ = [
+    "WorkloadRegime",
+    "FlashCrowd",
+    "DiurnalCycle",
+    "PopularityChurn",
+    "CompositeRegime",
+]
+
+_EPS = 1e-12
+
+
+class WorkloadRegime:
+    """Piecewise-constant per-type rate modulation (base: no-op)."""
+
+    def breakpoints(self, horizon: float) -> tuple[float, ...]:
+        """Times in ``(0, horizon)`` where the multipliers change."""
+        return ()
+
+    def multipliers(self, t: float, tables: RoutingTables) -> np.ndarray:
+        """Per-type rate factors for the segment starting at ``t``."""
+        return np.ones(tables.num_types)
+
+    def scale(self, tables: RoutingTables, t: float) -> RoutingTables:
+        """``tables`` with rates scaled for the segment starting at ``t``.
+
+        Returns the input object unchanged when every factor is 1.
+        """
+        mult = self.multipliers(t, tables)
+        if np.all(mult == 1.0):
+            return tables
+        return replace(tables, rates=tables.rates * mult)
+
+
+@dataclass(frozen=True)
+class FlashCrowd(WorkloadRegime):
+    """A ``multiplier``-times hotspot on ``hot_items`` during a window."""
+
+    start: float
+    duration: float
+    hot_items: tuple = ()
+    multiplier: float = 100.0
+
+    def __post_init__(self) -> None:
+        if self.duration <= 0:
+            raise InvalidProblemError("flash crowd duration must be > 0")
+        if self.multiplier <= 0:
+            raise InvalidProblemError("flash crowd multiplier must be > 0")
+
+    def breakpoints(self, horizon: float) -> tuple[float, ...]:
+        return tuple(
+            t for t in (self.start, self.start + self.duration)
+            if 0.0 < t < horizon
+        )
+
+    def multipliers(self, t: float, tables: RoutingTables) -> np.ndarray:
+        mult = np.ones(tables.num_types)
+        if not self.start <= t < self.start + self.duration:
+            return mult
+        hot = set(self.hot_items)
+        hot_ids = [k for k, item in enumerate(tables.items) if item in hot]
+        if hot_ids:
+            mult[np.isin(tables.type_item, hot_ids)] = self.multiplier
+        return mult
+
+
+@dataclass(frozen=True)
+class DiurnalCycle(WorkloadRegime):
+    """Sinusoidal rate modulation, discretized into constant plateaus.
+
+    The factor on plateau ``k`` is ``1 + amplitude * sin(2*pi * (m /
+    period + phase))`` evaluated at the plateau midpoint ``m``; with
+    ``amplitude < 1`` rates stay positive.
+    """
+
+    period: float
+    amplitude: float = 0.5
+    steps: int = 24
+    phase: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.period <= 0:
+            raise InvalidProblemError("diurnal period must be > 0")
+        if not 0.0 <= self.amplitude < 1.0:
+            raise InvalidProblemError("diurnal amplitude must be in [0, 1)")
+        if self.steps < 2:
+            raise InvalidProblemError("diurnal steps must be >= 2")
+
+    def breakpoints(self, horizon: float) -> tuple[float, ...]:
+        step = self.period / self.steps
+        n = int(np.floor(horizon / step))
+        return tuple(
+            t for t in (step * k for k in range(1, n + 1)) if t < horizon
+        )
+
+    def _factor(self, t: float) -> float:
+        step = self.period / self.steps
+        k = int(np.floor((t + _EPS) / step))
+        mid = (k + 0.5) * step
+        return 1.0 + self.amplitude * float(
+            np.sin(2.0 * np.pi * (mid / self.period + self.phase))
+        )
+
+    def multipliers(self, t: float, tables: RoutingTables) -> np.ndarray:
+        return np.full(tables.num_types, self._factor(t))
+
+
+@dataclass(frozen=True)
+class PopularityChurn(WorkloadRegime):
+    """Zipf-rank shuffling: item popularity weights permute over time.
+
+    Every ``interval`` a seeded permutation ``pi_k`` reassigns aggregate
+    item weights: an item ``i`` whose base aggregate rate is ``w_i``
+    runs at ``w_{pi_k(i)}`` during epoch ``k`` (epoch 0 is the identity).
+    Every type of item ``i`` is scaled by the same factor
+    ``w_{pi_k(i)} / w_i``, so the *total* demand rate is conserved
+    exactly across every shuffle — the invariant the chaos harness
+    checks under churn.
+    """
+
+    interval: float
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.interval <= 0:
+            raise InvalidProblemError("churn interval must be > 0")
+
+    def breakpoints(self, horizon: float) -> tuple[float, ...]:
+        n = int(np.floor(horizon / self.interval))
+        return tuple(
+            t
+            for t in (self.interval * k for k in range(1, n + 1))
+            if t < horizon
+        )
+
+    def _epoch(self, t: float) -> int:
+        return int(np.floor((t + _EPS) / self.interval))
+
+    def _item_weights(self, tables: RoutingTables) -> np.ndarray:
+        w = np.zeros(len(tables.items))
+        np.add.at(w, tables.type_item, tables.rates)
+        return w
+
+    def multipliers(self, t: float, tables: RoutingTables) -> np.ndarray:
+        epoch = self._epoch(t)
+        if epoch == 0:
+            return np.ones(tables.num_types)
+        n_items = len(tables.items)
+        rng = np.random.default_rng(
+            np.random.SeedSequence(entropy=self.seed, spawn_key=(epoch,))
+        )
+        w = self._item_weights(tables)
+        # Permute weights among the positive-weight items only: mapping a
+        # live item onto a zero-weight slot would destroy (or conjure)
+        # demand mass and break exact conservation.
+        pos = np.flatnonzero(w > 0)
+        factor = np.ones(n_items)
+        if len(pos) > 1:
+            perm = rng.permutation(len(pos))
+            factor[pos] = w[pos[perm]] / w[pos]
+        return factor[tables.type_item]
+
+
+@dataclass(frozen=True)
+class CompositeRegime(WorkloadRegime):
+    """Product of several regimes (union of their breakpoints)."""
+
+    regimes: tuple[WorkloadRegime, ...] = field(default=())
+
+    def breakpoints(self, horizon: float) -> tuple[float, ...]:
+        times: set[float] = set()
+        for regime in self.regimes:
+            times.update(regime.breakpoints(horizon))
+        return tuple(sorted(times))
+
+    def multipliers(self, t: float, tables: RoutingTables) -> np.ndarray:
+        mult = np.ones(tables.num_types)
+        for regime in self.regimes:
+            mult = mult * regime.multipliers(t, tables)
+        return mult

@@ -90,3 +90,67 @@ class TestCacheArrayState:
                 ref.insert(item, float(sizes[item]))
             assert {int(i) for i in st.items_at(0)} == set(ref.items())
             assert st.used[0] == pytest.approx(ref.used)
+
+
+class TestFailureHooks:
+    """PR 8: cache wipes and dead-node skipping for degraded replays."""
+
+    def test_wipe_nodes_clears_all_state(self):
+        st = CacheArrayState(np.array([3.0, 3.0]), np.ones(4))
+        _chunk(st, [("insert", 0, 1), ("insert", 1, 2), ("touch", 1, 2)])
+        st.wipe_nodes([1])
+        assert set(st.items_at(0)) == {1}
+        assert len(st.items_at(1)) == 0
+        assert st.used[1] == 0.0
+        assert (st.freq[1] == 0).all()
+        assert (st.last_used[1] == 0).all()
+
+    def test_wipe_empty_is_noop(self):
+        st = CacheArrayState(np.array([2.0]), np.ones(2))
+        _chunk(st, [("insert", 0, 0)])
+        st.wipe_nodes(np.zeros(0, dtype=np.int64))
+        assert set(st.items_at(0)) == {0}
+
+    def test_set_down_wipes_on_entry_and_skips_while_down(self):
+        st = CacheArrayState(np.array([3.0, 3.0]), np.ones(4))
+        _chunk(st, [("insert", 0, 1), ("insert", 1, 2)])
+        st.set_down([1])
+        assert len(st.items_at(1)) == 0
+        # Dead node ignores inserts and touches; live node keeps working.
+        _chunk(st, [("insert", 1, 3), ("touch", 1, 2), ("insert", 0, 2)])
+        assert len(st.items_at(1)) == 0
+        assert set(st.items_at(0)) == {1, 2}
+
+    def test_repaired_node_comes_back_empty_and_working(self):
+        st = CacheArrayState(np.array([2.0]), np.ones(3))
+        _chunk(st, [("insert", 0, 0)])
+        st.set_down([0])
+        st.set_down([])  # repair
+        assert len(st.items_at(0)) == 0
+        _chunk(st, [("insert", 0, 1)])
+        assert set(st.items_at(0)) == {1}
+
+    def test_repeated_set_down_does_not_rewipe(self):
+        st = CacheArrayState(np.array([2.0, 2.0]), np.ones(3))
+        st.set_down([1])
+        _chunk(st, [("insert", 0, 0)])
+        st.set_down([1])  # same set again: node 0 state must survive
+        assert set(st.items_at(0)) == {0}
+
+    def test_healthy_path_is_bit_identical(self):
+        """With no down nodes the failure hooks must not perturb replays."""
+        rng = np.random.default_rng(0)
+        events = [
+            ("insert" if rng.random() < 0.5 else "touch",
+             int(rng.integers(2)), int(rng.integers(4)))
+            for _ in range(100)
+        ]
+        a = CacheArrayState(np.array([2.0, 3.0]), np.ones(4))
+        b = CacheArrayState(np.array([2.0, 3.0]), np.ones(4))
+        b.set_down([0]); b.set_down([])  # exercised hooks, then healthy
+        _chunk(a, events)
+        _chunk(b, events)
+        assert np.array_equal(a.resident, b.resident)
+        assert np.array_equal(a.last_used, b.last_used)
+        assert np.array_equal(a.freq, b.freq)
+        assert np.array_equal(a.used, b.used)

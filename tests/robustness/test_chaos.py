@@ -103,3 +103,104 @@ class TestCheckerDetectsViolations:
         checker("event", 1.0, _StubController(problem, served=0.0), None)
         checker("end", 2.0, _StubController(problem, served=0.0), None)
         assert checker.violations == []
+
+
+class TestStreamingAcceptanceBudget:
+    def test_default_budget_is_clean(self):
+        # ISSUE acceptance: chaos campaigns fuzzing timeline x workload
+        # regime x >= 2 reactive policies with zero violations.
+        from repro.robustness import StreamingChaosConfig, run_streaming_chaos
+
+        report = run_streaming_chaos(
+            StreamingChaosConfig(requests=8_000), raise_on_violation=True
+        )
+        assert report.ok
+        assert report.total_violations == 0
+        assert len(report.results) >= 4
+        summary = report.summary()
+        assert summary["total_events"] >= 4 * 20
+        assert summary["total_generated"] > 0
+        assert summary["total_served"] <= summary["total_generated"]
+        policies = {name for r in report.results for name in r.strategies}
+        assert len(policies) >= 2
+        regimes = {r.regime for r in report.results}
+        assert regimes  # every campaign labels its (possibly empty) regime
+        assert "0 violations" in report.format()
+
+    def test_same_seed_reproduces_exactly(self):
+        from repro.robustness import StreamingChaosConfig, run_streaming_chaos
+
+        config = StreamingChaosConfig(
+            campaigns=2, requests=4_000, min_nodes=6, max_nodes=7, seed=5
+        )
+        a = run_streaming_chaos(config)
+        b = run_streaming_chaos(config)
+        assert a.ok and b.ok
+        assert [
+            (r.events, r.segments, r.generated, r.served, r.regime)
+            for r in a.results
+        ] == [
+            (r.events, r.segments, r.generated, r.served, r.regime)
+            for r in b.results
+        ]
+
+
+class TestStreamingInvariantChecker:
+    """check_streaming_invariants flags doctored reports."""
+
+    @pytest.fixture
+    def clean_report(self):
+        from repro.robustness import (
+            TimelineConfig,
+            generate_timeline,
+            replay_timeline_streaming,
+        )
+        from repro.serving import ServingConfig
+
+        rng = np.random.default_rng(1)
+        problem = random_problem(rng, n_nodes=7, n_items=3)
+        placement = random_placement(rng, problem)
+        timeline = generate_timeline(
+            problem,
+            TimelineConfig(horizon=20.0, link_mtbf=10.0, link_mttr=3.0),
+            seed=2,
+        )
+        rate_scale = 5_000 / (problem.total_demand * timeline.horizon)
+        return replay_timeline_streaming(
+            problem, placement, timeline,
+            config=ServingConfig(horizon=timeline.horizon),
+            rate_scale=rate_scale,
+        )
+
+    def test_clean_report_passes(self, clean_report):
+        from repro.robustness import check_streaming_invariants
+
+        assert check_streaming_invariants(clean_report) == []
+
+    def test_overserving_type_is_caught(self, clean_report):
+        from repro.robustness import check_streaming_invariants
+
+        acc = clean_report.segments[0].accumulator
+        acc.served = acc.generated + 1
+        assert any(
+            "served more" in v or "conservation" in v
+            for v in check_streaming_invariants(clean_report)
+        )
+
+    def test_global_overserving_is_caught(self, clean_report):
+        from repro.robustness import check_streaming_invariants
+
+        clean_report.per_type_served = clean_report.per_type_generated + 1
+        assert any(
+            "served more" in v for v in check_streaming_invariants(clean_report)
+        )
+
+    def test_six_sigma_outlier_is_caught(self, clean_report):
+        from repro.robustness import check_streaming_invariants
+
+        clean_report.delivered_cost += 100.0 * (
+            1.0 + np.sqrt(clean_report.cost_variance)
+        )
+        assert any(
+            "6 sigma" in v for v in check_streaming_invariants(clean_report)
+        )

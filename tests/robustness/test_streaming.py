@@ -1,0 +1,285 @@
+"""Timeline-driven streaming replay: exact + statistical parity, riders."""
+
+import json
+import math
+
+import numpy as np
+import pytest
+
+from repro.adaptive import ReactiveStrategyEngine, build_reactive_tables
+from repro.exceptions import InvalidProblemError
+from repro.robustness import (
+    StreamingSummary,
+    TimelineConfig,
+    generate_timeline,
+    replay_timeline,
+    replay_timeline_streaming,
+)
+from repro.robustness.demo import gadget_placement, gadget_problem
+from repro.serving import ServingConfig
+from repro.workload import FlashCrowd, PopularityChurn
+
+_TOL = 1e-9
+
+
+@pytest.fixture(scope="module")
+def gadget():
+    problem = gadget_problem()
+    return problem, gadget_placement()
+
+
+@pytest.fixture(scope="module")
+def timeline(gadget):
+    problem, _ = gadget
+    tl = generate_timeline(
+        problem,
+        TimelineConfig(
+            horizon=40.0,
+            link_mtbf=20.0,
+            link_mttr=3.0,
+            node_mtbf=60.0,
+            node_mttr=5.0,
+            flap_probability=0.2,
+            flap_mttr=0.05,
+            exclude_nodes=("s",),
+        ),
+        seed=7,
+    )
+    assert len(tl.events) >= 10
+    return tl
+
+
+def _stream(gadget, timeline, *, requests=40_000, n_shards=1, seed=0, **kw):
+    problem, placement = gadget
+    rate_scale = requests / (problem.total_demand * timeline.horizon)
+    config = ServingConfig(
+        horizon=timeline.horizon, seed=seed, n_shards=n_shards
+    )
+    return replay_timeline_streaming(
+        problem, placement, timeline,
+        config=config, rate_scale=rate_scale, **kw,
+    )
+
+
+class TestExactParity:
+    """The analytic side of the streaming replay IS the plain replay."""
+
+    def test_analytic_report_equals_plain_replay(self, gadget, timeline):
+        problem, placement = gadget
+        report = _stream(gadget, timeline)
+        plain = replay_timeline(problem, placement, timeline)
+        assert report.analytic == plain  # streaming excluded from compare
+
+    def test_segment_rates_integrate_to_analytic(self, gadget, timeline):
+        report = _stream(gadget, timeline)
+        segs = report.segments
+        assert segs[0].start == 0.0
+        assert segs[-1].end == timeline.horizon
+        for a, b in zip(segs, segs[1:]):
+            assert a.end == b.start
+        cost = sum(s.cost_rate * s.duration for s in segs)
+        served = sum(s.served_rate * s.duration for s in segs)
+        offered = sum(s.offered_rate * s.duration for s in segs)
+        analytic = report.analytic
+        assert cost == pytest.approx(analytic.cost_integral, rel=_TOL)
+        assert served == pytest.approx(
+            analytic.total_demand * analytic.horizon
+            - analytic.unserved_integral,
+            rel=_TOL,
+        )
+        assert offered == pytest.approx(
+            analytic.total_demand * analytic.horizon, rel=_TOL
+        )
+
+    def test_offered_load_semantics_keep_rates(self, gadget, timeline):
+        """Dead paths drop mass from served, never from arrivals."""
+        report = _stream(gadget, timeline)
+        base = report.segments[0].tables
+        for seg in report.segments:
+            assert seg.tables.total_rate == pytest.approx(
+                base.total_rate, rel=_TOL
+            )
+            assert seg.served_rate <= seg.offered_rate + _TOL
+
+
+class TestStatisticalParity:
+    def test_six_sigma_gates(self, gadget, timeline):
+        report = _stream(gadget, timeline, requests=60_000)
+        assert abs(report.generated - report.expected_generated) <= 6 * math.sqrt(
+            report.expected_generated
+        )
+        assert abs(report.served - report.expected_served) <= 6 * math.sqrt(
+            report.expected_served
+        )
+        assert abs(report.delivered_cost - report.expected_cost) <= 6 * math.sqrt(
+            report.cost_variance
+        )
+        # The estimator tracks the exact integral through the same gate.
+        sigma = math.sqrt(report.cost_variance) / report.rate_scale
+        assert abs(
+            report.streamed_cost_integral - report.analytic.cost_integral
+        ) <= 6 * sigma
+
+    def test_counts_conserve(self, gadget, timeline):
+        report = _stream(gadget, timeline)
+        assert report.generated == int(report.per_type_generated.sum())
+        assert report.served == int(report.per_type_served.sum())
+        assert report.served + report.dropped == report.generated
+        assert (report.per_type_served <= report.per_type_generated).all()
+        assert report.generated == sum(s.generated for s in report.segments)
+        assert report.served == sum(s.served for s in report.segments)
+
+    def test_sharded_stream_passes_same_gates(self, gadget, timeline):
+        report = _stream(gadget, timeline, n_shards=3)
+        assert report.n_shards == 3
+        assert abs(report.generated - report.expected_generated) <= 6 * math.sqrt(
+            report.expected_generated
+        )
+
+
+class TestDeterminism:
+    def test_same_seed_identical(self, gadget, timeline):
+        a = _stream(gadget, timeline, seed=5)
+        b = _stream(gadget, timeline, seed=5)
+        assert a.generated == b.generated
+        assert a.served == b.served
+        assert a.delivered_cost == b.delivered_cost
+        assert np.array_equal(a.per_type_generated, b.per_type_generated)
+
+    def test_different_seed_differs(self, gadget, timeline):
+        a = _stream(gadget, timeline, seed=5)
+        b = _stream(gadget, timeline, seed=6)
+        assert a.generated != b.generated or a.delivered_cost != b.delivered_cost
+
+
+class TestWorkloadRegimes:
+    def test_breakpoints_open_segments(self, gadget, timeline):
+        plain = _stream(gadget, timeline)
+        churn = PopularityChurn(interval=7.0, seed=1)
+        report = _stream(gadget, timeline, workload=churn)
+        kinds = [k for s in report.segments for k in s.kinds]
+        assert "workload" in kinds
+        assert len(report.segments) > len(plain.segments)
+        # Churn conserves the offered rate exactly in every segment.
+        base = plain.segments[0].tables.total_rate
+        for seg in report.segments:
+            assert seg.offered_rate == pytest.approx(base, rel=_TOL)
+
+    def test_flash_crowd_raises_offered_mass(self, gadget, timeline):
+        problem, _ = gadget
+        item = problem.catalog[0]
+        fc = FlashCrowd(
+            start=10.0, duration=5.0, hot_items=(item,), multiplier=50.0
+        )
+        plain = _stream(gadget, timeline)
+        report = _stream(gadget, timeline, workload=fc)
+        extra = sum(
+            (s.offered_rate - plain.segments[0].tables.total_rate) * s.duration
+            for s in report.segments
+        )
+        assert extra > 0.0
+        assert report.expected_generated > plain.expected_generated
+
+
+class TestReactiveRiders:
+    def test_strategies_survive_failures(self):
+        from repro.robustness.chaos import random_placement, random_problem
+
+        rng = np.random.default_rng(2)
+        problem = random_problem(rng, n_nodes=8, n_items=3)
+        placement = random_placement(rng, problem)
+        timeline = generate_timeline(
+            problem,
+            TimelineConfig(
+                horizon=30.0, link_mtbf=15.0, link_mttr=4.0,
+                node_mtbf=40.0, node_mttr=6.0,
+            ),
+            seed=4,
+        )
+        rt = build_reactive_tables(problem)
+        engines = {
+            name: ReactiveStrategyEngine(rt, strategy=name, seed=3)
+            for name in ("lce", "probcache")
+        }
+        report = _stream(
+            (problem, placement), timeline, requests=20_000, reactive=engines
+        )
+        assert set(report.reactive_costs) == {"lce", "probcache"}
+        for name, cost in report.reactive_costs.items():
+            assert math.isfinite(cost) and cost > 0.0
+            assert report.reactive_edge_hits[name] >= 0
+        # After the run, caches at nodes still down hold nothing.
+        last = report.segments[-1]
+        for engine in engines.values():
+            node_id = {v: k for k, v in enumerate(engine.rt.nodes)}
+            for v in last.down_nodes:
+                if v in node_id:
+                    assert not engine.state.resident[node_id[v]].any()
+
+
+class TestValidation:
+    def test_horizon_mismatch_raises(self, gadget, timeline):
+        problem, placement = gadget
+        with pytest.raises(InvalidProblemError, match="horizon"):
+            replay_timeline_streaming(
+                problem, placement, timeline,
+                config=ServingConfig(horizon=timeline.horizon + 1.0),
+                rate_scale=0.1,
+            )
+
+    @pytest.mark.parametrize("bad", [0.0, -1.0, float("nan"), float("inf")])
+    def test_bad_rate_scale_raises(self, gadget, timeline, bad):
+        problem, placement = gadget
+        with pytest.raises(InvalidProblemError, match="rate_scale"):
+            replay_timeline_streaming(
+                problem, placement, timeline, rate_scale=bad
+            )
+
+    def test_max_requests_guard(self, gadget, timeline):
+        problem, placement = gadget
+        with pytest.raises(InvalidProblemError, match="max_requests"):
+            replay_timeline_streaming(
+                problem, placement, timeline,
+                config=ServingConfig(horizon=timeline.horizon, max_requests=10),
+                rate_scale=1.0,
+            )
+
+
+class TestReportPlumbing:
+    def test_summary_json_round_trip(self, gadget, timeline):
+        report = _stream(gadget, timeline)
+        summary = report.summary()
+        assert report.analytic.streaming == summary
+        dumped = json.dumps(summary.to_json_dict(), allow_nan=False)
+        back = StreamingSummary.from_json_dict(json.loads(dumped))
+        assert back == summary
+        assert back.segment_dropped == summary.segment_dropped
+
+    def test_timeline_report_json_strict(self, gadget, timeline):
+        report = _stream(gadget, timeline)
+        payload = report.analytic.to_json_dict()
+        text = json.dumps(payload, allow_nan=False)  # strict: no NaN leaks
+        data = json.loads(text)
+        assert data["streaming"]["generated"] == report.generated
+        assert data["streaming"]["segments"] == len(report.segments)
+        # Plain replays keep the field as an explicit null.
+        problem, placement = gadget
+        plain = replay_timeline(problem, placement, timeline)
+        assert json.loads(
+            json.dumps(plain.to_json_dict(), allow_nan=False)
+        )["streaming"] is None
+
+    def test_format_mentions_stream(self, gadget, timeline):
+        report = _stream(gadget, timeline)
+        text = report.format()
+        assert "streamed" in text
+        assert f"{report.generated} requests" in text
+
+    def test_observer_chains(self, gadget, timeline):
+        seen = []
+        _stream(
+            gadget, timeline,
+            observer=lambda phase, t, ctl, detail: seen.append(phase),
+        )
+        assert seen[0] == "init"
+        assert "event" in seen and seen[-1] == "end"

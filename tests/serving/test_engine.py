@@ -150,3 +150,62 @@ class TestHorizonForRequests:
         zeroed.rates[:] = 0.0
         with pytest.raises(InvalidProblemError, match="rate"):
             horizon_for_requests(zeroed, 1_000.0)
+
+
+class TestDegenerateRates:
+    """PR 8 satellite: zero/degenerate total_rate never divides by zero."""
+
+    def _zeroed(self, tables):
+        z = type(tables).from_arrays(tables.labels(), tables.as_arrays())
+        z.rates[:] = 0.0
+        return z
+
+    def test_zero_rate_yields_empty_batch(self, tables):
+        rng = np.random.default_rng(0)
+        batch = generate_requests(self._zeroed(tables), 10.0, rng)
+        assert len(batch) == 0
+        assert batch.timestamps.shape == (0,)
+        assert batch.type_ids.dtype == np.int64
+
+    def test_zero_rate_consumes_no_randomness(self, tables):
+        """Alignment guarantee for segmented replays with dead segments."""
+        a, b = np.random.default_rng(7), np.random.default_rng(7)
+        generate_requests(self._zeroed(tables), 5.0, a)
+        assert a.random() == b.random()
+
+    def test_zero_rate_scale_yields_empty_batch(self, tables):
+        batch = generate_requests(
+            tables, 10.0, np.random.default_rng(0), rate_scale=0.0
+        )
+        assert len(batch) == 0
+
+    def test_empty_batch_serves_cleanly(self, tables):
+        rng = np.random.default_rng(1)
+        batch = generate_requests(self._zeroed(tables), 10.0, rng)
+        acc = serve_batch(tables, batch, rng)
+        assert int(acc.generated.sum()) == 0
+        assert acc.delivered_cost == 0.0
+
+    def test_nonfinite_rate_raises(self, tables):
+        bad = type(tables).from_arrays(tables.labels(), tables.as_arrays())
+        bad.rates[0] = float("inf")
+        with pytest.raises(InvalidProblemError, match="degenerate"):
+            generate_requests(bad, 1.0, np.random.default_rng(0))
+
+    def test_negative_rate_raises(self, tables):
+        bad = type(tables).from_arrays(tables.labels(), tables.as_arrays())
+        bad.rates[0] = -1.0
+        with pytest.raises(InvalidProblemError, match="degenerate"):
+            generate_requests(bad, 1.0, np.random.default_rng(0))
+
+    def test_bad_rate_scale_raises(self, tables):
+        for scale in (-1.0, float("nan"), float("inf")):
+            with pytest.raises(InvalidProblemError, match="rate_scale"):
+                generate_requests(
+                    tables, 1.0, np.random.default_rng(0), rate_scale=scale
+                )
+
+    def test_horizon_for_requests_rejects_bad_targets(self, tables):
+        for n in (0, -5, float("nan")):
+            with pytest.raises(InvalidProblemError, match="n_requests"):
+                horizon_for_requests(tables, n)

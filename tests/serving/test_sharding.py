@@ -88,3 +88,89 @@ class TestWorkerPlumbing:
             assert_bit_identical(replay(tables, config), replay(rebuilt, config))
         finally:
             broadcast.close()
+
+
+class _FakeFuture:
+    def __init__(self, value=None, exc=None):
+        self._value = value
+        self._exc = exc
+
+    def result(self):
+        if self._exc is not None:
+            raise self._exc
+        return self._value
+
+
+class _CrashAfterFirstShardPool:
+    """Fake pool: shard 0 completes, then the pool 'crashes'.
+
+    The initializer is deliberately NOT run — the owner pre-registered the
+    tables under the shm key before constructing the pool, so computing
+    shard 0 through the real ``_run_shard_task`` exercises the registry
+    path without attaching a second shm mapping.
+    """
+
+    def __init__(self, max_workers=None, initializer=None, initargs=()):
+        pass
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+    def submit(self, fn, task):
+        shard = task[2]
+        if shard == 0:
+            return _FakeFuture(value=fn(task))
+        from concurrent.futures.process import BrokenProcessPool
+
+        return _FakeFuture(exc=BrokenProcessPool("worker died"))
+
+
+class _NeverStartsPool:
+    def __init__(self, *a, **kw):
+        raise OSError("no process pool on this host")
+
+
+def _shm_segments():
+    import os
+
+    return set(os.listdir("/dev/shm")) if os.path.isdir("/dev/shm") else set()
+
+
+class TestWorkerCrashFallback:
+    """Mid-campaign worker loss degrades to a bit-identical serial replay."""
+
+    def test_broken_pool_mid_run_matches_serial(self, tables, monkeypatch):
+        import repro.serving.sharding as sharding
+
+        monkeypatch.setattr(
+            sharding, "ProcessPoolExecutor", _CrashAfterFirstShardPool
+        )
+        config = ServingConfig(horizon=100.0, seed=7, n_shards=4)
+        before = _shm_segments()
+        pooled = replay_parallel(tables, config)
+        assert _shm_segments() == before  # no leaked /dev/shm segments
+        serial = replay(tables, config)
+        assert serial.generated > 0
+        assert_bit_identical(serial, pooled)
+
+    def test_pool_unavailable_runs_all_serial(self, tables, monkeypatch):
+        import repro.serving.sharding as sharding
+
+        monkeypatch.setattr(sharding, "ProcessPoolExecutor", _NeverStartsPool)
+        config = ServingConfig(horizon=80.0, seed=3, n_shards=3)
+        before = _shm_segments()
+        pooled = replay_parallel(tables, config)
+        assert _shm_segments() == before
+        assert_bit_identical(replay(tables, config), pooled)
+
+    def test_registry_is_clean_after_fallback(self, tables, monkeypatch):
+        import repro.serving.sharding as sharding
+
+        monkeypatch.setattr(
+            sharding, "ProcessPoolExecutor", _CrashAfterFirstShardPool
+        )
+        replay_parallel(tables, ServingConfig(horizon=20.0, seed=1, n_shards=2))
+        assert sharding._TABLES == {}

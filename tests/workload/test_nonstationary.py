@@ -1,0 +1,164 @@
+"""Non-stationary workload regimes: windows, plateaus, churn conservation."""
+
+import numpy as np
+import pytest
+
+from repro.core import Placement, route_to_nearest_replica
+from repro.exceptions import InvalidProblemError
+from repro.serving import compile_tables
+from repro.workload import (
+    CompositeRegime,
+    DiurnalCycle,
+    FlashCrowd,
+    PopularityChurn,
+    WorkloadRegime,
+)
+
+from tests.core.conftest import make_line_problem
+
+
+@pytest.fixture
+def tables():
+    prob = make_line_problem(catalog_size=3, demand={
+        ("item0", 4): 5.0, ("item1", 4): 2.0, ("item2", 3): 1.0,
+    })
+    return compile_tables(prob, route_to_nearest_replica(prob, Placement()))
+
+
+class TestBaseRegime:
+    def test_identity(self, tables):
+        regime = WorkloadRegime()
+        assert regime.breakpoints(10.0) == ()
+        assert np.array_equal(
+            regime.multipliers(3.0, tables), np.ones(tables.num_types)
+        )
+        assert regime.scale(tables, 3.0) is tables
+
+
+class TestFlashCrowd:
+    def test_window_breakpoints_clipped_to_horizon(self):
+        fc = FlashCrowd(start=2.0, duration=3.0, hot_items=("item0",))
+        assert fc.breakpoints(10.0) == (2.0, 5.0)
+        assert fc.breakpoints(4.0) == (2.0,)
+        assert FlashCrowd(start=0.0, duration=3.0).breakpoints(10.0) == (3.0,)
+
+    def test_multiplier_applies_only_inside_window_to_hot_items(self, tables):
+        fc = FlashCrowd(
+            start=2.0, duration=3.0, hot_items=("item0",), multiplier=100.0
+        )
+        hot = [k for k, (item, _s) in enumerate(tables.types) if item == "item0"]
+        cold = [k for k in range(tables.num_types) if k not in hot]
+        inside = fc.multipliers(2.0, tables)
+        assert (inside[hot] == 100.0).all()
+        assert (inside[cold] == 1.0).all()
+        assert (fc.multipliers(1.9, tables) == 1.0).all()
+        assert (fc.multipliers(5.0, tables) == 1.0).all()
+        scaled = fc.scale(tables, 3.0)
+        assert scaled.total_rate == pytest.approx(
+            tables.total_rate + 99.0 * tables.rates[hot].sum()
+        )
+
+    def test_unknown_hot_item_is_identity(self, tables):
+        fc = FlashCrowd(start=0.0, duration=5.0, hot_items=("nope",))
+        assert fc.scale(tables, 1.0) is tables
+
+    def test_validation(self):
+        with pytest.raises(InvalidProblemError):
+            FlashCrowd(start=0.0, duration=0.0)
+        with pytest.raises(InvalidProblemError):
+            FlashCrowd(start=0.0, duration=1.0, multiplier=0.0)
+
+
+class TestDiurnalCycle:
+    def test_breakpoints_are_plateau_edges(self):
+        dc = DiurnalCycle(period=8.0, steps=4)
+        assert dc.breakpoints(8.0) == (2.0, 4.0, 6.0)
+        assert dc.breakpoints(5.0) == (2.0, 4.0)
+
+    def test_rates_stay_positive_and_average_out(self, tables):
+        dc = DiurnalCycle(period=10.0, amplitude=0.9, steps=20)
+        times = [0.0] + list(dc.breakpoints(10.0))
+        factors = [dc.multipliers(t, tables)[0] for t in times]
+        assert all(f > 0.0 for f in factors)
+        assert np.mean(factors) == pytest.approx(1.0, abs=1e-6)
+
+    def test_plateau_constant_between_breakpoints(self, tables):
+        dc = DiurnalCycle(period=10.0, steps=5)
+        assert np.array_equal(
+            dc.multipliers(0.0, tables), dc.multipliers(1.9, tables)
+        )
+        assert not np.array_equal(
+            dc.multipliers(0.0, tables), dc.multipliers(2.0, tables)
+        )
+
+    def test_validation(self):
+        with pytest.raises(InvalidProblemError):
+            DiurnalCycle(period=0.0)
+        with pytest.raises(InvalidProblemError):
+            DiurnalCycle(period=1.0, amplitude=1.0)
+        with pytest.raises(InvalidProblemError):
+            DiurnalCycle(period=1.0, steps=1)
+
+
+class TestPopularityChurn:
+    def test_epoch0_is_identity(self, tables):
+        churn = PopularityChurn(interval=5.0)
+        assert churn.scale(tables, 0.0) is tables
+        assert churn.scale(tables, 4.9) is tables
+
+    def test_total_rate_conserved_exactly(self, tables):
+        churn = PopularityChurn(interval=5.0, seed=3)
+        for epoch_start in (5.0, 10.0, 15.0, 20.0):
+            scaled = churn.scale(tables, epoch_start)
+            # Exact conservation, not approximate: weights are permuted.
+            assert scaled.total_rate == pytest.approx(
+                tables.total_rate, rel=1e-12
+            )
+
+    def test_permutation_changes_item_weights(self, tables):
+        churn = PopularityChurn(interval=5.0, seed=0)
+        changed = any(
+            not np.array_equal(
+                churn.multipliers(t, tables), np.ones(tables.num_types)
+            )
+            for t in (5.0, 10.0, 15.0, 20.0, 25.0)
+        )
+        assert changed
+
+    def test_deterministic_per_epoch(self, tables):
+        a = PopularityChurn(interval=5.0, seed=1)
+        b = PopularityChurn(interval=5.0, seed=1)
+        assert np.array_equal(a.multipliers(7.0, tables), b.multipliers(7.0, tables))
+        # Mid-epoch times share the epoch's permutation.
+        assert np.array_equal(
+            a.multipliers(5.0, tables), a.multipliers(9.9, tables)
+        )
+
+    def test_breakpoints(self):
+        churn = PopularityChurn(interval=4.0)
+        assert churn.breakpoints(12.0) == (4.0, 8.0)
+        assert churn.breakpoints(12.5) == (4.0, 8.0, 12.0)
+
+    def test_validation(self):
+        with pytest.raises(InvalidProblemError):
+            PopularityChurn(interval=0.0)
+
+
+class TestCompositeRegime:
+    def test_breakpoints_union_sorted(self):
+        comp = CompositeRegime((
+            FlashCrowd(start=3.0, duration=4.0),
+            PopularityChurn(interval=5.0),
+        ))
+        assert comp.breakpoints(12.0) == (3.0, 5.0, 7.0, 10.0)
+
+    def test_multipliers_multiply(self, tables):
+        fc = FlashCrowd(start=0.0, duration=10.0, hot_items=("item0",),
+                        multiplier=10.0)
+        dc = DiurnalCycle(period=10.0, amplitude=0.5, steps=5)
+        comp = CompositeRegime((fc, dc))
+        expect = fc.multipliers(1.0, tables) * dc.multipliers(1.0, tables)
+        assert np.array_equal(comp.multipliers(1.0, tables), expect)
+
+    def test_empty_composite_is_identity(self, tables):
+        assert CompositeRegime(()).scale(tables, 1.0) is tables
