@@ -11,7 +11,19 @@ from repro.core.femtocaching import (
     femtocaching_problem,
 )
 from repro.core.alternating import AlternatingResult, alternating_optimization
-from repro.core.context import RequesterBlock, SolverContext
+from repro.core.context import RequesterBlock, SolverContext, relevant_sources
+from repro.core.decomposed import (
+    ClusterPartition,
+    ClusterReport,
+    DecomposedResult,
+    DecompositionGap,
+    cluster_subproblem,
+    decomposed_solve,
+    decomposition_gap,
+    default_cluster_count,
+    partition_graph,
+    super_topology,
+)
 from repro.core.evaluation import (
     FeasibilityReport,
     cache_hit_rate,
@@ -96,6 +108,17 @@ __all__ = [
     "ShortestPathCache",
     "SolverContext",
     "RequesterBlock",
+    "relevant_sources",
+    "ClusterPartition",
+    "ClusterReport",
+    "DecomposedResult",
+    "DecompositionGap",
+    "cluster_subproblem",
+    "decomposed_solve",
+    "decomposition_gap",
+    "default_cluster_count",
+    "partition_graph",
+    "super_topology",
     "RNRCostSaving",
     "greedy_rnr_placement",
     "pipage_round",

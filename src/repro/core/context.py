@@ -1,4 +1,4 @@
-"""Shared solver context: index maps + a dense all-pairs distance matrix.
+"""Shared solver context: index maps + a tiered distance backend.
 
 Every Section 4 solver consumes the same instance-level structure — the
 least costs ``w_{v->s}`` between cache nodes and requesters, the per-item
@@ -7,8 +7,11 @@ recomputed (or dict-looked-up) these inside inner loops through
 :class:`~repro.core.rnr.ShortestPathCache`.  A :class:`SolverContext`
 materializes them once per instance:
 
-- a dense ``float64`` distance matrix over the graph's nodes
-  (:mod:`repro.graph.distance_matrix`), indexed by integer node ids;
+- a :class:`~repro.graph.backends.DistanceBackend` over the graph's nodes:
+  the classic dense all-pairs matrix (:class:`DenseBackend`) below
+  :data:`DENSE_NODE_THRESHOLD` nodes, or the row-lazy tier
+  (:class:`LazyRowBackend`) above it, which computes and memoizes only the
+  rows solvers actually consult — both bit-identical on every operation;
 - per-item requester index arrays and rate vectors, aligned with
   :meth:`ProblemInstance.requesters_of` order so vectorized reductions are
   deterministic and comparable with the dict-based code path;
@@ -18,20 +21,51 @@ materializes them once per instance:
   numpy cannot replace.
 
 The context is an optional argument everywhere (``context=None`` keeps the
-dict-based fallback), so callers can cross-check both paths.
+dict-based fallback), so callers can cross-check both paths.  Solver code
+never touches a raw matrix: every distance access goes through
+:meth:`row_of`/:meth:`rows_of`/:meth:`distance`, which is what makes the
+backends interchangeable.
 """
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 import numpy as np
 
 from repro.core.problem import Item, Node, ProblemInstance
 from repro.core.rnr import PredecessorPathCache, ShortestPathCache
+from repro.exceptions import InvalidProblemError, ResourceError
+from repro.graph.backends import DenseBackend, DistanceBackend, LazyRowBackend
 from repro.graph.distance_matrix import DistanceMatrix, build_distance_matrix
 
 Edge = tuple[Node, Node]
+
+#: Above this many nodes, ``from_problem(backend="auto")`` switches from the
+#: dense all-pairs matrix to the lazy row tier.  Override with the
+#: ``REPRO_DENSE_NODE_THRESHOLD`` environment variable.
+DENSE_NODE_THRESHOLD = 2048
+
+
+def _dense_node_threshold() -> int:
+    override = os.environ.get("REPRO_DENSE_NODE_THRESHOLD")
+    return int(override) if override else DENSE_NODE_THRESHOLD
+
+
+def relevant_sources(problem: ProblemInstance) -> list[Node]:
+    """Distance rows a solve can consult: cache nodes, pinned holders,
+    requesters — in deterministic (repr-sorted) order.
+
+    This is the row scope a :class:`LazyRowBackend` is primed and broadcast
+    with; everything the solvers read (LP (7) coefficients, F_RNR
+    baselines, RNR candidate orderings, repair greedies) lives in these
+    rows.
+    """
+    scope = {v for v in problem.network.cache_nodes()}
+    scope.update(v for (v, _i) in problem.pinned)
+    scope.update(s for (_i, s) in problem.demand)
+    return sorted(scope, key=repr)
 
 
 @dataclass(frozen=True)
@@ -51,7 +85,15 @@ class RequesterBlock:
 
 
 class SolverContext:
-    """Dense per-instance solver state shared across algorithms."""
+    """Per-instance solver state shared across algorithms.
+
+    ``backend`` supplies the distances; ``dm``/``use_scipy`` keep the
+    historical dense construction path (``dm`` and ``backend`` are mutually
+    exclusive).  The :attr:`dm` attribute stays available on dense-backed
+    contexts for the repair/broadcast machinery; reading it on a lazy
+    context raises :class:`~repro.exceptions.ResourceError` instead of
+    silently materializing O(|V|²) state.
+    """
 
     def __init__(
         self,
@@ -59,16 +101,20 @@ class SolverContext:
         *,
         dm: DistanceMatrix | None = None,
         use_scipy: bool = True,
+        backend: DistanceBackend | None = None,
     ) -> None:
+        if dm is not None and backend is not None:
+            raise InvalidProblemError("pass either dm or backend, not both")
         self.problem = problem
         graph = problem.network.graph
-        self.dm = dm or build_distance_matrix(graph, use_scipy=use_scipy)
-        self.nodes: tuple[Node, ...] = self.dm.nodes
-        self.node_index: dict[Node, int] = self.dm.index
+        if backend is None:
+            backend = DenseBackend(dm or build_distance_matrix(graph, use_scipy=use_scipy))
+        self.backend: DistanceBackend = backend
+        self.nodes: tuple[Node, ...] = backend.nodes
+        self.node_index: dict[Node, int] = backend.index
         self.items: tuple[Item, ...] = problem.catalog
         self.item_index: dict[Item, int] = {i: k for k, i in enumerate(self.items)}
-        #: Paper bound on pairwise costs (max finite entry, floored at 1.0).
-        self.w_max: float = self.dm.w_max()
+        self._w_max: float | None = None
         self._requesters: dict[Item, RequesterBlock] = {}
         self._pinned_base: dict[Item, np.ndarray] = {}
         self._edge_costs: dict[Edge, float] = problem.network.costs()
@@ -77,17 +123,88 @@ class SolverContext:
 
     @classmethod
     def from_problem(
-        cls, problem: ProblemInstance, *, use_scipy: bool = True
+        cls,
+        problem: ProblemInstance,
+        *,
+        use_scipy: bool = True,
+        backend: str = "auto",
     ) -> "SolverContext":
-        """Build a context, reusing a broadcast distance matrix when one
-        matching the problem's topology is registered (see
-        :mod:`repro.graph.shm`); costless when no broadcast is live."""
-        from repro.graph.shm import lookup_matrix
+        """Build a context, choosing the distance tier for the topology.
 
-        dm = lookup_matrix(problem.network.graph)
+        ``backend`` is ``"auto"`` (dense up to :data:`DENSE_NODE_THRESHOLD`
+        nodes, lazy rows above), ``"dense"``, or ``"lazy"``.  A broadcast
+        matrix or row store matching the topology (see
+        :mod:`repro.graph.shm`) is reused regardless of the choice —
+        costless when no broadcast is live.
+        """
+        from repro.graph.shm import lookup_matrix, lookup_rows
+
+        if backend not in ("auto", "dense", "lazy"):
+            raise InvalidProblemError("backend must be 'auto', 'dense' or 'lazy'")
+        graph = problem.network.graph
+        dm = lookup_matrix(graph)
         if dm is not None:
             return cls(problem, dm=dm)
+        store = lookup_rows(graph)
+        if store is not None:
+            return cls(
+                problem,
+                backend=LazyRowBackend(graph, use_scipy=use_scipy, store=store),
+            )
+        if backend == "lazy" or (
+            backend == "auto" and graph.number_of_nodes() > _dense_node_threshold()
+        ):
+            return cls(problem, backend=LazyRowBackend(graph, use_scipy=use_scipy))
         return cls(problem, use_scipy=use_scipy)
+
+    # ------------------------------------------------------------------
+    # Backend access
+    # ------------------------------------------------------------------
+
+    @property
+    def dm(self) -> DistanceMatrix:
+        """The dense matrix (dense-backed contexts only).
+
+        Consumed by the incremental-repair and broadcast machinery, which
+        are inherently dense-tier features.  Lazy contexts raise — callers
+        that only need rows should use :meth:`row_of`/:meth:`rows_of`.
+        """
+        backend = self.backend
+        if isinstance(backend, DenseBackend):
+            return backend.dm
+        raise ResourceError(
+            "this context runs the lazy row backend; the dense O(|V|^2) "
+            "matrix is never materialized — use row_of()/rows_of() or build "
+            "the context with backend='dense'"
+        )
+
+    @property
+    def w_max(self) -> float:
+        """Paper bound on pairwise costs (max finite entry, floored at 1.0).
+
+        Lazily computed: the dense tier reads it off the matrix, the lazy
+        tier streams the identical value in bounded memory (see
+        :meth:`repro.graph.backends.LazyRowBackend.w_max`).
+        """
+        if self._w_max is None:
+            self._w_max = self.backend.w_max()
+        return self._w_max
+
+    def prime_rows(self, sources=None) -> None:
+        """Materialize distance rows for ``sources`` in one batched sweep.
+
+        Defaults to :func:`relevant_sources` of the problem — the rows any
+        solver consults.  No-op on the dense tier.  Call before exporting a
+        row store (:func:`repro.graph.shm.RowsBroadcast`) or to front-load
+        the Dijkstra cost out of a timed section.
+        """
+        backend = self.backend
+        if not isinstance(backend, LazyRowBackend):
+            return
+        nodes = relevant_sources(self.problem) if sources is None else sources
+        backend.ensure_rows(
+            self.node_index[v] for v in nodes if v in self.node_index
+        )
 
     # ------------------------------------------------------------------
     # Distances
@@ -95,25 +212,38 @@ class SolverContext:
 
     def distance(self, source: Node, target: Node) -> float:
         """Least cost ``source -> target`` (``inf`` if unreachable)."""
-        return float(self.dm.matrix[self.node_index[source], self.node_index[target]])
+        return self.backend.distance(
+            self.node_index[source], self.node_index[target]
+        )
 
     def distances_from(self, source: Node) -> np.ndarray:
         """Row of distances from ``source`` (read-only array view)."""
-        return self.dm.matrix[self.node_index[source]]
+        return self.backend.row(self.node_index[source])
+
+    def row_of(self, source: Node) -> np.ndarray:
+        """Alias of :meth:`distances_from` (solver hot paths)."""
+        return self.backend.row(self.node_index[source])
+
+    def rows_of(self, sources) -> np.ndarray:
+        """Stacked distance rows for ``sources`` as a ``(k, |V|)`` array."""
+        idx = np.fromiter(
+            (self.node_index[v] for v in sources), dtype=np.intp, count=len(sources)
+        )
+        return self.backend.rows(idx)
 
     def reachable(self, source: Node, target: Node) -> bool:
-        return np.isfinite(
-            self.dm.matrix[self.node_index[source], self.node_index[target]]
-        )
+        return bool(np.isfinite(self.distance(source, target)))
 
     def finite_max_from(self, sources) -> float:
         """Max finite distance out of ``sources``, floored at 1.0.
 
         Matches Algorithm 1's ``w_max`` over candidate sources.
         """
-        rows = self.dm.matrix[[self.node_index[v] for v in sources]]
-        finite = rows[np.isfinite(rows)]
-        top = float(finite.max()) if finite.size else 0.0
+        sources = list(sources) if not hasattr(sources, "__len__") else sources
+        idx = np.fromiter(
+            (self.node_index[v] for v in sources), dtype=np.intp, count=len(sources)
+        )
+        top = self.backend.finite_max_rows(idx)
         return top if top > 0 else 1.0
 
     # ------------------------------------------------------------------
@@ -140,19 +270,23 @@ class SolverContext:
     def pinned_min_costs(self, item: Item) -> np.ndarray:
         """Per-requester least cost over ``item``'s pinned holders (uncapped).
 
-        ``inf`` where the item is pinned nowhere reachable.  Computed once
-        per item and cached read-only, so repeated :meth:`baseline_costs`
-        calls (every ``RNRCostSaving`` construction, every repair greedy)
-        stop re-sorting holders and re-slicing matrix rows.
+        ``inf`` where the item is pinned nowhere reachable.  One fancy-indexed
+        ``np.minimum.reduce`` over all holder rows (min is exact and
+        order-independent, so this is bit-identical to the historical
+        per-holder loop).  Computed once per item and cached read-only, so
+        repeated :meth:`baseline_costs` calls (every ``RNRCostSaving``
+        construction, every repair greedy) stop re-sorting holders and
+        re-slicing matrix rows.
         """
         base = self._pinned_base.get(item)
         if base is None:
             block = self.requesters(item)
-            base = np.full(block.size, np.inf, dtype=np.float64)
-            for holder in sorted(self.problem.pinned_holders(item), key=repr):
-                np.minimum(
-                    base, self.dm.matrix[self.node_index[holder], block.idx], out=base
-                )
+            holders = sorted(self.problem.pinned_holders(item), key=repr)
+            if holders and block.size:
+                holder_rows = self.rows_of(holders)[:, block.idx]
+                base = np.minimum.reduce(holder_rows, axis=0)
+            else:
+                base = np.full(block.size, np.inf, dtype=np.float64)
             base.setflags(write=False)
             self._pinned_base[item] = base
         return base
@@ -196,7 +330,8 @@ class SolverContext:
         return self._edge_costs[(u, v)]
 
     def __repr__(self) -> str:
+        w = f"{self._w_max:.4g}" if self._w_max is not None else "<unread>"
         return (
             f"SolverContext(|V|={len(self.nodes)}, |C|={len(self.items)}, "
-            f"w_max={self.w_max:.4g})"
+            f"backend={type(self.backend).__name__}, w_max={w})"
         )

@@ -23,7 +23,7 @@ from repro.core.problem import ProblemInstance
 from repro.core.solution import Placement, Routing
 from repro.exceptions import InfeasibleError
 from repro.flow.decomposition import PathFlow
-from repro.graph.distance_matrix import HAVE_SCIPY, _dense_adjacency
+from repro.graph.distance_matrix import HAVE_SCIPY, _sparse_adjacency
 from repro.graph.network import COST
 from repro.graph.shortest_paths import reconstruct_path, single_source_dijkstra
 
@@ -71,12 +71,10 @@ class PredecessorPathCache:
     """
 
     def __init__(self, graph, nodes: tuple[Node, ...], index: dict[Node, int]) -> None:
-        from scipy.sparse.csgraph import csgraph_from_dense
-
         self._nodes = nodes
-        adj = _dense_adjacency(graph, nodes, index, COST)
-        np.fill_diagonal(adj, 0.0)
-        self._csgraph = csgraph_from_dense(adj, null_value=math.inf)
+        # O(|V| + |E|) CSR adjacency, structurally identical to the dense
+        # conversion it replaced — predecessors and paths are unchanged.
+        self._csgraph = _sparse_adjacency(graph, nodes, index, COST)
         self._pred: dict[int, np.ndarray] = {}
         self._paths: dict[tuple[int, int], tuple[Node, ...]] = {}
 
@@ -207,7 +205,6 @@ def _route_with_context(
     of per-source pure-python Dijkstra — which can pick a different (equal
     cost) shortest path under ties.
     """
-    matrix = context.dm.matrix
     nidx = context.node_index
     oracle = context.path_oracle if HAVE_SCIPY else None
     routing = Routing()
@@ -222,7 +219,9 @@ def _route_with_context(
             )
             # Distances and serve order for every possible requester at
             # once: one stable argsort per item instead of one per request.
-            dists = matrix[hidx] if holders else np.empty((0, len(nidx)))
+            dists = (
+                context.rows_of(holders) if holders else np.empty((0, len(nidx)))
+            )
             order = np.argsort(dists, axis=0, kind="stable")
             entry = (holders, hidx, [fractions[h] for h in holders], dists, order)
             per_item[item] = entry

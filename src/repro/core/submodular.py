@@ -126,7 +126,7 @@ class RNRCostSaving:
             if best is None or best.size == 0:
                 return 0.0
             block = self._ctx.requesters(item)
-            d = self._ctx.dm.matrix[self._ctx.node_index[node], block.idx]
+            d = self._ctx.row_of(node)[block.idx]
             diff = best - d
             np.clip(diff, 0.0, None, out=diff)
             return float(diff @ block.rates)
@@ -146,7 +146,7 @@ class RNRCostSaving:
             best = self._best_arr.get(item)
             if best is not None and best.size:
                 block = self._ctx.requesters(item)
-                d = self._ctx.dm.matrix[self._ctx.node_index[node], block.idx]
+                d = self._ctx.row_of(node)[block.idx]
                 diff = best - d
                 np.clip(diff, 0.0, None, out=diff)
                 gain = float(diff @ block.rates)
@@ -175,9 +175,7 @@ class RNRCostSaving:
                 for (v, i) in entries:
                     if i == item:
                         np.minimum(
-                            best,
-                            self._ctx.dm.matrix[self._ctx.node_index[v], block.idx],
-                            out=best,
+                            best, self._ctx.row_of(v)[block.idx], out=best
                         )
                 total += float(block.rates @ (baseline - best))
             return total
@@ -324,8 +322,6 @@ def _local_search_swap_ctx(
         if problem.network.cache_capacity(v) > 0
     ]
     w_max = ctx.w_max
-    matrix = ctx.dm.matrix
-    nidx = ctx.node_index
 
     def holder_stats(item: Item) -> dict:
         holders = sorted(
@@ -344,7 +340,7 @@ def _local_search_swap_ctx(
                 "second": empty,
                 "best_pos": np.zeros(0, dtype=np.intp),
             }
-        rows = [matrix[nidx[h], block.idx] for h in holders]
+        rows = [ctx.row_of(h)[block.idx] for h in holders]
         rows.append(np.full(n, w_max, dtype=np.float64))  # sentinel: w_max cap
         stack = np.vstack(rows)
         best_pos = np.argmin(stack, axis=0)
@@ -400,7 +396,7 @@ def _local_search_swap_ctx(
                 st = stats_of(j)
                 gain = 0.0
                 if st["block"].size:
-                    diff = st["best"] - matrix[nidx[v], st["block"].idx]
+                    diff = st["best"] - ctx.row_of(v)[st["block"].idx]
                     np.clip(diff, 0.0, None, out=diff)
                     gain = float(diff @ st["block"].rates)
                 addition_gain[j] = gain

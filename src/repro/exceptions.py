@@ -35,5 +35,14 @@ class DecompositionError(ReproError):
     """A flow could not be decomposed into paths (conservation violated)."""
 
 
+class ResourceError(ReproError):
+    """An operation would exceed a resource ceiling (memory, handles, ...).
+
+    Raised *before* the allocation is attempted, with a message naming the
+    estimated byte count and the cheaper alternative, instead of letting a
+    raw :class:`MemoryError` surface mid-computation.
+    """
+
+
 class PredictionError(ReproError):
     """Demand prediction failed (e.g. degenerate training data)."""

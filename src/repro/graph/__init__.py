@@ -1,6 +1,12 @@
 """Graph substrate: cache-network model, shortest paths, and topologies."""
 
-from repro.graph.distance_matrix import DistanceMatrix, build_distance_matrix
+from repro.graph.backends import DenseBackend, DistanceBackend, LazyRowBackend, RowStore
+from repro.graph.distance_matrix import (
+    DistanceMatrix,
+    build_distance_matrix,
+    dense_bytes_ceiling,
+    estimate_dense_bytes,
+)
 from repro.graph.network import CacheNetwork
 from repro.graph.shortest_paths import (
     all_pairs_least_costs,
@@ -16,6 +22,7 @@ from repro.graph.topologies import (
     deltacom,
     edge_caching_roles,
     line_topology,
+    pop_core_edge_hierarchy,
     random_topology,
     tinet,
     tree_topology,
@@ -24,7 +31,13 @@ from repro.graph.topologies import (
 __all__ = [
     "CacheNetwork",
     "DistanceMatrix",
+    "DistanceBackend",
+    "DenseBackend",
+    "LazyRowBackend",
+    "RowStore",
     "build_distance_matrix",
+    "dense_bytes_ceiling",
+    "estimate_dense_bytes",
     "single_source_dijkstra",
     "all_pairs_least_costs",
     "reconstruct_path",
@@ -39,4 +52,5 @@ __all__ = [
     "line_topology",
     "tree_topology",
     "random_topology",
+    "pop_core_edge_hierarchy",
 ]

@@ -1,0 +1,337 @@
+"""Tiered distance backends: dense all-pairs vs. lazily-computed rows.
+
+Every Section 4 solver consumes the distance structure through a handful of
+row-oriented operations — a single ``d(source, target)`` lookup, one full
+row ``d(source, ·)``, a stack of rows for a holder set, and two reductions
+(finite max over rows, elementwise min over holder rows).  The
+:class:`DistanceBackend` protocol names exactly those operations, and
+:class:`~repro.core.context.SolverContext` routes every distance access
+through it, so the same solver code runs against either tier:
+
+- :class:`DenseBackend` wraps the existing
+  :class:`~repro.graph.distance_matrix.DistanceMatrix` — one O(|V|²)
+  Dijkstra sweep up front, O(1) row views afterwards.  Right below a few
+  thousand nodes, fatal above (an 80k-node matrix is 51 GiB).
+- :class:`LazyRowBackend` computes **only the rows actually consulted**
+  (cache nodes, pinned holders, requesters) on demand, memoizes them, and
+  never materializes the matrix.  Rows are produced by the same batched
+  scipy Dijkstra that :func:`repro.graph.distance_matrix.repair_distance_
+  matrix` uses for partial repairs, over the same CSR adjacency — so every
+  row is **bit-identical** to the corresponding row of a dense build
+  (asserted in ``tests/graph/test_backends.py``).
+
+A lazy backend's materialized rows can be exported once into shared memory
+(:meth:`LazyRowBackend.row_store` + :class:`repro.graph.shm.RowsBroadcast`)
+and attached zero-copy by pool workers, preserving the broadcast discipline
+the dense matrix already enjoys — workers start with the scope rows mapped
+read-only and fall back to local computation only for rows outside the
+store.
+
+``w_max`` (the paper's bound on pairwise costs) deserves a note: the dense
+backend reads it off the full matrix, and the lazy backend reproduces that
+value *exactly* by streaming the same Dijkstra sweep in bounded-memory
+chunks without retaining the rows — max is order-independent, so the two
+tiers agree bit-for-bit while the lazy tier stays O(chunk · |V|) in memory.
+The sweep runs only when ``w_max`` is actually read (greedy/local-search
+baselines); Algorithm 1 takes its bound from ``finite_max_from`` over
+candidate sources and never pays it.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Hashable, Iterable, Sequence
+from typing import Protocol, runtime_checkable
+
+import networkx as nx
+import numpy as np
+
+from repro.graph.distance_matrix import (
+    HAVE_SCIPY,
+    DistanceMatrix,
+    _sparse_adjacency,
+)
+from repro.graph.network import COST
+from repro.graph.shortest_paths import single_source_dijkstra
+
+Node = Hashable
+
+__all__ = [
+    "DistanceBackend",
+    "DenseBackend",
+    "LazyRowBackend",
+    "RowStore",
+]
+
+#: Rows per chunk of the streamed ``w_max`` sweep (memory = chunk * |V| * 8).
+_WMAX_CHUNK = 256
+
+
+@runtime_checkable
+class DistanceBackend(Protocol):
+    """Row-oriented distance oracle shared by every solver.
+
+    Implementations must agree bit-for-bit on all five operations: the
+    backends are interchangeable tiers of the same oracle, not approximate
+    variants.  ``nodes`` fixes the row/column order (graph insertion order,
+    as everywhere in the repo) and ``index`` maps node labels to it.
+    """
+
+    nodes: tuple[Node, ...]
+    index: dict[Node, int]
+
+    def distance(self, i: int, j: int) -> float:
+        """Least cost ``nodes[i] -> nodes[j]`` (``inf`` if unreachable)."""
+        ...
+
+    def row(self, i: int) -> np.ndarray:
+        """Read-only distance row from ``nodes[i]`` to every node."""
+        ...
+
+    def rows(self, idx: np.ndarray) -> np.ndarray:
+        """Stacked rows ``(len(idx), |V|)`` for the given source indices."""
+        ...
+
+    def finite_max_rows(self, idx: np.ndarray) -> float:
+        """Max finite entry over the given rows (0.0 if none)."""
+        ...
+
+    def w_max(self) -> float:
+        """Max finite pairwise cost over *all* rows, floored at 1.0."""
+        ...
+
+
+class DenseBackend:
+    """The classic tier: a fully materialized all-pairs matrix."""
+
+    def __init__(self, dm: DistanceMatrix) -> None:
+        self.dm = dm
+        self.nodes = dm.nodes
+        self.index = dm.index
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def distance(self, i: int, j: int) -> float:
+        return float(self.dm.matrix[i, j])
+
+    def row(self, i: int) -> np.ndarray:
+        return self.dm.matrix[i]
+
+    def rows(self, idx: np.ndarray) -> np.ndarray:
+        return self.dm.matrix[np.asarray(idx, dtype=np.intp)]
+
+    def finite_max_rows(self, idx: np.ndarray) -> float:
+        rows = self.rows(idx)
+        finite = rows[np.isfinite(rows)]
+        return float(finite.max()) if finite.size else 0.0
+
+    def w_max(self) -> float:
+        return self.dm.w_max()
+
+    def __repr__(self) -> str:
+        return f"DenseBackend(|V|={len(self.nodes)})"
+
+
+class RowStore:
+    """Materialized distance rows as one shm-shareable block.
+
+    ``row_ids[k]`` is the source index of ``block[k]``.  The block is what
+    :class:`~repro.graph.shm.RowsBroadcast` exports and what workers attach
+    read-only; a :class:`LazyRowBackend` built on an attached store serves
+    those rows zero-copy.
+    """
+
+    def __init__(self, row_ids: np.ndarray, block: np.ndarray) -> None:
+        self.row_ids = np.asarray(row_ids, dtype=np.intp)
+        self.block = block
+        if self.block.ndim != 2 or len(self.row_ids) != self.block.shape[0]:
+            raise ValueError("row_ids must index the block's rows")
+
+    def __len__(self) -> int:
+        return len(self.row_ids)
+
+
+class LazyRowBackend:
+    """Compute-and-memoize distance rows on demand; never the full matrix.
+
+    Parameters
+    ----------
+    graph:
+        The network graph; the CSR adjacency is built once (O(|V| + |E|)).
+    nodes:
+        Row/column order (defaults to graph insertion order, matching
+        :func:`~repro.graph.distance_matrix.build_distance_matrix`).
+    use_scipy:
+        Batched ``scipy.sparse.csgraph.dijkstra`` when available; the
+        pure-python Dijkstra otherwise (same fallback, same results, as the
+        dense build).
+    store:
+        Optional preloaded :class:`RowStore` (typically attached from a
+        shared-memory broadcast); its rows are served as read-only views
+        without any computation or copying.
+
+    Memoized rows are capped only by what callers touch: solvers consult
+    cache-node, pinned-holder and requester rows, which is O(relevant)
+    instead of O(|V|) — the whole point of the tier.
+    """
+
+    def __init__(
+        self,
+        graph: nx.DiGraph,
+        *,
+        weight: str = COST,
+        nodes: Sequence[Node] | None = None,
+        use_scipy: bool = True,
+        store: RowStore | None = None,
+    ) -> None:
+        self.nodes: tuple[Node, ...] = tuple(graph.nodes if nodes is None else nodes)
+        self.index: dict[Node, int] = {v: k for k, v in enumerate(self.nodes)}
+        self._graph = graph
+        self._weight = weight
+        self._use_scipy = bool(use_scipy and HAVE_SCIPY)
+        self._csgraph = (
+            _sparse_adjacency(graph, self.nodes, self.index, weight)
+            if self._use_scipy
+            else None
+        )
+        self._rows: dict[int, np.ndarray] = {}
+        self._w_max: float | None = None
+        if store is not None:
+            n = len(self.nodes)
+            if store.block.shape[1] != n:
+                raise ValueError(
+                    f"row store has {store.block.shape[1]} columns, graph has "
+                    f"{n} nodes"
+                )
+            for k, i in enumerate(store.row_ids):
+                self._rows[int(i)] = store.block[k]
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def materialized(self) -> int:
+        """Number of rows currently memoized (tests/benchmarks)."""
+        return len(self._rows)
+
+    # ------------------------------------------------------------------
+    # Row computation
+    # ------------------------------------------------------------------
+
+    def _compute_rows(self, sources: np.ndarray) -> np.ndarray:
+        """Fresh rows for ``sources``, bit-identical to a dense build's."""
+        n = len(self.nodes)
+        if self._use_scipy:
+            from scipy.sparse.csgraph import dijkstra
+
+            rows = np.atleast_2d(
+                dijkstra(self._csgraph, directed=True, indices=sources)
+            )
+            rows[np.arange(len(sources)), sources] = 0.0
+            return rows
+        rows = np.full((len(sources), n), math.inf, dtype=np.float64)
+        for k, i in enumerate(sources):
+            dist, _ = single_source_dijkstra(
+                self._graph, self.nodes[int(i)], weight=self._weight
+            )
+            for target, d in dist.items():
+                j = self.index.get(target)
+                if j is not None:
+                    rows[k, j] = d
+        return rows
+
+    def ensure_rows(self, idx: Iterable[int]) -> None:
+        """Materialize any missing rows in one batched sweep."""
+        missing = sorted({int(i) for i in idx} - self._rows.keys())
+        if not missing:
+            return
+        computed = self._compute_rows(np.asarray(missing, dtype=np.intp))
+        for k, i in enumerate(missing):
+            row = computed[k]
+            row.setflags(write=False)
+            self._rows[i] = row
+
+    def row(self, i: int) -> np.ndarray:
+        i = int(i)
+        row = self._rows.get(i)
+        if row is None:
+            self.ensure_rows((i,))
+            row = self._rows[i]
+        return row
+
+    def rows(self, idx: np.ndarray) -> np.ndarray:
+        idx = np.asarray(idx, dtype=np.intp)
+        self.ensure_rows(idx.tolist())
+        if idx.size == 0:
+            return np.empty((0, len(self.nodes)), dtype=np.float64)
+        return np.stack([self._rows[int(i)] for i in idx])
+
+    def distance(self, i: int, j: int) -> float:
+        return float(self.row(i)[j])
+
+    # ------------------------------------------------------------------
+    # Reductions
+    # ------------------------------------------------------------------
+
+    def finite_max_rows(self, idx: np.ndarray) -> float:
+        rows = self.rows(idx)
+        finite = rows[np.isfinite(rows)]
+        return float(finite.max()) if finite.size else 0.0
+
+    def w_max(self) -> float:
+        """Global max finite pairwise cost, floored at 1.0.
+
+        Streams the full Dijkstra sweep in chunks of ``_WMAX_CHUNK`` rows,
+        reducing the max and discarding each chunk — bit-identical to
+        ``DistanceMatrix.w_max()`` (max is order-independent) at
+        O(chunk · |V|) memory.  Computed once, then cached.
+        """
+        if self._w_max is None:
+            n = len(self.nodes)
+            top = 0.0
+            for start in range(0, n, _WMAX_CHUNK):
+                chunk = np.arange(start, min(start + _WMAX_CHUNK, n), dtype=np.intp)
+                # Serve memoized rows from the cache; compute the rest
+                # transiently without retaining them.
+                cached = [i for i in chunk.tolist() if i in self._rows]
+                fresh = np.asarray(
+                    [i for i in chunk.tolist() if i not in self._rows],
+                    dtype=np.intp,
+                )
+                for i in cached:
+                    row = self._rows[i]
+                    finite = row[np.isfinite(row)]
+                    if finite.size:
+                        top = max(top, float(finite.max()))
+                if fresh.size:
+                    rows = self._compute_rows(fresh)
+                    finite = rows[np.isfinite(rows)]
+                    if finite.size:
+                        top = max(top, float(finite.max()))
+            self._w_max = top if top > 0 else 1.0
+        return self._w_max
+
+    # ------------------------------------------------------------------
+    # Shared-memory export
+    # ------------------------------------------------------------------
+
+    def row_store(self) -> RowStore:
+        """Snapshot of every materialized row as one contiguous block.
+
+        The block is a fresh copy (safe to hand to
+        :class:`~repro.graph.shm.RowsBroadcast`, which copies it into the
+        segment); row order follows ascending source index for determinism.
+        """
+        ids = sorted(self._rows)
+        n = len(self.nodes)
+        block = np.empty((len(ids), n), dtype=np.float64)
+        for k, i in enumerate(ids):
+            block[k] = self._rows[i]
+        return RowStore(np.asarray(ids, dtype=np.intp), block)
+
+    def __repr__(self) -> str:
+        return (
+            f"LazyRowBackend(|V|={len(self.nodes)}, "
+            f"materialized={len(self._rows)})"
+        )

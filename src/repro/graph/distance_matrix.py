@@ -17,18 +17,19 @@ Both produce ``math.inf`` for unreachable pairs.
 from __future__ import annotations
 
 import math
+import os
 from collections.abc import Hashable, Sequence
 from dataclasses import dataclass, field
 
 import networkx as nx
 import numpy as np
 
-from repro.exceptions import InvalidNetworkError
+from repro.exceptions import InvalidNetworkError, ResourceError
 from repro.graph.network import COST
 from repro.graph.shortest_paths import single_source_dijkstra
 
 try:  # scipy ships with the experiment stack but stays optional.
-    from scipy.sparse.csgraph import csgraph_from_dense
+    from scipy.sparse import csr_matrix
     from scipy.sparse.csgraph import dijkstra as _csgraph_dijkstra
 
     HAVE_SCIPY = True
@@ -36,6 +37,40 @@ except ImportError:  # pragma: no cover - exercised only without scipy
     HAVE_SCIPY = False
 
 Node = Hashable
+
+#: Environment override for the dense-allocation ceiling (bytes).
+DENSE_MAX_BYTES_ENV = "REPRO_DENSE_MAX_BYTES"
+
+
+def estimate_dense_bytes(num_nodes: int) -> int:
+    """Upper estimate of the peak allocation of a dense all-pairs build.
+
+    Two ``float64`` ``n x n`` arrays live at once on the scipy path (the
+    result matrix plus scipy's working copy); the pure-python path peaks at
+    one.  The estimate uses the scipy figure — conservative is the point.
+    """
+    return 2 * 8 * num_nodes * num_nodes
+
+
+def dense_bytes_ceiling() -> float:
+    """Byte ceiling for dense all-pairs builds.
+
+    ``REPRO_DENSE_MAX_BYTES`` wins when set; otherwise 80% of the machine's
+    currently available memory (``/proc/meminfo``), or ``inf`` where that is
+    unreadable.  Consulted on every :func:`build_distance_matrix` call, so
+    tests can monkeypatch the environment to simulate a small machine.
+    """
+    override = os.environ.get(DENSE_MAX_BYTES_ENV)
+    if override:
+        return float(override)
+    try:
+        with open("/proc/meminfo") as fh:
+            for line in fh:
+                if line.startswith("MemAvailable:"):
+                    return 0.8 * float(line.split()[1]) * 1024.0
+    except OSError:  # pragma: no cover - non-Linux platforms
+        pass
+    return math.inf  # pragma: no cover - /proc/meminfo always has the key
 
 
 @dataclass(frozen=True)
@@ -99,20 +134,45 @@ class DistanceMatrix:
         return out
 
 
-def _dense_adjacency(
+def _sparse_adjacency(
     graph: nx.DiGraph,
     nodes: Sequence[Node],
     index: dict[Node, int],
     weight: str,
-) -> np.ndarray:
-    adj = np.full((len(nodes), len(nodes)), math.inf, dtype=np.float64)
-    for u, v, data in graph.edges(data=True):
-        w = float(data.get(weight, 1.0))
+):
+    """Adjacency of ``graph`` as a scipy CSR matrix, O(|V| + |E|) memory.
+
+    Structurally identical (indptr/indices/data) to what
+    ``csgraph_from_dense(dense_adjacency, null_value=inf)`` used to produce
+    — including the explicit zero-weight diagonal standing in for
+    ``fill_diagonal(adj, 0.0)`` — so every ``csgraph`` routine consuming it
+    returns bit-identical distances and predecessors, without the O(|V|²)
+    dense staging array that was fatal at 10k nodes.
+    """
+    n = len(nodes)
+    rows: list[int] = []
+    cols: list[int] = []
+    data: list[float] = []
+    for u, v, edge in graph.edges(data=True):
+        w = float(edge.get(weight, 1.0))
         if w < 0:
             raise InvalidNetworkError(f"negative weight on ({u!r}, {v!r})")
         i, j = index[u], index[v]
-        if w < adj[i, j]:
-            adj[i, j] = w
+        if i != j:  # self-loops collapse into the zero diagonal below
+            rows.append(i)
+            cols.append(j)
+            data.append(w)
+    rows.extend(range(n))
+    cols.extend(range(n))
+    data.extend([0.0] * n)
+    adj = csr_matrix(
+        (
+            np.asarray(data, dtype=np.float64),
+            (np.asarray(rows, dtype=np.intp), np.asarray(cols, dtype=np.intp)),
+        ),
+        shape=(n, n),
+    )
+    adj.sort_indices()
     return adj
 
 
@@ -132,9 +192,7 @@ def _recompute_rows(
     """
     n = len(node_list)
     if use_scipy and HAVE_SCIPY:
-        adj = _dense_adjacency(graph, node_list, index, weight)
-        np.fill_diagonal(adj, 0.0)
-        csgraph = csgraph_from_dense(adj, null_value=math.inf)
+        csgraph = _sparse_adjacency(graph, node_list, index, weight)
         rows = np.atleast_2d(_csgraph_dijkstra(csgraph, directed=True, indices=sources))
         rows[np.arange(len(sources)), sources] = 0.0
         return rows
@@ -253,23 +311,41 @@ def build_distance_matrix(
     weight: str = COST,
     nodes: Sequence[Node] | None = None,
     use_scipy: bool = True,
+    max_bytes: float | None = None,
 ) -> DistanceMatrix:
     """Build the dense all-pairs least-cost matrix of a directed graph.
 
     ``nodes`` fixes the row/column order (defaults to graph insertion
     order).  Zero-cost edges are handled correctly in both backends: the
-    scipy path goes through ``csgraph_from_dense`` with an ``inf`` null
-    value, so ``0.0`` is a real edge, not a missing one.
+    sparse adjacency stores ``0.0`` explicitly, so it is a real edge, not a
+    missing one.
+
+    ``max_bytes`` caps the estimated dense allocation
+    (:func:`estimate_dense_bytes`); it defaults to
+    :func:`dense_bytes_ceiling` (``REPRO_DENSE_MAX_BYTES`` or 80% of
+    available memory).  A build that would blow past the ceiling raises
+    :class:`~repro.exceptions.ResourceError` *before* allocating, naming
+    the byte count and pointing at the lazy row backend
+    (:class:`repro.graph.backends.LazyRowBackend`), instead of dying in a
+    raw ``MemoryError`` mid-Dijkstra.
     """
     node_list: tuple[Node, ...] = tuple(graph.nodes if nodes is None else nodes)
     index = {v: k for k, v in enumerate(node_list)}
     n = len(node_list)
     if n == 0:
         return DistanceMatrix(nodes=(), matrix=np.zeros((0, 0), dtype=np.float64))
+    ceiling = dense_bytes_ceiling() if max_bytes is None else float(max_bytes)
+    estimated = estimate_dense_bytes(n)
+    if estimated > ceiling:
+        raise ResourceError(
+            f"dense all-pairs matrix over {n} nodes needs an estimated "
+            f"{estimated:,} bytes, above the {ceiling:,.0f}-byte ceiling; "
+            "use the lazy row backend (repro.graph.backends.LazyRowBackend, "
+            "or SolverContext.from_problem(backend='lazy')) or raise "
+            f"{DENSE_MAX_BYTES_ENV}"
+        )
     if use_scipy and HAVE_SCIPY:
-        adj = _dense_adjacency(graph, node_list, index, weight)
-        np.fill_diagonal(adj, 0.0)
-        csgraph = csgraph_from_dense(adj, null_value=math.inf)
+        csgraph = _sparse_adjacency(graph, node_list, index, weight)
         matrix = _csgraph_dijkstra(csgraph, directed=True)
         np.fill_diagonal(matrix, 0.0)
     else:

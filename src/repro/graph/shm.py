@@ -61,6 +61,13 @@ __all__ = [
     "BundleHandle",
     "BundleBroadcast",
     "attach_bundle",
+    "SharedRowsHandle",
+    "RowsBroadcast",
+    "attach_rows",
+    "attach_and_register_rows",
+    "register_rows",
+    "unregister_rows",
+    "lookup_rows",
 ]
 
 
@@ -300,6 +307,98 @@ class BundleBroadcast:
 
     def __exit__(self, *exc) -> None:
         self.close()
+
+
+# ----------------------------------------------------------------------
+# Lazy-row-store broadcast (tiered backend, see repro.graph.backends)
+# ----------------------------------------------------------------------
+#
+# The dense broadcast above ships the whole O(|V|²) matrix — exactly what the
+# lazy tier exists to avoid.  ``RowsBroadcast`` ships only the *materialized*
+# rows of a ``LazyRowBackend`` (cache nodes, pinned holders, requesters: the
+# rows any solver actually consults) as one ``BundleBroadcast`` segment, plus
+# the row-id map.  Workers attach the block read-only and build their own
+# ``LazyRowBackend`` on top of it: preloaded rows are zero-copy views into
+# the segment, and a row outside the store falls back to a local Dijkstra.
+# Lifecycle rules are ``MatrixBroadcast``'s: only the owner unlinks.
+
+
+@dataclass(frozen=True)
+class SharedRowsHandle:
+    """Picklable description of an exported row store.
+
+    O(#rows + |V|) to pickle (bundle specs + node labels), independent of
+    the O(#rows · |V|) block payload.
+    """
+
+    bundle: BundleHandle
+    nodes: tuple[Node, ...]
+    signature: str
+
+
+class RowsBroadcast:
+    """Owner side of one exported lazy-row store.
+
+    ``store`` is a :class:`repro.graph.backends.RowStore` (typically
+    ``backend.row_store()``).  The owner must call :meth:`close`
+    (idempotent) when the campaign ends.
+    """
+
+    def __init__(self, store, nodes: tuple[Node, ...], signature: str) -> None:
+        self._bundle: BundleBroadcast | None = BundleBroadcast(
+            {"row_ids": store.row_ids, "rows": store.block}
+        )
+        self.handle = SharedRowsHandle(
+            bundle=self._bundle.handle, nodes=nodes, signature=signature
+        )
+
+    def close(self) -> None:
+        bundle, self._bundle = self._bundle, None
+        if bundle is not None:
+            bundle.close()
+
+    def __enter__(self) -> "RowsBroadcast":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+#: Registered row stores keyed by graph signature (process-local).
+_ROW_REGISTRY: dict[str, object] = {}
+
+
+def register_rows(signature: str, store) -> None:
+    """Offer a :class:`~repro.graph.backends.RowStore` for in-process reuse."""
+    _ROW_REGISTRY[signature] = store
+
+
+def unregister_rows(signature: str) -> None:
+    _ROW_REGISTRY.pop(signature, None)
+
+
+def lookup_rows(graph: nx.DiGraph):
+    """Registered row store for ``graph``, or ``None``.
+
+    Free when nothing is registered — the signature is only computed while
+    a broadcast is actually live.
+    """
+    if not _ROW_REGISTRY:
+        return None
+    return _ROW_REGISTRY.get(graph_signature(graph))
+
+
+def attach_rows(handle: SharedRowsHandle):
+    """Map an exported row store into this process (read-only views)."""
+    from repro.graph.backends import RowStore
+
+    arrays = attach_bundle(handle.bundle)
+    return RowStore(arrays["row_ids"], arrays["rows"])
+
+
+def attach_and_register_rows(handle: SharedRowsHandle) -> None:
+    """Pool-initializer entry point: attach the store and register it."""
+    register_rows(handle.signature, attach_rows(handle))
 
 
 def attach_bundle(handle: BundleHandle) -> "dict[str, np.ndarray]":

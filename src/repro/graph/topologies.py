@@ -174,6 +174,73 @@ def random_topology(
     return _isp_like(num_nodes, target_links, seed=seed)
 
 
+def pop_core_edge_hierarchy(
+    n_core: int,
+    pops_per_core: int,
+    edges_per_pop: int,
+    *,
+    seed: int = 0,
+    core_chords: int | None = None,
+    dual_home_fraction: float = 0.25,
+) -> CacheNetwork:
+    """Large synthetic ISP/CDN hierarchy: PoP and edge trees over a BA core.
+
+    Three layers, mirroring the metro/PoP/edge shape of production CDNs:
+
+    - **core**: ``n_core`` nodes ``c<i>`` wired as a preferential-attachment
+      (Barabási–Albert-style) backbone — a spanning tree grown by
+      degree-biased attachment plus ``core_chords`` extra chords (default
+      ``n_core``, giving average core degree ≈ 4);
+    - **PoP**: each core node hangs ``pops_per_core`` PoPs ``p<i>.<j>``; a
+      seeded ``dual_home_fraction`` of PoPs get a second uplink to another
+      core node (the redundancy real PoPs have);
+    - **edge**: each PoP hangs ``edges_per_pop`` leaves ``e<i>.<j>.<k>`` —
+      the cache/requester sites.
+
+    Total nodes = ``n_core * (1 + pops_per_core * (1 + edges_per_pop))``,
+    e.g. ``(100, 9, 10)`` -> exactly 10,000.  Deterministic under ``seed``
+    (same seed -> identical node order and edge list); connected by
+    construction.  Links are bidirectional with unit cost and infinite
+    capacity, like every other constructor here.
+    """
+    if n_core < 2 or pops_per_core < 0 or edges_per_pop < 0:
+        raise InvalidNetworkError("need n_core >= 2 and nonnegative fan-outs")
+    if not 0.0 <= dual_home_fraction <= 1.0:
+        raise InvalidNetworkError("dual_home_fraction must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    graph = nx.Graph()
+
+    core = [f"c{i}" for i in range(n_core)]
+    graph.add_node(core[0])
+    for i in range(1, n_core):
+        degrees = np.array([graph.degree(core[u]) + 1.0 for u in range(i)])
+        u = int(rng.choice(i, p=degrees / degrees.sum()))
+        graph.add_edge(core[u], core[i])
+    chords = n_core if core_chords is None else core_chords
+    max_chords = n_core * (n_core - 1) // 2 - (n_core - 1)
+    added = 0
+    while added < min(chords, max_chords):
+        degrees = np.array([graph.degree(c) + 1.0 for c in core])
+        u = int(rng.choice(n_core, p=degrees / degrees.sum()))
+        v = int(rng.integers(n_core))
+        if u != v and not graph.has_edge(core[u], core[v]):
+            graph.add_edge(core[u], core[v])
+            added += 1
+
+    for i in range(n_core):
+        for j in range(pops_per_core):
+            pop = f"p{i}.{j}"
+            graph.add_edge(core[i], pop)
+            if n_core > 1 and rng.random() < dual_home_fraction:
+                other = int(rng.integers(n_core - 1))
+                if other >= i:  # uniform over cores != i
+                    other += 1
+                graph.add_edge(core[other], pop)
+            for k in range(edges_per_pop):
+                graph.add_edge(pop, f"e{i}.{j}.{k}")
+    return _bidirectional(graph)
+
+
 def edge_caching_roles(
     network: CacheNetwork,
     *,

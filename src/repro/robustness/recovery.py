@@ -267,7 +267,6 @@ def _repair_placement_ctx(
     requester blocks, which follow the same repr-sorted order as the dict
     path), and marginal gains are clipped dot products over matrix rows.
     """
-    matrix = ctx.dm.matrix
     nidx = ctx.node_index
     cache_nodes = sorted(problem.network.cache_nodes(), key=repr)
     residual = {
@@ -279,7 +278,7 @@ def _repair_placement_ctx(
     pinned_nodes = sorted({v for v, _i in problem.pinned}, key=repr)
     probe = [v for v in (*cache_nodes, *pinned_nodes) if v in nidx]
     if probe:
-        rows = matrix[[nidx[v] for v in probe]]
+        rows = ctx.rows_of(probe)
         finite = rows[np.isfinite(rows)]
         top = float(finite.max()) if finite.size else 0.0
     else:
@@ -297,7 +296,7 @@ def _repair_placement_ctx(
             if placement[(v, item)] >= 1 - _SERVED_TOL
         } | problem.pinned_holders(item)
         for h in holders:
-            np.minimum(best, matrix[nidx[h], block.idx], out=best)
+            np.minimum(best, ctx.row_of(h)[block.idx], out=best)
         cost[item] = best
 
     def gain(v: Node, item: Item) -> float:
@@ -305,7 +304,7 @@ def _repair_placement_ctx(
         if best is None or best.size == 0:
             return 0.0
         block = ctx.requesters(item)
-        diff = best - matrix[nidx[v], block.idx]
+        diff = best - ctx.row_of(v)[block.idx]
         mask = diff > _EPS
         if not mask.any():
             return 0.0
@@ -339,5 +338,5 @@ def _repair_placement_ctx(
         repaired.append((v, item))
         best = cost.get(item)
         if best is not None and best.size:
-            np.minimum(best, matrix[nidx[v], ctx.requesters(item).idx], out=best)
+            np.minimum(best, ctx.row_of(v)[ctx.requesters(item).idx], out=best)
     return repaired

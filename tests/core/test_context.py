@@ -172,3 +172,108 @@ class TestSolverEquivalence:
         p_fast = greedy_rnr_placement(prob, context=fast)
         p_slow = greedy_rnr_placement(prob, context=slow)
         assert dict(p_fast.items()) == dict(p_slow.items())
+
+
+class TestLazyTierEquivalence:
+    """The lazy row tier is bit-identical to the dense tier on every solver."""
+
+    def lazy_ctx(self, problem):
+        return SolverContext.from_problem(problem, backend="lazy")
+
+    def dense_ctx(self, problem):
+        return SolverContext.from_problem(problem, backend="dense")
+
+    def test_distance_ops_bit_identical(self, random_problem):
+        dense = self.dense_ctx(random_problem)
+        lazy = self.lazy_ctx(random_problem)
+        nodes = list(random_problem.network.nodes)
+        for v in nodes:
+            assert np.array_equal(dense.row_of(v), lazy.row_of(v))
+        assert np.array_equal(dense.rows_of(nodes[:4]), lazy.rows_of(nodes[:4]))
+        assert dense.finite_max_from(nodes[:5]) == lazy.finite_max_from(nodes[:5])
+        assert dense.w_max == lazy.w_max
+
+    def test_pinned_and_baseline_bit_identical(self, random_problem):
+        dense = self.dense_ctx(random_problem)
+        lazy = self.lazy_ctx(random_problem)
+        for item in random_problem.catalog:
+            assert np.array_equal(
+                dense.pinned_min_costs(item), lazy.pinned_min_costs(item)
+            )
+            assert np.array_equal(
+                dense.baseline_costs(item), lazy.baseline_costs(item)
+            )
+
+    def test_greedy_bit_identical(self, random_problem):
+        p_dense = greedy_rnr_placement(
+            random_problem, context=self.dense_ctx(random_problem)
+        )
+        p_lazy = greedy_rnr_placement(
+            random_problem, context=self.lazy_ctx(random_problem)
+        )
+        assert dict(p_dense.items()) == dict(p_lazy.items())
+
+    def test_algorithm1_bit_identical(self, random_problem):
+        res_dense = algorithm1(
+            random_problem, context=self.dense_ctx(random_problem)
+        )
+        res_lazy = algorithm1(
+            random_problem, context=self.lazy_ctx(random_problem)
+        )
+        assert dict(res_dense.solution.placement.items()) == dict(
+            res_lazy.solution.placement.items()
+        )
+        assert res_dense.lp_objective == res_lazy.lp_objective
+        assert routing_cost(
+            random_problem, res_dense.solution.routing
+        ) == routing_cost(random_problem, res_lazy.solution.routing)
+
+    def test_rnr_bit_identical(self, random_problem):
+        placement = greedy_rnr_placement(random_problem)
+        r_dense = route_to_nearest_replica(
+            random_problem, placement, context=self.dense_ctx(random_problem)
+        )
+        r_lazy = route_to_nearest_replica(
+            random_problem, placement, context=self.lazy_ctx(random_problem)
+        )
+        assert routing_cost(random_problem, r_dense) == routing_cost(
+            random_problem, r_lazy
+        )
+
+    def test_dm_property_raises_on_lazy(self):
+        from repro.exceptions import ResourceError
+
+        prob = random_uncapacitated_problem(0)
+        lazy = self.lazy_ctx(prob)
+        with pytest.raises(ResourceError):
+            _ = lazy.dm
+
+    def test_auto_threshold_picks_tier(self, monkeypatch):
+        from repro.graph.backends import DenseBackend, LazyRowBackend
+
+        prob = random_uncapacitated_problem(1)
+        assert isinstance(
+            SolverContext.from_problem(prob).backend, DenseBackend
+        )
+        monkeypatch.setenv("REPRO_DENSE_NODE_THRESHOLD", "3")
+        assert isinstance(
+            SolverContext.from_problem(prob).backend, LazyRowBackend
+        )
+
+    def test_prime_rows_limits_materialization(self):
+        from repro.core.context import relevant_sources
+        from repro.graph.backends import LazyRowBackend
+
+        prob = random_uncapacitated_problem(2)
+        ctx = self.lazy_ctx(prob)
+        backend = ctx.backend
+        assert isinstance(backend, LazyRowBackend)
+        ctx.prime_rows()
+        assert backend.materialized == len(relevant_sources(prob))
+
+    def test_repr_does_not_force_wmax(self):
+        prob = random_uncapacitated_problem(4)
+        ctx = self.lazy_ctx(prob)
+        assert "w_max=<unread>" in repr(ctx)
+        _ = ctx.w_max
+        assert "w_max=<unread>" not in repr(ctx)

@@ -5,7 +5,6 @@ from pathlib import Path
 import networkx as nx
 import numpy as np
 import pickle
-import pytest
 
 from repro.graph import build_distance_matrix, line_topology
 from repro.graph.shm import (
@@ -181,3 +180,75 @@ class TestRegistry:
         fresh = SolverContext.from_problem(problem)
         assert fresh.dm is not dm
         assert np.array_equal(fresh.dm.matrix, dm.matrix)
+
+
+class TestRowsBroadcast:
+    def test_attach_round_trip_bit_identical(self):
+        from repro.graph.backends import LazyRowBackend
+        from repro.graph.shm import RowsBroadcast, attach_rows
+
+        g = small_graph()
+        backend = LazyRowBackend(g)
+        backend.ensure_rows([0, 2])
+        store = backend.row_store()
+        sig = graph_signature(g)
+        with RowsBroadcast(store, backend.nodes, sig) as broadcast:
+            attached = attach_rows(broadcast.handle)
+            assert np.array_equal(attached.row_ids, store.row_ids)
+            assert np.array_equal(attached.block, store.block)
+            assert not attached.block.flags.writeable
+            # a backend over the attached store serves those rows zero-copy
+            reloaded = LazyRowBackend(g, store=attached)
+            assert reloaded.materialized == 2
+            assert np.array_equal(reloaded.row(0), backend.row(0))
+
+    def test_close_unlinks_segment(self):
+        from repro.graph.backends import LazyRowBackend
+        from repro.graph.shm import RowsBroadcast
+
+        g = small_graph()
+        backend = LazyRowBackend(g)
+        backend.ensure_rows([1])
+        before = shm_segments()
+        broadcast = RowsBroadcast(
+            backend.row_store(), backend.nodes, graph_signature(g)
+        )
+        assert shm_segments() - before
+        broadcast.close()
+        broadcast.close()  # idempotent
+        assert shm_segments() == before
+
+    def test_handle_pickles_small(self):
+        from repro.graph.backends import LazyRowBackend
+        from repro.graph.shm import RowsBroadcast
+
+        g = nx.DiGraph()
+        for i in range(200):
+            g.add_edge(i, (i + 1) % 200, cost=1.0)
+        backend = LazyRowBackend(g)
+        backend.ensure_rows(range(100))
+        with RowsBroadcast(
+            backend.row_store(), backend.nodes, graph_signature(g)
+        ) as broadcast:
+            payload = pickle.dumps(broadcast.handle)
+            # far below the 100 * 200 * 8 B block: only specs + labels travel
+            assert len(payload) < 20_000
+
+    def test_registry_round_trip_feeds_context(self):
+        from repro.graph.backends import LazyRowBackend
+        from repro.graph.shm import lookup_rows, register_rows, unregister_rows
+
+        g = small_graph()
+        backend = LazyRowBackend(g)
+        backend.ensure_rows([0, 1, 2])
+        store = backend.row_store()
+        sig = graph_signature(g)
+        register_rows(sig, store)
+        try:
+            assert lookup_rows(g) is store
+            other = nx.DiGraph()
+            other.add_edge("x", "y", cost=1.0)
+            assert lookup_rows(other) is None
+        finally:
+            unregister_rows(sig)
+        assert lookup_rows(g) is None

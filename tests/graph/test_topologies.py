@@ -11,10 +11,12 @@ from repro.graph import (
     deltacom,
     edge_caching_roles,
     line_topology,
+    pop_core_edge_hierarchy,
     random_topology,
     tinet,
     tree_topology,
 )
+from repro.graph.topologies import _isp_like
 
 
 def undirected_edge_count(net) -> int:
@@ -86,6 +88,84 @@ class TestSyntheticTopologies:
     def test_random_topology_too_small(self):
         with pytest.raises(InvalidNetworkError):
             random_topology(1)
+
+    def test_random_topology_link_count_invariant(self):
+        for n, deg in [(20, 2.0), (40, 3.0), (25, 4.0)]:
+            net = random_topology(n, average_degree=deg, seed=11)
+            expected = max(n - 1, int(round(n * deg / 2)))
+            assert undirected_edge_count(net) == min(expected, n * (n - 1) // 2)
+
+    @pytest.mark.parametrize("n,links", [(15, 20), (40, 60)])
+    def test_isp_like_exact_counts_and_connectivity(self, n, links):
+        net = _isp_like(n, links, seed=5)
+        assert net.num_nodes == n
+        assert undirected_edge_count(net) == links
+        assert nx.is_strongly_connected(net.graph)
+
+    def test_isp_like_seed_determinism(self):
+        assert set(_isp_like(30, 45, seed=9).edges) == set(
+            _isp_like(30, 45, seed=9).edges
+        )
+
+    def test_isp_like_invalid_link_counts(self):
+        with pytest.raises(InvalidNetworkError):
+            _isp_like(10, 8, seed=0)  # fewer than n-1
+        with pytest.raises(InvalidNetworkError):
+            _isp_like(5, 11, seed=0)  # more than C(5, 2)
+
+
+class TestPopCoreEdgeHierarchy:
+    def test_node_count_formula(self):
+        net = pop_core_edge_hierarchy(4, 3, 2, seed=0)
+        assert net.num_nodes == 4 * (1 + 3 * (1 + 2))
+        big = pop_core_edge_hierarchy(100, 9, 10, seed=0)
+        assert big.num_nodes == 10_000
+
+    def test_connected_and_symmetric(self):
+        net = pop_core_edge_hierarchy(6, 4, 3, seed=1)
+        assert nx.is_strongly_connected(net.graph)
+        for u, v in net.edges:
+            assert net.has_edge(v, u)
+
+    def test_seed_determinism(self):
+        a = pop_core_edge_hierarchy(8, 3, 2, seed=5)
+        b = pop_core_edge_hierarchy(8, 3, 2, seed=5)
+        assert list(a.nodes) == list(b.nodes)
+        assert set(a.edges) == set(b.edges)
+        c = pop_core_edge_hierarchy(8, 3, 2, seed=6)
+        assert set(c.edges) != set(a.edges)
+
+    def test_layer_structure(self):
+        net = pop_core_edge_hierarchy(5, 2, 3, seed=2, dual_home_fraction=0.0)
+        cores = [v for v in net.nodes if str(v).startswith("c")]
+        pops = [v for v in net.nodes if str(v).startswith("p")]
+        edges = [v for v in net.nodes if str(v).startswith("e")]
+        assert (len(cores), len(pops), len(edges)) == (5, 10, 30)
+        # without dual-homing each PoP has exactly one core uplink
+        for p in pops:
+            uplinks = [u for u in net.graph.predecessors(p) if str(u).startswith("c")]
+            assert len(uplinks) == 1
+        # every edge leaf hangs off exactly one PoP
+        for e in edges:
+            assert net.undirected_degree(e) == 1
+
+    def test_dual_homing_adds_pop_uplinks(self):
+        single = pop_core_edge_hierarchy(10, 5, 0, seed=3, dual_home_fraction=0.0)
+        dual = pop_core_edge_hierarchy(10, 5, 0, seed=3, dual_home_fraction=1.0)
+        assert undirected_edge_count(dual) == undirected_edge_count(single) + 10 * 5
+
+    def test_default_attributes(self):
+        net = pop_core_edge_hierarchy(3, 2, 2, seed=0)
+        assert all(cost == 1.0 for cost in net.costs().values())
+        assert all(cap == float("inf") for cap in net.capacities().values())
+
+    def test_invalid_params(self):
+        with pytest.raises(InvalidNetworkError):
+            pop_core_edge_hierarchy(1, 2, 2)
+        with pytest.raises(InvalidNetworkError):
+            pop_core_edge_hierarchy(4, -1, 2)
+        with pytest.raises(InvalidNetworkError):
+            pop_core_edge_hierarchy(4, 2, 2, dual_home_fraction=1.5)
 
 
 class TestEdgeCachingRoles:
