@@ -162,6 +162,8 @@ def test_backend_tiers_and_decomposed_solve(benchmark, report, bench_json):
         }
 
         gap_rows = []
+        sweep_prob = None
+        sweep_exact = float("nan")
         for name, factory in [("tinet", tinet), ("deltacom", deltacom)]:
             net = factory()
             nodes = list(net.nodes)
@@ -188,9 +190,30 @@ def test_backend_tiers_and_decomposed_solve(benchmark, report, bench_json):
                     "relative_gap": round(gap.relative_gap, 4),
                 }
             )
-        return tier_rows, solve_row, gap_rows, parity_checked
+            if name == "deltacom":
+                sweep_prob, sweep_exact = prob, gap.exact_cost
 
-    tier_rows, solve_row, gap_rows, parity_checked = benchmark.pedantic(
+        # Gap-vs-speed frontier: sweep the cluster count around the
+        # default heuristic (~sqrt(|V|)/2) on the largest mid-size
+        # topology.  More clusters = smaller sub-LPs (faster) but more
+        # boundary stitching (worse gap) — the frontier documents the
+        # trade so callers can tune n_clusters deliberately.
+        sweep_rows = []
+        for k in (2, 4, 6, 8, 12, 16):
+            t0 = time.perf_counter()
+            dec = decomposed_solve(sweep_prob, n_clusters=k, seed=0)
+            secs = time.perf_counter() - t0
+            sweep_rows.append(
+                {
+                    "n_clusters": k,
+                    "decomposed_cost": round(dec.cost, 4),
+                    "relative_gap": round((dec.cost - sweep_exact) / sweep_exact, 4),
+                    "seconds": round(secs, 3),
+                }
+            )
+        return tier_rows, solve_row, gap_rows, sweep_rows, parity_checked
+
+    tier_rows, solve_row, gap_rows, sweep_rows, parity_checked = benchmark.pedantic(
         run, rounds=1, iterations=1
     )
 
@@ -220,6 +243,12 @@ def test_backend_tiers_and_decomposed_solve(benchmark, report, bench_json):
             gap_rows,
             list(gap_rows[0]),
             title=f"Decomposition gap vs exact Algorithm 1 (bound {GAP_BOUND:.0%})",
+        )
+        + "\n\n"
+        + format_sweep(
+            sweep_rows,
+            list(sweep_rows[0]),
+            title="Cluster-count frontier on deltacom (gap vs speed)",
         ),
     )
     bench_json(
@@ -229,6 +258,7 @@ def test_backend_tiers_and_decomposed_solve(benchmark, report, bench_json):
             "tiers": tier_rows,
             "decomposed_solve": solve_row,
             "gaps": gap_rows,
+            "cluster_sweep": sweep_rows,
             "gap_bound": GAP_BOUND,
             "lazy_peak_fraction_bound": LAZY_PEAK_FRACTION,
             "parity_rows_checked": parity_checked,
@@ -249,3 +279,6 @@ def test_backend_tiers_and_decomposed_solve(benchmark, report, bench_json):
     assert np.isfinite(solve_row["cost"]) and solve_row["cost"] > 0
     for row in gap_rows:
         assert row["relative_gap"] <= GAP_BOUND, row
+    # The frontier must contain at least one in-bound point (the default
+    # heuristic sits inside the swept range); extreme counts may exceed it.
+    assert min(r["relative_gap"] for r in sweep_rows) <= GAP_BOUND, sweep_rows

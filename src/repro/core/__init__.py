@@ -22,7 +22,10 @@ from repro.core.decomposed import (
     decomposition_gap,
     default_cluster_count,
     partition_graph,
+    resolve_clusters,
+    restrict_partition,
     super_topology,
+    touched_clusters,
 )
 from repro.core.evaluation import (
     FeasibilityReport,
@@ -118,7 +121,10 @@ __all__ = [
     "decomposition_gap",
     "default_cluster_count",
     "partition_graph",
+    "resolve_clusters",
+    "restrict_partition",
     "super_topology",
+    "touched_clusters",
     "RNRCostSaving",
     "greedy_rnr_placement",
     "pipage_round",

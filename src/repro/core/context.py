@@ -30,6 +30,7 @@ backends interchangeable.
 from __future__ import annotations
 
 import os
+import sys
 from dataclasses import dataclass
 
 import numpy as np
@@ -172,10 +173,20 @@ class SolverContext:
         backend = self.backend
         if isinstance(backend, DenseBackend):
             return backend.dm
+        caller = "a dense-only feature"
+        try:  # name the feature that reached for the matrix
+            code = sys._getframe(1).f_code
+            caller = getattr(code, "co_qualname", code.co_name)
+        except Exception:  # pragma: no cover - frame introspection disabled
+            pass
         raise ResourceError(
-            "this context runs the lazy row backend; the dense O(|V|^2) "
-            "matrix is never materialized — use row_of()/rows_of() or build "
-            "the context with backend='dense'"
+            f"SolverContext.dm (reached from {caller}) needs the dense "
+            f"all-pairs matrix, but this {len(self.nodes)}-node context runs "
+            "the lazy row backend and never materializes O(|V|^2) state. "
+            "Use row_of()/rows_of() for distances, or force the dense tier "
+            "with SolverContext.from_problem(backend='dense') or by raising "
+            "the REPRO_DENSE_NODE_THRESHOLD environment variable above the "
+            "topology size."
         )
 
     @property

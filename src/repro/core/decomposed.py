@@ -55,7 +55,7 @@ from repro.core.evaluation import routing_cost
 from repro.core.problem import Item, Node, ProblemInstance
 from repro.core.rnr import route_to_nearest_replica
 from repro.core.solution import Placement, Solution
-from repro.exceptions import InvalidProblemError
+from repro.exceptions import InfeasibleError, InvalidProblemError
 from repro.graph.backends import LazyRowBackend
 from repro.graph.network import CAPACITY, COST, CacheNetwork
 
@@ -70,6 +70,9 @@ __all__ = [
     "decomposed_solve",
     "decomposition_gap",
     "default_cluster_count",
+    "touched_clusters",
+    "restrict_partition",
+    "resolve_clusters",
 ]
 
 #: Virtual origin nodes are tagged so composition can filter them out.
@@ -292,7 +295,14 @@ def cluster_subproblem(
     boundary = _boundary_nodes(graph, partition, cid)
     for item in items:
         external = sorted(
-            (h for h in problem.pinned_holders(item) if h not in member_set),
+            # ``h in holder_rows`` guards against holders that are not on
+            # the current graph at all (a dead pinned origin of a degraded
+            # instance) — on healthy instances every holder has a row.
+            (
+                h
+                for h in problem.pinned_holders(item)
+                if h not in member_set and h in holder_rows
+            ),
             key=repr,
         )
         if not external:
@@ -454,6 +464,239 @@ def decomposed_solve(
         total_seconds=time.perf_counter() - t_start,
         ran_parallel=ran_parallel,
     )
+
+
+# ----------------------------------------------------------------------
+# Cluster-local re-optimization (failure recovery at scale)
+# ----------------------------------------------------------------------
+
+
+def touched_clusters(
+    partition: ClusterPartition,
+    *,
+    failed_nodes=(),
+    failed_links=(),
+) -> frozenset[int]:
+    """Cluster ids a failure touches (either endpoint of any failed element).
+
+    A failed node touches its own cluster; a failed directed link touches
+    both endpoint clusters (a crossing link touches two).  Elements outside
+    the partition's label map (already-removed nodes of a chained
+    derivation) are ignored.  When the result is a strict subset of all
+    clusters, re-solving only those clusters is exact with respect to the
+    decomposed model: every other cluster's sub-instance — members, local
+    links, boundary set, and virtual-origin prices, which are least costs
+    out of *pinned holders* and therefore unchanged while the holders'
+    clusters are untouched — is byte-identical to its healthy twin.
+    """
+    labels = partition.labels
+    touched: set[int] = set()
+    for v in failed_nodes:
+        cid = labels.get(v)
+        if cid is not None:
+            touched.add(cid)
+    for u, v in failed_links:
+        for end in (u, v):
+            cid = labels.get(end)
+            if cid is not None:
+                touched.add(cid)
+    return frozenset(touched)
+
+
+def restrict_partition(
+    partition: ClusterPartition, surviving
+) -> ClusterPartition:
+    """``partition`` with dead nodes dropped; cluster ids are preserved.
+
+    ``surviving`` is the surviving node set.  Cluster ids keep their
+    original numbering (a cluster may come back empty), so touched-cluster
+    ids computed against the healthy partition stay valid against the
+    restricted one.
+    """
+    alive = set(surviving)
+    return ClusterPartition(
+        labels={v: c for v, c in partition.labels.items() if v in alive},
+        clusters=tuple(
+            tuple(v for v in cluster if v in alive)
+            for cluster in partition.clusters
+        ),
+        seeds=partition.seeds,
+    )
+
+
+def _is_origin(v) -> bool:
+    return isinstance(v, tuple) and v[:1] == (_ORIGIN_TAG,)
+
+
+def _reachable_reduction(
+    sub: ProblemInstance,
+) -> tuple[ProblemInstance | None, frozenset]:
+    """Reduce a (possibly degraded) cluster sub-instance to its servable part.
+
+    On a healthy topology every requester can reach a pinned source
+    (in-cluster holder or attached virtual origin), and the sub-instance is
+    returned unchanged.  A degraded cluster may contain components cut off
+    from every source; the exact Algorithm 1 cannot serve those, so this
+    strips them: demand is kept iff its requester is reachable *from* some
+    pinned source of its item (routing runs source → requester), and the
+    instance is induced on the union of source-reachable nodes — exact,
+    since any optimal source→requester path only visits source-reachable
+    nodes.  Returns ``(reduced_instance_or_None, preserved_nodes)`` where
+    ``preserved_nodes`` are the real (non-virtual) cluster members outside
+    the servable part: their surviving placement entries must be carried
+    over verbatim, because on the symmetric topologies this package builds
+    they are exactly the replicas that may still serve an isolated
+    component, and the re-solve never places onto them.
+    """
+    graph = sub.network.graph
+    sources_by_item: dict[Item, frozenset] = {}
+    for v, i in sub.pinned:
+        sources_by_item[i] = sources_by_item.get(i, frozenset()) | {v}
+
+    reach_cache: dict[frozenset, set] = {}
+
+    def reach(sources: frozenset) -> set:
+        got = reach_cache.get(sources)
+        if got is None:
+            got = set(sources)
+            for s in sources:
+                got |= nx.descendants(graph, s)
+            reach_cache[sources] = got
+        return got
+
+    keep = {
+        (i, s): r
+        for (i, s), r in sub.demand.items()
+        if i in sources_by_item and s in reach(sources_by_item[i])
+    }
+    if len(keep) == len(sub.demand):
+        return sub, frozenset()
+    members = [v for v in graph if not _is_origin(v)]
+    if not keep:
+        return None, frozenset(members)
+    live: set = set()
+    for sources in sources_by_item.values():
+        live |= reach(sources)
+    reduced_graph = graph.subgraph(live).copy()
+    caps = {v: sub.network.cache_capacity(v) for v in members if v in live}
+    reduced = ProblemInstance(
+        network=CacheNetwork(reduced_graph, caps),
+        catalog=sub.catalog,
+        demand=keep,
+        item_sizes=sub.item_sizes,
+        pinned=frozenset((v, i) for (v, i) in sub.pinned if v in live),
+    )
+    return reduced, frozenset(v for v in members if v not in live)
+
+
+def resolve_clusters(
+    problem: ProblemInstance,
+    partition: ClusterPartition,
+    placement: Placement,
+    cluster_ids,
+    *,
+    context: SolverContext | None = None,
+    parallel: bool = False,
+    max_workers: int | None = None,
+    polish: bool = True,
+) -> tuple[Placement, tuple[ClusterReport, ...]]:
+    """Re-solve the named clusters of ``problem`` and stitch into ``placement``.
+
+    ``problem`` is typically a *degraded* instance and ``partition`` the
+    healthy topology's partition — it is restricted to the surviving nodes
+    first (ids preserved).  Each named cluster's sub-instance is rebuilt on
+    the current graph (fresh boundary stitching, virtual-origin prices from
+    the current holder rows), reduced to its source-reachable part
+    (:func:`_reachable_reduction` — a degraded cluster may hold components
+    no re-solve can serve), and solved with the exact Algorithm 1.  The
+    returned placement keeps every entry of ``placement`` whose cache node
+    lives in an *untouched* cluster, replaces the re-solved, source-
+    reachable caches' entries wholesale (per-cluster capacity holds by
+    construction — clusters own disjoint cache nodes), and preserves the
+    surviving entries on nodes the re-solve could not reach (isolated
+    components keep serving from whatever replicas they still hold; also
+    the fallback when a cluster solve turns out infeasible).
+
+    ``context`` supplies the holder distance rows on either backend tier
+    (``rows_of`` over the pinned holders); without one a throwaway
+    :class:`LazyRowBackend` computes exactly those rows.  ``parallel``
+    solves the named clusters in a process pool with the same serial
+    fallback as :func:`decomposed_solve`.
+    """
+    graph = problem.network.graph
+    part = restrict_partition(partition, graph.nodes)
+    wanted = sorted(int(c) for c in cluster_ids)
+    for cid in wanted:
+        if not 0 <= cid < part.n_clusters:
+            raise InvalidProblemError(f"unknown cluster id {cid}")
+
+    holders = sorted(
+        {v for (v, _i) in problem.pinned if v in graph}, key=repr
+    )
+    if context is not None:
+        node_index = context.node_index
+        row_block = (
+            context.rows_of(holders)
+            if holders
+            else np.empty((0, len(node_index)))
+        )
+    else:
+        lazy = LazyRowBackend(graph)
+        node_index = lazy.index
+        row_block = (
+            lazy.rows(np.asarray([node_index[h] for h in holders], dtype=np.intp))
+            if holders
+            else np.empty((0, len(lazy)))
+        )
+    holder_rows = {h: row_block[k] for k, h in enumerate(holders)}
+
+    preserved: set = set()
+    payloads = []
+    for cid in wanted:
+        sub = cluster_subproblem(problem, part, cid, holder_rows, node_index)
+        if sub is None:
+            # No local demand — but the cluster's replicas may still serve
+            # other clusters through the global routing pass, so keep them.
+            preserved.update(part.clusters[cid])
+            continue
+        reduced, cut_off = _reachable_reduction(sub)
+        preserved.update(cut_off)
+        if reduced is not None:
+            payloads.append((cid, reduced, polish))
+
+    results: dict[int, tuple[dict, ClusterReport]] = {}
+    ran = False
+    if parallel and len(payloads) > 1:
+        try:
+            with ProcessPoolExecutor(max_workers=max_workers) as pool:
+                for cid, entries, rep in pool.map(_solve_cluster, payloads):
+                    results[cid] = (entries, rep)
+            ran = True
+        except (BrokenProcessPool, OSError, RuntimeError, InfeasibleError):
+            results.clear()
+    if not ran and not results:
+        for payload in payloads:
+            try:
+                cid, entries, rep = _solve_cluster(payload)
+            except InfeasibleError:
+                # Defense in depth: an unservable corner the reduction did
+                # not anticipate — keep the cluster's surviving entries.
+                preserved.update(part.clusters[payload[0]])
+                continue
+            results[cid] = (entries, rep)
+
+    touched = set(wanted)
+    merged: dict[tuple[Node, Item], float] = {
+        key: val
+        for key, val in placement.items()
+        if part.labels.get(key[0]) not in touched or key[0] in preserved
+    }
+    reports: list[ClusterReport] = []
+    for cid in sorted(results):
+        cluster_entries, rep = results[cid]
+        merged.update(cluster_entries)
+        reports.append(rep)
+    return Placement(merged), tuple(reports)
 
 
 @dataclass(frozen=True)

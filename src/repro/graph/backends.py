@@ -46,6 +46,7 @@ from typing import Protocol, runtime_checkable
 import networkx as nx
 import numpy as np
 
+from repro.exceptions import InvalidNetworkError
 from repro.graph.distance_matrix import (
     HAVE_SCIPY,
     DistanceMatrix,
@@ -311,6 +312,99 @@ class LazyRowBackend:
                         top = max(top, float(finite.max()))
             self._w_max = top if top > 0 else 1.0
         return self._w_max
+
+    # ------------------------------------------------------------------
+    # Incremental repair (failure sweeps)
+    # ------------------------------------------------------------------
+
+    def repair(
+        self,
+        degraded_graph: nx.DiGraph,
+        *,
+        removed_edges: Sequence[tuple[Node, Node, float]],
+        removed_nodes: Sequence[Node] = (),
+    ) -> "LazyRowBackend":
+        """A backend for ``degraded_graph``, reusing unaffected memoized rows.
+
+        The lazy-tier twin of :func:`repro.graph.distance_matrix.
+        repair_distance_matrix`: ``removed_edges`` lists every directed edge
+        deleted from this backend's graph as ``(u, v, weight)`` triples
+        (node removals must list their incident edges too, as
+        :func:`repro.robustness.faults.apply_failure` records them), and
+        ``removed_nodes`` lists deleted nodes.  Each memoized row is kept
+        only if no removed edge can lie on a shortest path out of its
+        source — the per-row restriction of :func:`~repro.graph.
+        distance_matrix.affected_sources`: row ``i`` is affected when
+        ``row[u] + w + D[v, t] == row[t]`` for some removed ``(u, v, w)``
+        and some target ``t``.  Surviving rows are column-subset onto the
+        surviving node order and carried into the child; affected (and
+        never-computed) rows are simply absent and recompute lazily against
+        the degraded CSR, so the child is bit-identical to a fresh
+        ``LazyRowBackend(degraded_graph)`` on every operation.
+
+        The affected test needs the parent rows of every removed-edge head;
+        heads not already memoized are computed transiently on the *parent*
+        graph and discarded — O(#removed edges) Dijkstras, never O(|V|).
+        ``w_max`` is not carried (the parent's value may hinge on removed
+        elements); the child re-streams it on first read.
+
+        Raises
+        ------
+        InvalidNetworkError
+            ``degraded_graph``'s node order is not this backend's order
+            minus ``removed_nodes`` (carried rows would be misindexed).
+        """
+        dead = set(removed_nodes)
+        node_list = tuple(v for v in self.nodes if v not in dead)
+        if node_list != tuple(degraded_graph.nodes):
+            raise InvalidNetworkError(
+                "degraded graph nodes do not match the backend order minus "
+                "removed nodes; build a fresh LazyRowBackend instead"
+            )
+        child = LazyRowBackend(
+            degraded_graph,
+            weight=self._weight,
+            use_scipy=self._use_scipy,
+        )
+        if not self._rows:
+            return child
+        triples = [
+            (self.index[u], self.index[v], float(w))
+            for (u, v, w) in removed_edges
+            if u in self.index and v in self.index
+        ]
+        head_rows: dict[int, np.ndarray] = {}
+        heads = sorted({j for (_i, j, _w) in triples})
+        missing = [j for j in heads if j not in self._rows]
+        if missing:
+            fresh = self._compute_rows(np.asarray(missing, dtype=np.intp))
+            for k, j in enumerate(missing):
+                head_rows[j] = fresh[k]
+        for j in heads:
+            if j not in head_rows:
+                head_rows[j] = self._rows[j]
+        keep = np.fromiter(
+            (self.index[v] for v in node_list),
+            dtype=np.intp,
+            count=len(node_list),
+        )
+        for i, row in self._rows.items():
+            if self.nodes[i] in dead:
+                continue
+            affected = False
+            for ui, vi, w in triples:
+                via = row[ui] + w  # cost source -> u -> (u, v)
+                if not math.isfinite(via):
+                    continue
+                lhs = via + head_rows[vi]
+                if bool(np.any(np.isfinite(lhs) & (lhs == row))):
+                    affected = True
+                    break
+            if not affected:
+                carried = row[keep].copy()
+                carried.setflags(write=False)
+                child._rows[child.index[self.nodes[i]]] = carried
+        return child
 
     # ------------------------------------------------------------------
     # Shared-memory export

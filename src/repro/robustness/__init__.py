@@ -27,11 +27,14 @@ from repro.robustness.chaos import (
     ChaosConfig,
     ChaosReport,
     InvariantChecker,
+    ScaleChaosConfig,
     StreamingChaosConfig,
     StreamingChaosReport,
     check_static_parity,
     check_streaming_invariants,
+    hierarchy_problem,
     run_chaos,
+    run_scale_chaos,
     run_streaming_chaos,
 )
 from repro.robustness.controller import (
@@ -57,6 +60,7 @@ from repro.robustness.faults import (
 )
 from repro.robustness.recovery import (
     RecoveryResult,
+    cluster_local_recover,
     recover,
     repair_placement,
     surviving_placement,
@@ -112,13 +116,17 @@ __all__ = [
     "ChaosConfig",
     "ChaosReport",
     "InvariantChecker",
+    "ScaleChaosConfig",
     "StreamingChaosConfig",
     "StreamingChaosReport",
     "check_static_parity",
     "check_streaming_invariants",
+    "hierarchy_problem",
     "run_chaos",
+    "run_scale_chaos",
     "run_streaming_chaos",
     "RecoveryResult",
+    "cluster_local_recover",
     "recover",
     "repair_placement",
     "surviving_placement",

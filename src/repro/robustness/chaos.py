@@ -54,6 +54,7 @@ from repro.core.problem import ProblemInstance, pin_full_catalog
 from repro.core.solution import Placement
 from repro.exceptions import InvalidProblemError
 from repro.graph.network import CacheNetwork
+from repro.graph.topologies import pop_core_edge_hierarchy
 from repro.robustness.controller import (
     RecoveryPolicy,
     TimelineController,
@@ -148,6 +149,59 @@ def random_placement(rng: np.random.Generator, problem: ProblemInstance) -> Plac
                 placement[(v, item)] = 1.0
                 residual -= size
     return placement
+
+
+def hierarchy_problem(
+    n_total: int,
+    *,
+    n_items: int = 12,
+    n_caches: int = 80,
+    n_requesters: int = 150,
+    cache_capacity: float = 4.0,
+    seed: int = 0,
+) -> ProblemInstance:
+    """A seeded cache-placement instance on a ~``n_total``-node hierarchy.
+
+    The large-topology twin of :func:`random_problem`: a
+    :func:`~repro.graph.topologies.pop_core_edge_hierarchy` of
+    ``(n_total // 100, 9, 10)`` (exactly ``100 * n_core`` nodes), caches on
+    a seeded sample of PoPs, demand from a seeded sample of edge leaves,
+    and the full catalog pinned at the highest-degree core node.  The same
+    shape the scale benches solve — here it feeds failure timelines and
+    chaos campaigns at 1k–10k nodes.  Deterministic given ``seed``.
+    """
+    n_core = max(2, n_total // 100)
+    net = pop_core_edge_hierarchy(n_core, 9, 10, seed=seed)
+    nodes = list(net.nodes)
+    pops = [v for v in nodes if str(v).startswith("p")]
+    leaves = [v for v in nodes if str(v).startswith("e")]
+    origin = max(
+        (v for v in nodes if str(v).startswith("c")),
+        key=lambda v: (net.undirected_degree(v), str(v)),
+    )
+    rng = np.random.default_rng(seed)
+    cache_idx = rng.choice(len(pops), size=min(n_caches, len(pops)), replace=False)
+    cache_nodes = [pops[int(i)] for i in cache_idx]
+    items = [f"it{k}" for k in range(n_items)]
+    demand: dict = {}
+    requesters = rng.choice(
+        len(leaves), size=min(n_requesters, len(leaves)), replace=False
+    )
+    for s in requesters:
+        for it in rng.choice(items, size=2, replace=False):
+            demand[(str(it), leaves[int(s)])] = round(float(rng.uniform(0.5, 2.0)), 3)
+    capped = CacheNetwork(net.graph, {v: cache_capacity for v in cache_nodes})
+    return ProblemInstance(
+        network=capped,
+        catalog=tuple(items),
+        demand=demand,
+        pinned=pin_full_catalog(items, [origin]),
+    )
+
+
+def pinned_origin(problem: ProblemInstance):
+    """The (single) node holding the pinned catalog, repr-lowest on ties."""
+    return min({v for (v, _item) in problem.pinned}, key=repr)
 
 
 # ----------------------------------------------------------------------
@@ -418,12 +472,12 @@ def _random_policy(rng: np.random.Generator) -> RecoveryPolicy:
 def _campaign_timeline(
     rng: np.random.Generator,
     problem: ProblemInstance,
-    config: ChaosConfig,
+    config,
     *,
     timeline_seed: int,
+    origin: str = "n0",
 ) -> tuple[FailureTimeline, TimelineConfig]:
     links = canonical_links(problem)
-    origin = "n0"
     exclude = (origin,) if rng.random() < 0.5 else ()
     srlg: tuple = ()
     if len(links) >= 3 and rng.random() < 0.5:
@@ -514,6 +568,121 @@ def run_chaos(
                 reoptimizations=report.reoptimizations,
                 availability=report.availability,
                 with_context=with_context,
+                violations=list(checker.violations),
+                static_parity_ok=parity_ok,
+            )
+        )
+    return ChaosReport(results=results)
+
+
+# ----------------------------------------------------------------------
+# Scale chaos (large hierarchies on the lazy tier)
+# ----------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ScaleChaosConfig:
+    """Budget of a large-topology chaos run (lazy tier, cluster recovery)."""
+
+    campaigns: int = 3
+    seed: int = 0
+    #: Approximate hierarchy size; ``hierarchy_problem`` rounds to 100·n_core.
+    n_total: int = 1000
+    n_items: int = 12
+    horizon: float = 40.0
+    min_events: int = 30
+    #: Re-optimize via cluster-local re-solves instead of global ``recover``.
+    cluster_resolve: bool = True
+    #: Static parity replays the first fault through a *second* full
+    #: timeline + survivability sweep — meaningful but slow at scale, so
+    #: off by default here (``run_chaos`` keeps it on for small instances).
+    static_parity: bool = False
+
+
+def run_scale_chaos(
+    config: ScaleChaosConfig = ScaleChaosConfig(),
+    *,
+    raise_on_violation: bool = False,
+) -> ChaosReport:
+    """Seeded chaos campaigns on 1k–10k-node hierarchies, lazy tier only.
+
+    The scale twin of :func:`run_chaos`: each campaign builds a
+    :func:`hierarchy_problem`, forces the solver context onto the lazy row
+    tier (``backend="lazy"`` — these sizes must never materialize the dense
+    matrix), draws a seeded failure timeline over the hierarchy, and
+    replays it under the full :class:`InvariantChecker`.  With
+    ``config.cluster_resolve`` the controller re-optimizes through
+    cluster-local re-solves (:func:`~repro.robustness.recovery.
+    cluster_local_recover`) on a healthy-topology partition; otherwise it
+    falls back to the global :func:`~repro.robustness.recovery.recover`
+    path.  Returns the same :class:`ChaosReport` shape as :func:`run_chaos`
+    so gates (`report.ok`, violation counts) carry over unchanged.
+    """
+    from repro.core.decomposed import partition_graph
+
+    results: list[CampaignResult] = []
+    children = np.random.SeedSequence(config.seed).spawn(config.campaigns)
+    for index, child in enumerate(children):
+        rng = np.random.default_rng(child)
+        problem = hierarchy_problem(
+            config.n_total,
+            n_items=config.n_items,
+            seed=1000 * config.seed + index,
+        )
+        origin = pinned_origin(problem)
+        placement = random_placement(rng, problem)
+        timeline_seed = int(rng.integers(0, 2**31 - 1))
+        timeline, _tcfg = _campaign_timeline(
+            rng, problem, config, timeline_seed=timeline_seed, origin=origin
+        )
+        # Scale-tuned policy: a dwell floor bounds re-optimizations to
+        # ~horizon/dwell per campaign, and structural repair stays off
+        # (cluster re-solves already re-place within touched clusters).
+        policy = RecoveryPolicy(
+            detection_delay=round(float(rng.uniform(0.1, 0.5)), 3),
+            min_dwell=config.horizon / 8.0,
+            repair=False,
+        )
+        context = SolverContext.from_problem(problem, backend="lazy")
+        partition = (
+            partition_graph(problem.network, seed=index)
+            if config.cluster_resolve
+            else None
+        )
+
+        checker = InvariantChecker(strict=raise_on_violation)
+        report: TimelineReport = replay_timeline(
+            problem,
+            placement.copy(),
+            timeline,
+            policy,
+            context=context,
+            observer=checker,
+            partition=partition,
+        )
+
+        parity_ok = True
+        if config.static_parity and timeline.failures:
+            first = timeline.failures[0].fault
+            scenario = FailureScenario(f"scale-parity:{index}", (first,))
+            try:
+                check_static_parity(
+                    problem, placement, scenario, repair=False, context=context
+                )
+            except AssertionError:
+                parity_ok = False
+                if raise_on_violation:
+                    raise
+
+        results.append(
+            CampaignResult(
+                index=index,
+                nodes=problem.network.num_nodes,
+                links=len(canonical_links(problem)),
+                events=report.events,
+                reoptimizations=report.reoptimizations,
+                availability=report.availability,
+                with_context=True,
                 violations=list(checker.violations),
                 static_parity_ok=parity_ok,
             )

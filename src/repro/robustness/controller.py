@@ -59,7 +59,7 @@ from repro.robustness.faults import (
     NodeFailure,
     apply_failure,
 )
-from repro.robustness.recovery import recover
+from repro.robustness.recovery import cluster_local_recover, recover
 from repro.robustness.report import (
     SurvivabilityRecord,
     _from_json_float,
@@ -334,6 +334,7 @@ class TimelineController:
         incremental: bool = True,
         healthy_routing: Routing | None = None,
         observer: Observer | None = None,
+        partition=None,
     ) -> None:
         self.problem = problem
         self.timeline = timeline
@@ -342,6 +343,13 @@ class TimelineController:
         self.context = context
         self.incremental = incremental
         self.observer = observer
+        #: Optional :class:`~repro.core.decomposed.ClusterPartition` of the
+        #: healthy topology.  When set, re-optimizations run
+        #: :func:`~repro.robustness.recovery.cluster_local_recover` — only
+        #: the clusters the cumulative fault set touches are re-solved and
+        #: stitched — instead of :func:`recover`'s greedy repair (the
+        #: ``repair``/``max_repairs`` policy knobs are superseded).
+        self.partition = partition
         self.horizon = timeline.horizon
 
         if healthy_routing is None:
@@ -682,17 +690,22 @@ class TimelineController:
         scenario = self._composed_scenario(name)
         degraded, ctx = self._derive_state(scenario)
 
-        do_repair = self.policy.repair
-        if do_repair and self.policy.repair_after > 0 and self._active_since:
-            oldest = min(self._active_since.values())
-            do_repair = now - oldest >= self.policy.repair_after
-        result = recover(
-            degraded,
-            self.placement,
-            repair=do_repair,
-            max_repairs=self.policy.max_repairs,
-            context=ctx,
-        )
+        if self.partition is not None:
+            result = cluster_local_recover(
+                degraded, self.placement, self.partition, context=ctx
+            )
+        else:
+            do_repair = self.policy.repair
+            if do_repair and self.policy.repair_after > 0 and self._active_since:
+                oldest = min(self._active_since.values())
+                do_repair = now - oldest >= self.policy.repair_after
+            result = recover(
+                degraded,
+                self.placement,
+                repair=do_repair,
+                max_repairs=self.policy.max_repairs,
+                context=ctx,
+            )
         # Entries lost at event time (the placement is pre-pruned so repairs
         # cannot resurrect dead caches); charge them to this action's record.
         result.dropped = list(self._dropped_pending)
@@ -816,14 +829,21 @@ def replay_timeline(
     incremental: bool = True,
     healthy_routing: Routing | None = None,
     observer: Observer | None = None,
+    partition=None,
 ) -> TimelineReport:
     """Replay ``timeline`` against a healthy placement under ``policy``.
 
     ``context`` is the *healthy* instance's solver context; when given, each
     action's degraded context is derived incrementally from it (or rebuilt
     from scratch with ``incremental=False`` — same report, more wall-clock).
-    ``observer`` is invoked after every processed event and action; the
-    chaos harness uses it to assert invariants mid-replay.
+    The context may run either distance tier: ``degraded_context`` repairs
+    dense matrices and lazy row stores alike, so timelines replay unchanged
+    on 10k-node topologies under ``backend="lazy"``.  ``observer`` is
+    invoked after every processed event and action; the chaos harness uses
+    it to assert invariants mid-replay.  ``partition`` (a healthy-topology
+    :class:`~repro.core.decomposed.ClusterPartition`) switches
+    re-optimizations to cluster-local re-solves — see
+    :class:`TimelineController`.
     """
     return TimelineController(
         problem,
@@ -834,4 +854,5 @@ def replay_timeline(
         incremental=incremental,
         healthy_routing=healthy_routing,
         observer=observer,
+        partition=partition,
     ).run()

@@ -6,14 +6,21 @@ Rebuilding a :class:`~repro.core.context.SolverContext` per scenario runs a
 full all-pairs shortest-path computation every time, although a single link
 removal typically perturbs only the rows whose shortest paths crossed it.
 
-:func:`degraded_context` instead *repairs* the parent's dense distance
-matrix (:func:`repro.graph.distance_matrix.repair_distance_matrix`): rows
-that cannot have used a failed element are copied, the rest are recomputed
-in one batched Dijkstra sweep over the surviving graph.  The derived
-context is bit-identical to ``SolverContext.from_problem(degraded.problem)``
-— parity is asserted in ``tests/robustness/test_degraded_context.py`` — so
-it can be threaded through recovery and reporting without changing any
-result, only the wall-clock.
+:func:`degraded_context` instead *repairs* the parent's distance backend,
+dispatching on its tier: a dense parent goes through
+:func:`repro.graph.distance_matrix.repair_distance_matrix` (rows that
+cannot have used a failed element are copied, the rest recomputed in one
+batched Dijkstra sweep over the surviving graph), and a lazy-row parent
+goes through :meth:`repro.graph.backends.LazyRowBackend.repair` (memoized
+rows the failure cannot have touched are carried over; dirtied rows are
+simply dropped and recompute on demand against the degraded CSR).  Either
+way the derived context is bit-identical to
+``SolverContext.from_problem(degraded.problem)`` on the same tier — parity
+is asserted in ``tests/robustness/test_degraded_context.py`` and
+``tests/robustness/test_scale_resilience.py`` — so it can be threaded
+through recovery and reporting without changing any result, only the
+wall-clock (and, on the lazy tier, without ever materializing O(|V|²)
+state).
 
 A derived context is valid exactly when the degraded instance was produced
 by :func:`repro.robustness.faults.apply_failure` from the parent context's
@@ -41,6 +48,7 @@ from collections.abc import Hashable, Sequence
 
 from repro.core.context import SolverContext
 from repro.exceptions import InvalidNetworkError
+from repro.graph.backends import LazyRowBackend
 from repro.graph.distance_matrix import build_distance_matrix, repair_distance_matrix
 from repro.robustness.faults import DegradedProblem
 
@@ -65,30 +73,43 @@ def degraded_context(
     node order cannot be aligned with the parent's (never the case for
     instances produced by :func:`~repro.robustness.faults.apply_failure`).
 
-    ``sources`` opts into a **partial** derivation: only the named rows of
-    the distance matrix are guaranteed valid, other dirtied rows hold
-    ``NaN`` (see :func:`repro.graph.distance_matrix.repair_distance_matrix`).
-    Failure recovery reads distances out of cache, pinned, and placement
-    holder nodes only, so the timeline controller names exactly those and
-    skips recomputing the ~90% of rows a re-optimization never touches.
-    The partial context is only safe for :func:`~repro.robustness.recovery.
-    recover`-style consumers; hand full contexts to anything else.
+    ``sources`` opts into a **partial** derivation on the dense tier: only
+    the named rows of the distance matrix are guaranteed valid, other
+    dirtied rows hold ``NaN`` (see :func:`repro.graph.distance_matrix.
+    repair_distance_matrix`).  Failure recovery reads distances out of
+    cache, pinned, and placement holder nodes only, so the timeline
+    controller names exactly those and skips recomputing the ~90% of rows a
+    re-optimization never touches.  The partial context is only safe for
+    :func:`~repro.robustness.recovery.recover`-style consumers; hand full
+    contexts to anything else.  On the lazy tier the hint is moot — every
+    derived context is already partial in the stronger sense that rows only
+    exist once consulted — so it is accepted and ignored.
     """
     graph = degraded.problem.network.graph
     if not degraded.failed_links and not degraded.failed_nodes:
         # Capacity degradation only: link costs — and therefore every
-        # distance — are untouched, so the parent matrix is the matrix.
-        if parent.dm.nodes == tuple(graph.nodes):
-            return SolverContext(degraded.problem, dm=parent.dm)
-        return SolverContext(
-            degraded.problem,
-            dm=build_distance_matrix(graph, use_scipy=use_scipy),
-        )
+        # distance — are untouched, so the parent backend (either tier) is
+        # shared outright.  Node labels are compared, never ``parent.dm``,
+        # so a no-op degradation stays free on lazy contexts too.
+        if parent.nodes == tuple(graph.nodes):
+            return SolverContext(degraded.problem, backend=parent.backend)
+        return SolverContext.from_problem(degraded.problem, use_scipy=use_scipy)
     removed_edges = [
         (u, v, parent.link_cost(u, v))
         for (u, v) in sorted(degraded.failed_links, key=repr)
         if u in parent.node_index and v in parent.node_index
     ]
+    backend = parent.backend
+    if isinstance(backend, LazyRowBackend):
+        try:
+            repaired = backend.repair(
+                graph,
+                removed_edges=removed_edges,
+                removed_nodes=tuple(degraded.failed_nodes),
+            )
+        except InvalidNetworkError:
+            repaired = LazyRowBackend(graph, use_scipy=use_scipy)
+        return SolverContext(degraded.problem, backend=repaired)
     try:
         dm = repair_distance_matrix(
             parent.dm,
@@ -106,10 +127,13 @@ def degraded_context(
 def rebuild_context(
     degraded: DegradedProblem, *, use_scipy: bool = True
 ) -> SolverContext:
-    """Full-rebuild twin of :func:`degraded_context` (fresh APSP, no reuse).
+    """Full-rebuild twin of :func:`degraded_context` (fresh build, no reuse).
 
     The baseline the incremental path is measured — and parity-tested —
     against: ``degraded_context(parent, degraded)`` must equal
     ``rebuild_context(degraded)`` bit-for-bit in every derived quantity.
+    Tier-aware like :meth:`SolverContext.from_problem`: mid-size instances
+    rebuild the dense matrix exactly as before, while instances above the
+    dense threshold rebuild on the lazy row tier instead of exploding.
     """
-    return SolverContext(degraded.problem, use_scipy=use_scipy)
+    return SolverContext.from_problem(degraded.problem, use_scipy=use_scipy)

@@ -274,16 +274,13 @@ def _repair_placement_ctx(
         for v in cache_nodes
     }
 
-    # Penalty: strictly above every finite distance out of cache/pinned nodes.
+    # Penalty: strictly above every finite distance out of cache/pinned
+    # nodes.  ``finite_max_from`` floors the max at 1.0 exactly like the
+    # historical inline reduction did, and runs as a row-oriented backend
+    # reduction, so the value is bit-identical on either distance tier.
     pinned_nodes = sorted({v for v, _i in problem.pinned}, key=repr)
     probe = [v for v in (*cache_nodes, *pinned_nodes) if v in nidx]
-    if probe:
-        rows = ctx.rows_of(probe)
-        finite = rows[np.isfinite(rows)]
-        top = float(finite.max()) if finite.size else 0.0
-    else:
-        top = 0.0
-    penalty = 2.0 * (top if top > 0 else 1.0) + 1.0
+    penalty = 2.0 * ctx.finite_max_from(probe) + 1.0
 
     items = sorted({i for (i, _s) in problem.demand}, key=repr)
     cost: dict[Item, np.ndarray] = {}
@@ -340,3 +337,73 @@ def _repair_placement_ctx(
         if best is not None and best.size:
             np.minimum(best, ctx.row_of(v)[ctx.requesters(item).idx], out=best)
     return repaired
+
+
+def cluster_local_recover(
+    degraded: DegradedProblem,
+    placement: Placement,
+    partition,
+    *,
+    context: "SolverContext | None" = None,
+    parallel: bool = False,
+    max_workers: int | None = None,
+    polish: bool = True,
+) -> RecoveryResult:
+    """Recover by re-solving only the clusters a failure touched.
+
+    The scale-tier alternative to :func:`recover`'s greedy repair: given
+    the healthy topology's :class:`~repro.core.decomposed.ClusterPartition`,
+    the failed nodes/links name a set of *touched* clusters
+    (:func:`~repro.core.decomposed.touched_clusters`); those clusters'
+    sub-instances are rebuilt on the degraded graph and re-solved with the
+    exact Algorithm 1 (:func:`~repro.core.decomposed.resolve_clusters`),
+    while every untouched cluster keeps its surviving placement entries
+    verbatim.  When a failure is confined to a strict subset of the
+    clusters this replaces a global re-optimization with a handful of small
+    cluster solves — the re-routing itself is still global RNR over the
+    full surviving topology, so feasibility and served demand are evaluated
+    exactly, not per cluster.
+
+    ``repaired`` lists the placement entries the cluster re-solve installed
+    that the surviving placement did not hold.  A capacity-only scenario
+    touches no cluster and reduces to a plain partial re-route.  ``context``
+    must be a context *of the degraded instance* (either tier), as for
+    :func:`recover`.
+    """
+    from repro.core.decomposed import resolve_clusters, touched_clusters
+
+    survivor, dropped = surviving_placement(placement, degraded)
+    problem = degraded.problem
+    touched = touched_clusters(
+        partition,
+        failed_nodes=degraded.failed_nodes,
+        failed_links=degraded.failed_links,
+    )
+    if touched:
+        new_placement, _reports = resolve_clusters(
+            problem,
+            partition,
+            survivor,
+            sorted(touched),
+            context=context,
+            parallel=parallel,
+            max_workers=max_workers,
+            polish=polish,
+        )
+        repaired = sorted(
+            (key for key in new_placement if key not in survivor),
+            key=repr,
+        )
+    else:
+        new_placement, repaired = survivor, []
+    routing = route_to_nearest_replica(
+        problem, new_placement, on_unservable="partial", context=context
+    )
+    return RecoveryResult(
+        degraded=degraded,
+        placement=new_placement,
+        routing=routing,
+        dropped=dropped,
+        repaired=repaired,
+        stranded=_stranded(problem, routing),
+    )
